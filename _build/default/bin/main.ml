@@ -1,0 +1,356 @@
+(* hydra: command-line front end.
+
+   Subcommands:
+     asm      assemble a source file to hex words
+     dis      disassemble hex words
+     run      assemble and execute a program on the gate-level processor
+     netlist  emit a named circuit's netlist (paper tuple, dot, verilog)
+     timing   static timing/size report for a named circuit
+     algo     print the processor's control algorithm (paper section 6.2)
+
+   Named circuits for netlist/timing: fig1, mux1, regfile1:<k>,
+   ripple:<n>, cla-sklansky:<n>, cla-brent-kung:<n>, cla-kogge-stone:<n>,
+   alu:<n>, sorter:<n>x<w>, cpu:<mem_bits>. *)
+
+open Cmdliner
+
+module G = Hydra_core.Graph
+module N = Hydra_netlist.Netlist
+module L = Hydra_netlist.Levelize
+module F = Hydra_netlist.Formats
+module P = Hydra_core.Patterns
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- circuit catalogue ---- *)
+
+let inputs prefix n = List.init n (fun i -> G.input (Printf.sprintf "%s%d" prefix i))
+
+let adder_outputs (cout, sums) =
+  ("cout", cout) :: List.mapi (fun i s -> (Printf.sprintf "s%d" i, s)) sums
+
+let circuit_of_name name =
+  let module A = Hydra_circuits.Arith.Make (G) in
+  let module M = Hydra_circuits.Mux.Make (G) in
+  let module R = Hydra_circuits.Regs.Make (G) in
+  let module Alu = Hydra_circuits.Alu.Make (G) in
+  let module Sorter = Hydra_circuits.Sorter.Make (G) in
+  let int_param s =
+    match String.index_opt s ':' with
+    | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, None)
+  in
+  let base, param = int_param name in
+  let p default = match param with Some s -> int_of_string s | None -> default in
+  match base with
+  | "fig1" ->
+    let a = G.input "a" and b = G.input "b" in
+    N.of_graph ~outputs:[ ("x", G.and2 (G.inv a) b) ]
+  | "mux1" ->
+    let c = G.input "c" and x = G.input "x" and y = G.input "y" in
+    N.of_graph ~outputs:[ ("out", M.mux1 c x y) ]
+  | "ripple" ->
+    let n = p 8 in
+    N.of_graph
+      ~outputs:
+        (adder_outputs (A.ripple_add G.zero (List.combine (inputs "x" n) (inputs "y" n))))
+  | "cla-sklansky" | "cla-brent-kung" | "cla-kogge-stone" ->
+    let n = p 8 in
+    let network =
+      match base with
+      | "cla-sklansky" -> P.Sklansky
+      | "cla-brent-kung" -> P.Brent_kung
+      | _ -> P.Kogge_stone
+    in
+    N.of_graph
+      ~outputs:
+        (adder_outputs
+           (A.cla_add ~network G.zero (List.combine (inputs "x" n) (inputs "y" n))))
+  | "alu" ->
+    let n = p 16 in
+    let op = inputs "op" 4 in
+    let ovfl, r = Alu.alu op (inputs "x" n) (inputs "y" n) in
+    N.of_graph
+      ~outputs:
+        (("ovfl", ovfl) :: List.mapi (fun i s -> (Printf.sprintf "r%d" i, s)) r)
+  | "regfile1" ->
+    let k = p 4 in
+    let a, b =
+      R.regfile1 k (G.input "ld") (inputs "d" k) (inputs "sa" k) (inputs "sb" k)
+        (G.input "x")
+    in
+    N.of_graph ~outputs:[ ("a", a); ("b", b) ]
+  | "sorter" ->
+    let n, w =
+      match param with
+      | Some s -> (
+          match String.split_on_char 'x' s with
+          | [ a; b ] -> (int_of_string a, int_of_string b)
+          | _ -> failwith "sorter:<n>x<w>")
+      | None -> (4, 4)
+    in
+    let words = List.init n (fun i -> inputs (Printf.sprintf "w%d_" i) w) in
+    let sorted = Sorter.sort words in
+    N.of_graph
+      ~outputs:
+        (List.concat
+           (List.mapi
+              (fun i word ->
+                List.mapi
+                  (fun j b -> (Printf.sprintf "o%d_%d" i j, b))
+                  word)
+              sorted))
+  | "cpu" ->
+    let mem_bits = p 6 in
+    let module Sys_g = Hydra_cpu.System.Make (G) in
+    let word n = inputs n 16 in
+    let outs =
+      Sys_g.system ~mem_bits
+        {
+          Sys_g.start = G.input "start";
+          dma = G.input "dma";
+          dma_a = word "da";
+          dma_d = word "dd";
+        }
+    in
+    N.of_graph
+      ~outputs:
+        (("halted", outs.Sys_g.halted)
+        :: List.mapi
+             (fun i s -> (Printf.sprintf "pc%d" i, s))
+             outs.Sys_g.dp.Sys_g.D.pc
+        @ List.mapi
+            (fun i s -> (Printf.sprintf "r%d" i, s))
+            outs.Sys_g.dp.Sys_g.D.r)
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "unknown circuit %S (try fig1, mux1, ripple:8, cla-sklansky:16, \
+          alu:16, regfile1:4, sorter:4x4, cpu:6)"
+         name)
+
+(* ---- asm ---- *)
+
+let asm_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let words = Hydra_cpu.Asm.assemble (read_file file) in
+    List.iter (fun w -> Printf.printf "%04x\n" w) words
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble a source file to hex words")
+    Term.(const run $ file)
+
+(* ---- dis ---- *)
+
+let dis_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let words =
+      read_file file |> String.split_on_char '\n'
+      |> List.filter_map (fun l ->
+             let l = String.trim l in
+             if l = "" then None else Some (int_of_string ("0x" ^ l)))
+    in
+    print_string (Hydra_cpu.Asm.disassemble words)
+  in
+  Cmd.v (Cmd.info "dis" ~doc:"Disassemble hex words (one per line)")
+    Term.(const run $ file)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"print the per-cycle trace")
+  in
+  let behavioural =
+    Arg.(
+      value & flag
+      & info [ "behavioural" ]
+          ~doc:"use the behavioural-memory driver (fast, 64K words)")
+  in
+  let mem_bits =
+    Arg.(
+      value & opt int 6
+      & info [ "mem-bits" ] ~doc:"structural memory address bits")
+  in
+  let max_cycles =
+    Arg.(value & opt int 20000 & info [ "max-cycles" ] ~doc:"cycle budget")
+  in
+  let run file trace behavioural mem_bits max_cycles =
+    let program = Hydra_cpu.Asm.assemble (read_file file) in
+    let res =
+      if behavioural then
+        Hydra_cpu.Driver.run_behavioural ~max_cycles ~collect_trace:trace
+          program
+      else
+        Hydra_cpu.Driver.run_structural ~mem_bits ~max_cycles
+          ~collect_trace:trace program
+    in
+    if trace then
+      List.iter
+        (fun e -> print_endline (Hydra_cpu.Driver.trace_fmt e))
+        res.Hydra_cpu.Driver.trace;
+    Printf.printf "halted=%b cycles=%d\n" res.Hydra_cpu.Driver.halted
+      res.Hydra_cpu.Driver.cycles;
+    let regs = Hydra_cpu.Driver.final_registers res in
+    Array.iteri
+      (fun i v -> if v <> 0 then Printf.printf "R%-2d = %5d (0x%04x)\n" i v v)
+      regs;
+    List.iter
+      (function
+        | Hydra_cpu.Golden.Mem_write { addr; value } ->
+          Printf.printf "mem[%04x] := %d\n" addr value
+        | _ -> ())
+      res.Hydra_cpu.Driver.events
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Assemble and run a program on the gate-level CPU")
+    Term.(const run $ file $ trace $ behavioural $ mem_bits $ max_cycles)
+
+(* ---- netlist ---- *)
+
+let netlist_cmd =
+  let circuit_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT") in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("paper", `Paper); ("dot", `Dot); ("verilog", `Verilog);
+                    ("stats", `Stats); ("hydra", `Hydra) ])
+          `Paper
+      & info [ "format"; "f" ]
+          ~doc:"output format: paper, dot, verilog, stats, hydra (loadable)")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize"; "O" ]
+          ~doc:"run constant folding / dedup / dead-gate removal first")
+  in
+  let run name format optimize =
+    let nl = circuit_of_name name in
+    let nl = if optimize then Hydra_netlist.Optimize.optimize nl else nl in
+    match format with
+    | `Paper -> print_endline (F.to_paper_string nl)
+    | `Dot -> print_string (F.to_dot ~name:"circuit" nl)
+    | `Verilog -> print_string (F.to_verilog ~name:"circuit" nl)
+    | `Stats -> print_endline (F.stats_string nl)
+    | `Hydra -> print_string (Hydra_netlist.Serial.to_string nl)
+  in
+  Cmd.v (Cmd.info "netlist" ~doc:"Emit the netlist of a named circuit")
+    Term.(const run $ circuit_arg $ format $ optimize)
+
+(* ---- fault ---- *)
+
+let fault_cmd =
+  let circuit_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT")
+  in
+  let vectors =
+    Arg.(value & opt int 32 & info [ "vectors"; "n" ] ~doc:"random test vectors")
+  in
+  let run name n =
+    let nl = circuit_of_name name in
+    let module Fault = Hydra_verify.Fault in
+    let inputs = List.length nl.N.inputs in
+    let vectors = Fault.random_vectors ~seed:7 ~inputs n in
+    let cov = Fault.coverage nl ~vectors in
+    Printf.printf "%d stuck-at faults, %d vectors: %.1f%% coverage\n"
+      cov.Fault.total n
+      (100.0 *. Fault.ratio cov);
+    List.iteri
+      (fun i f ->
+        if i < 10 then
+          Printf.printf "  undetected: %s\n" (Fault.fault_name nl f))
+      cov.Fault.undetected
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Stuck-at fault coverage of a named circuit under random vectors")
+    Term.(const run $ circuit_arg $ vectors)
+
+(* ---- timing ---- *)
+
+let timing_cmd =
+  let circuit_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT") in
+  let run name =
+    let nl = circuit_of_name name in
+    let lv = L.compute nl in
+    Printf.printf "%s\n" (F.stats_string nl);
+    Printf.printf "critical path: %d gate delays\n" lv.L.critical_path;
+    if lv.L.cyclic <> [] then
+      Printf.printf "WARNING: %d components on combinational cycles\n"
+        (List.length lv.L.cyclic);
+    let widths = Array.map Array.length lv.L.by_level in
+    Printf.printf "levels: %d; widest level: %d components\n"
+      (Array.length widths)
+      (Array.fold_left max 0 widths)
+  in
+  Cmd.v (Cmd.info "timing" ~doc:"Static timing and size report")
+    Term.(const run $ circuit_arg)
+
+(* ---- sim ---- *)
+
+let sim_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
+  let cycles = Arg.(value & opt int 8 & info [ "cycles"; "n" ] ~doc:"cycles to run") in
+  let drives =
+    Arg.(
+      value & opt_all string []
+      & info [ "drive"; "d" ]
+          ~doc:"stimulus: NAME=0101 (one bit per cycle, last value holds)")
+  in
+  let run file cycles drives =
+    let nl = Hydra_netlist.Serial.of_file file in
+    let stimuli =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | None -> failwith ("bad --drive " ^ spec)
+          | Some i ->
+            let name = String.sub spec 0 i in
+            let bits =
+              String.sub spec (i + 1) (String.length spec - i - 1)
+              |> Hydra_core.Bitvec.of_string
+            in
+            Hydra_engine.Testbench.Bit_values (name, bits))
+        drives
+    in
+    let r =
+      Hydra_engine.Testbench.run ~cycles ~stimuli ~expectations:[] nl
+    in
+    print_string
+      (Hydra_engine.Wave.render
+         (List.map (fun (n, vs) -> Hydra_engine.Wave.bit n vs) r.Hydra_engine.Testbench.observed))
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate a saved netlist (see 'netlist -f hydra') with scripted inputs")
+    Term.(const run $ file $ cycles $ drives)
+
+(* ---- algo ---- *)
+
+let algo_cmd =
+  let run () =
+    print_string (Hydra_cpu.Control.to_string Hydra_cpu.Control.algorithm)
+  in
+  Cmd.v
+    (Cmd.info "algo"
+       ~doc:"Print the processor's control algorithm (paper section 6.2)")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Hydra: functional hardware description in OCaml" in
+  let info = Cmd.info "hydra" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ asm_cmd; dis_cmd; run_cmd; netlist_cmd; timing_cmd; fault_cmd;
+            sim_cmd; algo_cmd ]))

@@ -1,0 +1,1 @@
+examples/adder_design.ml: Hydra_circuits Hydra_core Hydra_engine Hydra_netlist Hydra_verify List Printf

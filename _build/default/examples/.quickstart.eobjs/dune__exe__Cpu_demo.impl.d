@@ -1,0 +1,1 @@
+examples/cpu_demo.ml: Array Hashtbl Hydra_cpu List Printf String

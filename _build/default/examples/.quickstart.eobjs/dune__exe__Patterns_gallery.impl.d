@@ -1,0 +1,1 @@
+examples/patterns_gallery.ml: Hydra_circuits Hydra_core List Printf String

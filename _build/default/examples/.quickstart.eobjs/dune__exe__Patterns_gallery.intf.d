@@ -1,0 +1,1 @@
+examples/patterns_gallery.mli:

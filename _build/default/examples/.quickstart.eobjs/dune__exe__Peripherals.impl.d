@@ -1,0 +1,1 @@
+examples/peripherals.ml: Hydra_circuits Hydra_core Hydra_engine List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bool Hydra_core Hydra_netlist List Printf

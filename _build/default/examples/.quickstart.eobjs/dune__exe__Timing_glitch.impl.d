@@ -1,0 +1,1 @@
+examples/timing_glitch.ml: Hydra_circuits Hydra_core Hydra_engine Hydra_netlist List Printf

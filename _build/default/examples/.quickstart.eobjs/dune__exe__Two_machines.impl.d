@@ -1,0 +1,1 @@
+examples/two_machines.ml: Array Hashtbl Hydra_cpu List Printf

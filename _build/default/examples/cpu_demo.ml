@@ -1,0 +1,88 @@
+(* Run a machine-language program on the gate-level RISC processor
+   (paper section 6): assemble, DMA-load, execute, and print the formatted
+   trace the simulation driver produces — alongside the golden ISA model
+   for comparison.
+
+   The program computes the maximum element of an array in memory.
+
+   Run with: dune exec examples/cpu_demo.exe *)
+
+module Asm = Hydra_cpu.Asm
+module Golden = Hydra_cpu.Golden
+module Driver = Hydra_cpu.Driver
+module Isa = Hydra_cpu.Isa
+
+let program_src =
+  "; find the maximum of the array at [arr .. arr+len)\n\
+   ; R1 = index, R2 = best so far, R3 = scratch, R4 = len\n\
+  \  load  R4,len[R0]\n\
+  \  load  R2,arr[R0]      ; best = arr[0]\n\
+  \  ldval R1,1[R0]        ; i = 1\n\
+   loop:\n\
+  \  cmplt R3,R1,R4        ; i < len ?\n\
+  \  jumpf R3,done[R0]\n\
+  \  load  R3,arr[R1]      ; arr[i]\n\
+  \  cmpgt R5,R3,R2\n\
+  \  jumpf R5,skip[R0]\n\
+  \  add   R2,R3,R0        ; best = arr[i]\n\
+   skip:\n\
+  \  inc   R1,R1\n\
+  \  jump  loop[R0]\n\
+   done:\n\
+  \  store R2,result[R0]\n\
+  \  halt\n\
+   len:    data 6\n\
+   arr:    data 12\n\
+  \        data 7\n\
+  \        data 31\n\
+  \        data 3\n\
+  \        data 25\n\
+  \        data 18\n\
+   result: data 0\n"
+
+let () =
+  print_endline "=== Assembling ===";
+  let program = Asm.assemble program_src in
+  Printf.printf "%d words:\n%s\n" (List.length program)
+    (Asm.disassemble program);
+
+  print_endline "=== Golden-model run ===";
+  let g = Golden.create ~mem_words:64 () in
+  Golden.load_program g program;
+  ignore (Golden.run g);
+  Printf.printf "halted after %d instructions (%d predicted cycles)\n"
+    g.Golden.instructions g.Golden.cycles;
+  let labels = Asm.labels_of program_src in
+  let result_addr = Hashtbl.find labels "result" in
+  Printf.printf "result (golden): mem[%d] = %d\n\n" result_addr
+    (Golden.read_mem g result_addr);
+
+  print_endline "=== Gate-level run (structural memory, DMA load) ===";
+  let res = Driver.run_structural ~mem_bits:6 ~max_cycles:5000 program in
+  Printf.printf "halted=%b after %d clock cycles\n" res.Driver.halted
+    res.Driver.cycles;
+  let mem = Driver.final_memory ~size:64 res ~program in
+  Printf.printf "result (gate level): mem[%d] = %d\n" result_addr
+    mem.(result_addr);
+  Printf.printf "registers: %s\n"
+    (String.concat " "
+       (Array.to_list
+          (Array.mapi
+             (fun i v -> if v <> 0 then Printf.sprintf "R%d=%d" i v else "")
+             (Driver.final_registers res))
+       |> List.filter (fun s -> s <> "")));
+
+  print_endline "\nfirst 12 trace lines (cycle, control state, registers):";
+  List.iteri
+    (fun i e -> if i < 12 then print_endline ("  " ^ Driver.trace_fmt e))
+    res.Driver.trace;
+
+  print_endline "\n=== Cross-check ===";
+  let gg = Golden.create ~mem_words:64 () in
+  Golden.load_program gg program;
+  let golden_events = Golden.run gg in
+  Printf.printf "event streams identical: %b\n"
+    (golden_events = res.Driver.events);
+  Printf.printf "cycle counts identical:  %b (%d)\n"
+    (gg.Golden.cycles = res.Driver.cycles)
+    res.Driver.cycles

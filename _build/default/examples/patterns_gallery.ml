@@ -1,0 +1,80 @@
+(* A gallery of design patterns (paper section 5): the same few combinators
+   generate linear, tree, butterfly and grid circuits.  Each pattern is
+   shown twice — once computing ordinary data (patterns are plain
+   polymorphic functions) and once generating hardware whose shape we
+   inspect with the Depth semantics.
+
+   Run with: dune exec examples/patterns_gallery.exe *)
+
+module P = Hydra_core.Patterns
+module D = Hydra_core.Depth
+module Bit = Hydra_core.Bit
+module Bitvec = Hydra_core.Bitvec
+
+let ints = List.init 8 (fun i -> i + 1)
+
+let show name xs =
+  Printf.printf "  %-24s [%s]\n" name
+    (String.concat "; " (List.map string_of_int xs))
+
+let depth_of_scan name scan =
+  (* depth of an 16-input OR-scan built with this network *)
+  D.reset ();
+  let outs = scan D.or2 (List.init 16 (fun _ -> D.input)) in
+  let r = D.report outs in
+  Printf.printf "  %-24s depth %2d, %3d gates (16-input or-scan)\n" name
+    r.D.critical_path r.D.gates
+
+let () =
+  print_endline "=== Linear patterns on data ===";
+  show "input" ints;
+  let cout, outs = P.mscanr (fun x c -> (x + c, c)) 0 ints in
+  show (Printf.sprintf "mscanr(+) carries (cout=%d)" cout) outs;
+  show "ascanl (+) inclusive" (P.ascanl ( + ) 0 ints);
+  show "ascanr (+) inclusive" (P.ascanr ( + ) 0 ints);
+  show "riffle" (P.riffle ints);
+  show "unriffle" (P.unriffle ints);
+
+  print_endline "\n=== The same scan, four hardware shapes ===";
+  depth_of_scan "serial" P.scan_serial;
+  depth_of_scan "sklansky" P.scan_sklansky;
+  depth_of_scan "brent-kung" P.scan_brent_kung;
+  depth_of_scan "kogge-stone" P.scan_kogge_stone;
+
+  print_endline "\n=== Tree fold ===";
+  Printf.printf "  tree_fold (+) 1..8 = %d\n" (P.tree_fold ( + ) ints);
+  D.reset ();
+  let r = D.report [ P.tree_fold D.or2 (List.init 64 (fun _ -> D.input)) ] in
+  Printf.printf "  64-input or tree: depth %d (log2 64 = 6), %d gates\n"
+    r.D.critical_path r.D.gates;
+
+  print_endline "\n=== Butterfly ===";
+  show "butterfly swap"
+    (P.butterfly (fun (a, b) -> (b, a)) [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  (* the butterfly with compare-exchange cells is a bitonic merger;
+     applied recursively it sorts (see the sorter library) *)
+  let module Sorter = Hydra_circuits.Sorter.Make (Bit) in
+  let data = [ 9; 1; 14; 4; 11; 6; 2; 8 ] in
+  let sorted =
+    List.map Bitvec.to_int
+      (Sorter.sort (List.map (Bitvec.of_int ~width:4) data))
+  in
+  show "bitonic sort input" data;
+  show "bitonic sort output" sorted;
+
+  print_endline "\n=== Mesh (grid) pattern: matrix of accumulating cells ===";
+  (* horizontal h accumulates products of vertical v: a systolic row of
+     multiply-accumulate cells computing dot products *)
+  let cell h v = (h + v, v + 1) in
+  let hs, vs = P.mesh cell [ 0; 100 ] [ 1; 2; 3; 4 ] in
+  show "row sums (right edge)" hs;
+  show "aged columns (bottom)" vs;
+
+  print_endline "\n=== Patterns are user-definable ===";
+  (* define a new pattern on the spot: pairwise pipeline stages *)
+  let rec alternate f g = function
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | x :: y :: rest -> f x :: g y :: alternate f g rest
+  in
+  show "alternate (+10) (+20)" (alternate (( + ) 10) (( + ) 20) ints)

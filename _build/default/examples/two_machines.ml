@@ -1,0 +1,89 @@
+(* Two complete computers, one methodology.
+
+   The paper closes: "several complex circuits, including complete
+   computer systems, have been designed successfully using Hydra."  This
+   example runs the same computation — sum of the integers 1..n — on both
+   machines in this repository:
+
+   - the section-6 RISC (register machine, two-word RX instructions),
+   - the stack machine (one-word instructions, expression stack),
+
+   both gate-level, both DMA-loaded, both with control circuits compiled
+   by the same delay-element synthesizer, and both checked against their
+   golden models, cycle for cycle.
+
+   Run with: dune exec examples/two_machines.exe *)
+
+module Asm = Hydra_cpu.Asm
+module Golden = Hydra_cpu.Golden
+module Driver = Hydra_cpu.Driver
+module SM = Hydra_cpu.Stack_machine
+
+let n = 10
+
+let risc_src =
+  Printf.sprintf
+    "; sum 1..n on the RISC\n\
+    \  ldval R1,0[R0]\n\
+    \  ldval R2,%d[R0]\n\
+     loop: cmpeq R3,R2,R0\n\
+    \  jumpt R3,done[R0]\n\
+    \  add R1,R1,R2\n\
+    \  ldval R4,1[R0]\n\
+    \  sub R2,R2,R4\n\
+    \  jump loop[R0]\n\
+     done: store R1,result[R0]\n\
+    \  halt\n\
+     result: data 0\n"
+    n
+
+let stack_prog =
+  [
+    SM.Spush 0; SM.Spush 60; SM.Sstore;      (* mem[60] := 0 (total) *)
+    SM.Spush n;                              (* i *)
+    (* loop at pc 4 *)
+    SM.Sdup; SM.Sjz 15;
+    SM.Sdup; SM.Spush 60; SM.Sload; SM.Sadd; SM.Spush 60; SM.Sstore;
+    SM.Spush 1; SM.Ssub;
+    SM.Sjump 4;
+    SM.Shalt;
+  ]
+
+let () =
+  Printf.printf "Computing sum(1..%d) = %d on two gate-level machines\n\n" n
+    (n * (n + 1) / 2);
+
+  print_endline "=== Machine 1: the section-6 RISC ===";
+  let program = Asm.assemble risc_src in
+  let res = Driver.run_structural ~mem_bits:6 ~collect_trace:false program in
+  let g = Golden.create ~mem_words:64 () in
+  Golden.load_program g program;
+  let golden_events = Golden.run g in
+  let result_addr = Hashtbl.find (Asm.labels_of risc_src) "result" in
+  let mem = Driver.final_memory ~size:64 res ~program in
+  Printf.printf "  %d instructions, result mem[%d] = %d\n"
+    g.Golden.instructions result_addr mem.(result_addr);
+  Printf.printf "  cycles: circuit %d, golden %d; events identical: %b\n\n"
+    res.Driver.cycles g.Golden.cycles
+    (res.Driver.events = golden_events);
+
+  print_endline "=== Machine 2: the stack machine ===";
+  let sres = SM.Driver.run ~mem_bits:6 stack_prog in
+  let sg = SM.Golden.create ~mem_words:64 () in
+  SM.Golden.load_program sg (SM.encode_program stack_prog);
+  SM.Golden.run sg;
+  Printf.printf "  %d instructions, result mem[60] = %d\n"
+    (List.length stack_prog) sg.SM.Golden.mem.(60);
+  Printf.printf "  cycles: circuit %d, golden %d\n\n" sres.SM.Driver.cycles
+    sg.SM.Golden.cycles;
+
+  print_endline "=== Comparison ===";
+  Printf.printf "  %-22s %-10s %-10s\n" "machine" "cycles" "result";
+  Printf.printf "  %-22s %-10d %-10d\n" "RISC (register)" res.Driver.cycles
+    mem.(result_addr);
+  Printf.printf "  %-22s %-10d %-10d\n" "stack machine"
+    sres.SM.Driver.cycles sg.SM.Golden.mem.(60);
+  print_endline
+    "\n(the stack machine pays for operand shuffling through memory; the\n\
+     RISC pays two words per RX instruction — architecture tradeoffs made\n\
+     measurable by simulating both as circuits)"

@@ -1,0 +1,1 @@
+lib/circuits/alu.ml: Arith Gates Hydra_core List Mux

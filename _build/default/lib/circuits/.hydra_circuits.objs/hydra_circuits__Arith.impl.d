@@ -1,0 +1,1 @@
+lib/circuits/arith.ml: Gates Hydra_core List Mux

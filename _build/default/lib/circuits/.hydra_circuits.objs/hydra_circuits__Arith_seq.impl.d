@@ -1,0 +1,1 @@
+lib/circuits/arith_seq.ml: Arith Gates Hydra_core List Mux

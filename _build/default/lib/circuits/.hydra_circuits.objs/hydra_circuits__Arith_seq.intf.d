@@ -1,0 +1,1 @@
+lib/circuits/arith_seq.mli: Hydra_core

@@ -1,0 +1,1 @@
+lib/circuits/cache.ml: Arith Gates Hydra_core List Mux Regs

@@ -1,0 +1,1 @@
+lib/circuits/cache.mli: Hydra_core

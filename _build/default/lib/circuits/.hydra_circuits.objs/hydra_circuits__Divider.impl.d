@@ -1,0 +1,1 @@
+lib/circuits/divider.ml: Arith Gates Hydra_core List Mux

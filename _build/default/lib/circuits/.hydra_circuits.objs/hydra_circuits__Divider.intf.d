@@ -1,0 +1,1 @@
+lib/circuits/divider.mli: Hydra_core

@@ -1,0 +1,1 @@
+lib/circuits/ecc.ml: Gates Hydra_core List Mux

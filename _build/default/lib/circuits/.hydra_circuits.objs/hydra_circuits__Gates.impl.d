@@ -1,0 +1,1 @@
+lib/circuits/gates.ml: Hydra_core List

@@ -1,0 +1,1 @@
+lib/circuits/gates.mli: Hydra_core

@@ -1,0 +1,1 @@
+lib/circuits/interconnect.ml: Arith Gates Hydra_core List Mux Regs

@@ -1,0 +1,1 @@
+lib/circuits/interconnect.mli: Hydra_core

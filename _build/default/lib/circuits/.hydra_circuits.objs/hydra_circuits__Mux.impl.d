@@ -1,0 +1,1 @@
+lib/circuits/mux.ml: Gates Hydra_core List

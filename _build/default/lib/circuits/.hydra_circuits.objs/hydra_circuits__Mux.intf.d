@@ -1,0 +1,1 @@
+lib/circuits/mux.mli: Hydra_core

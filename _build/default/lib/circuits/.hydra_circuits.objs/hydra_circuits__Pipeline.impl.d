@@ -1,0 +1,1 @@
+lib/circuits/pipeline.ml: Hydra_core List

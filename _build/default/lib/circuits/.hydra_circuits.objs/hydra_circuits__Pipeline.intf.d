@@ -1,0 +1,1 @@
+lib/circuits/pipeline.mli: Hydra_core

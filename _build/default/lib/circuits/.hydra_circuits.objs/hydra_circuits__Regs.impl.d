@@ -1,0 +1,1 @@
+lib/circuits/regs.ml: Arith Gates Hydra_core List Mux

@@ -1,0 +1,1 @@
+lib/circuits/regs.mli: Hydra_core

@@ -1,0 +1,1 @@
+lib/circuits/seq_extras.ml: Arith Gates Hydra_core List Mux Regs

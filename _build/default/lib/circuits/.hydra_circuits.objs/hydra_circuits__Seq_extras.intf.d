@@ -1,0 +1,1 @@
+lib/circuits/seq_extras.mli: Hydra_core

@@ -1,0 +1,1 @@
+lib/circuits/sorter.ml: Arith Hydra_core Mux

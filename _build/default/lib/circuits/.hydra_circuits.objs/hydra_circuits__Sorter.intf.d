@@ -1,0 +1,1 @@
+lib/circuits/sorter.mli: Hydra_core

@@ -1,0 +1,1 @@
+lib/circuits/uart.ml: Arith Gates Hydra_core List Mux

@@ -1,0 +1,1 @@
+lib/circuits/uart.mli: Hydra_core

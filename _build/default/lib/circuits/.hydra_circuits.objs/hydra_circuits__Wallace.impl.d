@@ -1,0 +1,1 @@
+lib/circuits/wallace.ml: Arith Array Hydra_core List

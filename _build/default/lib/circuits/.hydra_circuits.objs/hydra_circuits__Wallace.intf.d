@@ -1,0 +1,1 @@
+lib/circuits/wallace.mli: Hydra_core

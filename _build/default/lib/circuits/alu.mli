@@ -1,0 +1,18 @@
+(** The processor's ALU (paper section 6.1): addition, subtraction,
+    increment and two's-complement comparisons, selected by a 4-bit
+    operation code [a;b;c;d] (0000 = add and 1100 = inc, as the paper's
+    control algorithm uses). *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) : sig
+  val codes : (string * int) list
+  (** Operation name to abcd code: add 0000, sub 0100, inc 1100,
+      cmplt 1001, cmpeq 1010, cmpgt 1011. *)
+
+  val code_of_op : string -> int
+  (** Raises [Invalid_argument] for unknown names. *)
+
+  val alu : S.t list -> S.t list -> S.t list -> S.t * S.t list
+  (** [alu op x y = (overflow, result)].  [op] is the 4-bit code word;
+      comparisons put their result in the least significant bit and clear
+      the rest. *)
+end

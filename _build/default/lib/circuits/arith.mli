@@ -1,0 +1,68 @@
+(** Arithmetic circuits over MSB-first words: ripple and carry-lookahead
+    adders (paper section 5 and O'Donnell–Ruenger's logarithmic adder),
+    subtraction, comparison, variable shifts and an array multiplier. *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) : sig
+  val half_add : S.t -> S.t -> S.t * S.t
+  (** [(carry, sum)]. *)
+
+  val full_add : S.t * S.t -> S.t -> S.t * S.t
+  (** [full_add (x, y) cin = (carry, sum)] — the paper's ripple-adder
+      building block, with exactly its interface. *)
+
+  val ripple_add : S.t -> (S.t * S.t) list -> S.t * S.t list
+  (** [ripple_add cin pairs = (cout, sums)]: the paper's one-liner
+      [mscanr full_add]; carry enters at the least significant (rightmost)
+      position. *)
+
+  val ripple_add4 : S.t -> (S.t * S.t) list -> S.t * S.t list
+  (** The paper's fully explicit 4-bit adder, kept verbatim so tests can
+      prove it equal to the pattern version (experiment E6). *)
+
+  val cla_add :
+    ?network:Hydra_core.Patterns.prefix_network ->
+    S.t ->
+    (S.t * S.t) list ->
+    S.t * S.t list
+  (** Carry-lookahead adder: generate/propagate pairs combined by a
+      parallel-prefix scan over the chosen [network] (default
+      [Sklansky]) — logarithmic depth (experiment E11). *)
+
+  val add_sub : S.t -> S.t list -> S.t list -> S.t * S.t * S.t list
+  (** [add_sub sub xs ys = (cout, overflow, result)]: [xs + ys] when [sub]
+      = 0, [xs - ys] (two's complement) when [sub] = 1. *)
+
+  val addw : S.t list -> S.t list -> S.t list
+  (** Addition modulo 2{^width}. *)
+
+  val subw : S.t list -> S.t list -> S.t list
+
+  val inc : S.t list -> S.t * S.t list
+  (** [+1] via a half-adder chain; returns [(carry out, sums)]. *)
+
+  val incw : S.t list -> S.t list
+  val negw : S.t list -> S.t list
+
+  val eqw : S.t list -> S.t list -> S.t
+  val lt_unsigned : S.t list -> S.t list -> S.t
+  val gt_unsigned : S.t list -> S.t list -> S.t
+  val lt_signed : S.t list -> S.t list -> S.t
+  val gt_signed : S.t list -> S.t list -> S.t
+
+  val shl_var : ?fill:S.t -> S.t list -> S.t list -> S.t list
+  (** [shl_var amount w]: barrel shifter — logarithmic stages of
+      conditional fixed shifts; [amount] is a word (MSB first). *)
+
+  val shr_var : ?fill:S.t -> S.t list -> S.t list -> S.t list
+  val rol_var : S.t list -> S.t list -> S.t list
+
+  val multw : S.t list -> S.t list -> S.t list
+  (** Unsigned multiplier: n x n -> 2n bits (gated partial products summed
+      by ripple adders). *)
+
+  val sign_extend : width:int -> S.t list -> S.t list
+  (** Replicate the sign bit up to [width]. *)
+
+  val mult_signedw : S.t list -> S.t list -> S.t list
+  (** Two's-complement multiplier: n x n -> 2n bits, exact. *)
+end

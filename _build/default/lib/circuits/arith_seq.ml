@@ -1,0 +1,136 @@
+(* Sequential arithmetic: a shift-add multiplier and a digit-recurrence
+   square root.
+
+   Like the restoring divider, these are miniature datapath+control
+   designs: an n-bit multiply costs n cycles with one adder instead of the
+   O(n^2) gates of the combinational array, and the square root produces
+   one result bit every cycle.  Both follow the divider's protocol: pulse
+   [start] with the operands applied; [busy] covers the work; results hold
+   until the next start. *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  open S
+  module G = Gates.Make (S)
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+
+  let log2_ceil n =
+    let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+    max 1 (go 0)
+
+  (* --- sequential multiplier ------------------------------------------ *)
+
+  type mult_outputs = { product : S.t list; mult_busy : S.t; mult_ready : S.t }
+
+  (* [multiply n start x y]: unsigned n x n -> 2n-bit product in n cycles.
+     Classic shift-add: the accumulator's high half conditionally adds the
+     multiplicand, then (acc, q) shifts right, retiring one multiplier bit
+     and one product bit per cycle. *)
+  let multiply n start x y =
+    if List.length x <> n || List.length y <> n then
+      invalid_arg "Arith_seq.multiply: operand width";
+    let cnt_bits = log2_ceil (n + 1) in
+    let outs = ref None in
+    (* state: acc_hi (n+1) + q (n) + m (multiplicand, n) + cnt + busy *)
+    let _ =
+      feedback_list
+        ((n + 1) + n + n + cnt_bits + 1)
+        (fun loop ->
+          let acc, rest = Patterns.split_at (n + 1) loop in
+          let q, rest = Patterns.split_at n rest in
+          let m, rest = Patterns.split_at n rest in
+          let cnt, busy_l = Patterns.split_at cnt_bits rest in
+          let busy = List.hd busy_l in
+          let q_lsb = Patterns.last q in
+          (* conditional add into the high half *)
+          let m_ext = zero :: m in
+          let added = A.addw acc (M.wmux1 q_lsb (G.wzero ~width:(n + 1)) m_ext) in
+          (* shift (added, q) right one: q gains added's lsb *)
+          let acc_next =
+            zero :: (Patterns.split_at n added |> fst)
+          in
+          let q_next = Patterns.last added :: (Patterns.split_at (n - 1) q |> fst) in
+          let go = and2 start (inv busy) in
+          let last_step = A.eqw cnt (G.wconst ~width:cnt_bits 1) in
+          let acc' =
+            M.wmux1 go (M.wmux1 busy acc acc_next) (G.wzero ~width:(n + 1))
+          in
+          let q' = M.wmux1 go (M.wmux1 busy q q_next) x in
+          let m' = M.wmux1 go m y in
+          let cnt' =
+            M.wmux1 go
+              (M.wmux1 busy cnt (A.subw cnt (G.wconst ~width:cnt_bits 1)))
+              (G.wconst ~width:cnt_bits n)
+          in
+          let busy' = M.mux1 go (and2 busy (inv last_step)) one in
+          (* product = acc low n bits ++ q *)
+          let product = (Patterns.split_at 1 acc |> snd) @ q in
+          outs := Some { product; mult_busy = busy; mult_ready = inv busy };
+          List.map dff (acc' @ q' @ m' @ cnt' @ [ busy' ]))
+    in
+    match !outs with Some o -> o | None -> assert false
+
+  (* --- sequential square root ----------------------------------------- *)
+
+  type sqrt_outputs = { root : S.t list; sqrt_rem : S.t list; sqrt_busy : S.t }
+
+  (* [sqrt n start x]: integer square root of an n-bit operand (n even) in
+     n/2 cycles; [root] has n/2 bits, [sqrt_rem] holds x - root^2.
+
+     Digit recurrence: each step brings down the next two operand bits,
+     trial-subtracts (root << 2) | 1 and appends a result bit. *)
+  let sqrt n start x =
+    if n land 1 <> 0 then invalid_arg "Arith_seq.sqrt: width must be even";
+    if List.length x <> n then invalid_arg "Arith_seq.sqrt: operand width";
+    let half = n / 2 in
+    let rw = half + 2 in
+    let cnt_bits = log2_ceil (half + 1) in
+    let outs = ref None in
+    (* state: rem (rw) + root (half) + xs (n, consumed from the top) +
+       cnt + busy *)
+    let _ =
+      feedback_list
+        (rw + half + n + cnt_bits + 1)
+        (fun loop ->
+          let rem, rest = Patterns.split_at rw loop in
+          let root, rest = Patterns.split_at half rest in
+          let xs, rest = Patterns.split_at n rest in
+          let cnt, busy_l = Patterns.split_at cnt_bits rest in
+          let busy = List.hd busy_l in
+          (* bring down two bits: rem' = rem << 2 | top two of xs *)
+          let top2 = Patterns.split_at 2 xs |> fst in
+          let rem_shift =
+            (Patterns.split_at 2 rem |> snd) @ top2
+          in
+          (* trial = (root << 2) | 1, in rw bits: root occupies the middle *)
+          let trial =
+            (* rw = half + 2: [root; 0; 1] *)
+            root @ [ zero; one ]
+          in
+          let cout, _, diff = A.add_sub one rem_shift trial in
+          let fits = cout in
+          let rem_next = M.wmux1 fits rem_shift diff in
+          let root_next = List.tl root @ [ fits ] in
+          let xs_next = (Patterns.split_at 2 xs |> snd) @ [ zero; zero ] in
+          let go = and2 start (inv busy) in
+          let last_step = A.eqw cnt (G.wconst ~width:cnt_bits 1) in
+          let rem' =
+            M.wmux1 go (M.wmux1 busy rem rem_next) (G.wzero ~width:rw)
+          in
+          let root' =
+            M.wmux1 go (M.wmux1 busy root root_next) (G.wzero ~width:half)
+          in
+          let xs' = M.wmux1 go (M.wmux1 busy xs xs_next) x in
+          let cnt' =
+            M.wmux1 go
+              (M.wmux1 busy cnt (A.subw cnt (G.wconst ~width:cnt_bits 1)))
+              (G.wconst ~width:cnt_bits half)
+          in
+          let busy' = M.mux1 go (and2 busy (inv last_step)) one in
+          outs := Some { root; sqrt_rem = rem; sqrt_busy = busy };
+          List.map dff (rem' @ root' @ xs' @ cnt' @ [ busy' ]))
+    in
+    match !outs with Some o -> o | None -> assert false
+end

@@ -1,0 +1,25 @@
+(** Sequential arithmetic: shift-add multiplier and digit-recurrence
+    square root.  Same protocol as {!Divider}: pulse [start] with operands
+    applied; results hold after [busy] falls. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  type mult_outputs = {
+    product : S.t list;  (** 2n bits *)
+    mult_busy : S.t;
+    mult_ready : S.t;
+  }
+
+  val multiply : int -> S.t -> S.t list -> S.t list -> mult_outputs
+  (** [multiply n start x y]: unsigned n x n product in n cycles with a
+      single adder. *)
+
+  type sqrt_outputs = {
+    root : S.t list;  (** n/2 bits *)
+    sqrt_rem : S.t list;  (** x - root², n/2+2 bits *)
+    sqrt_busy : S.t;
+  }
+
+  val sqrt : int -> S.t -> S.t list -> sqrt_outputs
+  (** [sqrt n start x]: integer square root of an even-width operand in
+      n/2 cycles. *)
+end

@@ -1,0 +1,70 @@
+(* A direct-mapped cache.
+
+   The paper's processor "does not support cache or pipelining, but these
+   features can be added" (section 6).  This is the cache building block:
+   tag, valid and data arrays with combinational hit detection, a CPU port
+   (lookup + write-allocate store) and a refill port for the miss handler.
+   Integrating it in front of the processor's memory needs the stall
+   machinery of {!Hydra_netlist.Transform.insert_stall}; here the circuit
+   is validated standalone against a reference model.
+
+   Address layout (MSB first): tag (t bits) ++ index (k bits); 2^k lines
+   of one data word each.  Write policy: write-allocate — a CPU store
+   updates the line and claims it (tag := addr's tag, valid := 1), so the
+   line is immediately consistent for subsequent loads.  The environment
+   is expected to also forward stores to the backing memory
+   (write-through). *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  open S
+  module G = Gates.Make (S)
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+  module R = Regs.Make (S)
+
+  type ports = {
+    hit : S.t;          (* the addressed line holds this address's data *)
+    rdata : S.t list;   (* line contents (meaningful when hit) *)
+    line_valid : S.t;   (* the addressed line is valid (any tag) *)
+  }
+
+  (* [cache ~tag_bits ~index_bits ~width ~req ~we ~addr ~wdata ~refill
+     ~refill_addr ~refill_data].
+
+     Per cycle:
+     - lookup is combinational on [addr];
+     - when [refill] = 1, the line indexed by [refill_addr] loads
+       [refill_data] and its tag at the tick (the miss handler's port);
+     - else when [req && we], the line indexed by [addr] loads [wdata]
+       (write-allocate).
+
+     The refill port has priority so the handler can never be starved. *)
+  let cache ~tag_bits ~index_bits ~width ~req ~we ~addr ~wdata ~refill
+      ~refill_addr ~refill_data =
+    let abits = tag_bits + index_bits in
+    if List.length addr <> abits then invalid_arg "Cache.cache: addr width";
+    if List.length refill_addr <> abits then
+      invalid_arg "Cache.cache: refill addr width";
+    if List.length wdata <> width || List.length refill_data <> width then
+      invalid_arg "Cache.cache: data width";
+    let tag_of a = Patterns.split_at tag_bits a |> fst in
+    let index_of a = Patterns.split_at tag_bits a |> snd in
+    (* the write port: refill wins over CPU store *)
+    let store = and2 req we in
+    let write_en = or2 refill store in
+    let waddr = M.wmux1 refill (index_of addr) (index_of refill_addr) in
+    let wtag = M.wmux1 refill (tag_of addr) (tag_of refill_addr) in
+    let wword = M.wmux1 refill wdata refill_data in
+    (* arrays: regfile gives one write port and two read ports; we read at
+       the lookup index on port a (port b unused -> reuse lookup index) *)
+    let ridx = index_of addr in
+    let data_out, _ = R.regfile index_bits write_en waddr ridx ridx wword in
+    let tag_out, _ = R.regfile index_bits write_en waddr ridx ridx wtag in
+    let valid_out, _ = R.regfile index_bits write_en waddr ridx ridx [ one ] in
+    let line_valid = match valid_out with [ v ] -> v | _ -> assert false in
+    let tag_match = A.eqw tag_out (tag_of addr) in
+    let hit = G.and3 req line_valid tag_match in
+    { hit; rdata = data_out; line_valid }
+end

@@ -1,0 +1,27 @@
+(** A direct-mapped, write-allocate cache building block (the paper's
+    "cache ... can be added"): tag/valid/data arrays with combinational
+    hit detection, a CPU port and a refill port for the miss handler. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  type ports = {
+    hit : S.t;
+    rdata : S.t list;  (** line contents; meaningful when [hit] *)
+    line_valid : S.t;
+  }
+
+  val cache :
+    tag_bits:int ->
+    index_bits:int ->
+    width:int ->
+    req:S.t ->
+    we:S.t ->
+    addr:S.t list ->
+    wdata:S.t list ->
+    refill:S.t ->
+    refill_addr:S.t list ->
+    refill_data:S.t list ->
+    ports
+  (** Addresses are [tag ++ index], MSB first; 2{^index_bits} one-word
+      lines.  Lookup is combinational; refill (priority) and CPU stores
+      update the line at the tick. *)
+end

@@ -1,0 +1,86 @@
+(* Sequential restoring divider: the datapath/control separation of paper
+   section 6 in miniature.
+
+   The datapath is a (remainder, quotient) register pair with a shifter
+   and a subtractor; the control is a small counter-based state machine.
+   One quotient bit is produced per clock cycle, so an n-bit division
+   takes n cycles after [start].
+
+   Protocol: pulse [start] with the operands applied (they are latched
+   that cycle); [busy] rises the next cycle and falls when the result is
+   ready, at which point [quotient] and [remainder] hold it until the next
+   start.  Division by zero yields quotient = all ones, remainder =
+   dividend (the natural behaviour of restoring division). *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  open S
+  module G = Gates.Make (S)
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+
+  type outputs = {
+    quotient : S.t list;
+    remainder : S.t list;
+    busy : S.t;
+    ready : S.t;  (* not busy *)
+  }
+
+  let log2_ceil n =
+    let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+    go 0
+
+  let divide n start dividend divisor =
+    if List.length dividend <> n || List.length divisor <> n then
+      invalid_arg "Divider.divide: operand width";
+    let cnt_bits = log2_ceil (n + 1) + 1 in
+    let outs = ref None in
+    (* state: R (n+1 bits), Q (n), D (divisor copy, n), cnt, busy *)
+    let _ =
+      feedback_list
+        ((n + 1) + n + n + cnt_bits + 1)
+        (fun loop ->
+          let r, rest = Patterns.split_at (n + 1) loop in
+          let q, rest = Patterns.split_at n rest in
+          let d, rest = Patterns.split_at n rest in
+          let cnt, busy_l = Patterns.split_at cnt_bits rest in
+          let busy = List.hd busy_l in
+          (* one division step: shift (R,Q) left, bring in Q's msb;
+             trial-subtract the divisor; accept if non-negative *)
+          let q_msb = List.hd q in
+          let r_shift = List.tl r @ [ q_msb ] in
+          let d_ext = zero :: d in
+          let borrow_out, _, diff = A.add_sub one r_shift d_ext in
+          (* restoring division: subtraction fits iff no borrow
+             (add_sub returns carry-out = 1 when r_shift >= d_ext) *)
+          let fits = borrow_out in
+          let r_next = M.wmux1 fits r_shift diff in
+          let q_next = List.tl q @ [ fits ] in
+          (* counter: loaded with n at start, decremented while busy *)
+          let cnt_dec = A.subw cnt (G.wconst ~width:cnt_bits 1) in
+          let last_step = A.eqw cnt (G.wconst ~width:cnt_bits 1) in
+          (* start (when not busy) loads everything *)
+          let go = and2 start (inv busy) in
+          let r' =
+            M.wmux1 go
+              (M.wmux1 busy r r_next)
+              (G.wzero ~width:(n + 1))
+          in
+          let q' = M.wmux1 go (M.wmux1 busy q q_next) dividend in
+          let d' = M.wmux1 go d divisor in
+          let cnt' =
+            M.wmux1 go
+              (M.wmux1 busy cnt cnt_dec)
+              (G.wconst ~width:cnt_bits n)
+          in
+          let busy' = M.mux1 go (and2 busy (inv last_step)) one in
+          let remainder =
+            (* low n bits of R *)
+            List.tl r
+          in
+          outs := Some { quotient = q; remainder; busy; ready = inv busy };
+          List.map dff (r' @ q' @ d' @ cnt' @ [ busy' ]))
+    in
+    match !outs with Some o -> o | None -> assert false
+end

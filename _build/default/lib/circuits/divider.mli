@@ -1,0 +1,18 @@
+(** Sequential restoring divider: one quotient bit per clock cycle — the
+    datapath/control separation of paper section 6 in miniature. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  type outputs = {
+    quotient : S.t list;
+    remainder : S.t list;
+    busy : S.t;
+    ready : S.t;
+  }
+
+  val divide : int -> S.t -> S.t list -> S.t list -> outputs
+  (** [divide n start dividend divisor]: pulse [start] with the operands
+      applied (latched that cycle); [busy] covers the following [n] work
+      cycles; afterwards [quotient]/[remainder] hold the result until the
+      next start.  Division by zero yields all-ones quotient and the
+      dividend as remainder. *)
+end

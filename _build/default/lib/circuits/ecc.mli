@@ -1,0 +1,17 @@
+(** Hamming(7,4) error correction, plus the extended SECDED code.  The
+    codeword layout is the classic [p1; p2; d1; p4; d2; d3; d4] with
+    parity bits at the power-of-two positions. *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) : sig
+  val encode : S.t list -> S.t list
+  (** 4 data bits to a 7-bit codeword. *)
+
+  val decode : S.t list -> S.t list * S.t
+  (** [(corrected data, error_detected)]: corrects any single-bit error. *)
+
+  val encode_secded : S.t list -> S.t list
+  (** 4 data bits to 8 bits (overall parity appended). *)
+
+  val decode_secded : S.t list -> S.t list * S.t * S.t
+  (** [(data, single_error_corrected, double_error_detected)]. *)
+end

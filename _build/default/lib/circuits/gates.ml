@@ -1,0 +1,66 @@
+(* Derived logic gates and word-level (bitwise) operations.
+
+   Only [inv]/[and2]/[or2]/[xor2] are primitive (every semantics interprets
+   just those); everything here is built from them, so it automatically
+   works under simulation, netlist generation and timing analysis alike. *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.COMB) = struct
+  open S
+
+  let nand2 a b = inv (and2 a b)
+  let nor2 a b = inv (or2 a b)
+  let xnor2 a b = inv (xor2 a b)
+  let eq1 = xnor2
+  let and3 a b c = and2 a (and2 b c)
+  let and4 a b c d = and2 (and2 a b) (and2 c d)
+  let or3 a b c = or2 a (or2 b c)
+  let or4 a b c d = or2 (or2 a b) (or2 c d)
+  let xor3 a b c = xor2 a (xor2 b c)
+
+  (* [imply a b] = ¬a ∨ b; handy in verification properties. *)
+  let imply a b = or2 (inv a) b
+
+  (* Word reductions: balanced trees, so logarithmic depth. *)
+  let orw = Patterns.tree_fold or2
+  let andw = Patterns.tree_fold and2
+  let xorw = Patterns.tree_fold xor2
+
+  (* [any1 w] is 1 iff some bit of [w] is 1 (the paper's [any1]);
+     [all1 w] is 1 iff every bit is; [parity w] is the xor reduction. *)
+  let any1 = orw
+  let all1 = andw
+  let parity = xorw
+  let is_zero w = inv (any1 w)
+
+  (* Bitwise word operations. *)
+  let invw = List.map inv
+  let and2w = List.map2 and2
+  let or2w = List.map2 or2
+  let xor2w = List.map2 xor2
+
+  (* [fanout n s]: the word [s; s; ...; s] of length [n]. *)
+  let fanout n s = List.init n (fun _ -> s)
+
+  (* [wconst ~width v]: the constant word holding integer [v]. *)
+  let wconst ~width v =
+    List.map constant (Hydra_core.Bitvec.of_int ~width v)
+
+  let wzero ~width = fanout width zero
+
+  (* [andw2 c w]: gate every bit of [w] with [c]. *)
+  let gatew c w = List.map (fun b -> and2 c b) w
+
+  (* Gray-code recodings: [binary_to_gray b = b xor (b >> 1)]; successive
+     binary values map to codewords differing in exactly one bit.
+     [gray_to_binary] is the inverse (an inclusive xor scan). *)
+  let binary_to_gray b =
+    match b with
+    | [] -> []
+    | _ ->
+      let shifted = zero :: List.filteri (fun i _ -> i < List.length b - 1) b in
+      xor2w b shifted
+
+  let gray_to_binary g = Patterns.scan_serial xor2 g
+end

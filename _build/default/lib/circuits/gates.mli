@@ -1,0 +1,61 @@
+(** Derived gates and word-level (bitwise) operations, built from the four
+    primitives so they work at every signal semantics. *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) : sig
+  val nand2 : S.t -> S.t -> S.t
+  val nor2 : S.t -> S.t -> S.t
+  val xnor2 : S.t -> S.t -> S.t
+
+  val eq1 : S.t -> S.t -> S.t
+  (** 1-bit equality (alias of {!xnor2}). *)
+
+  val and3 : S.t -> S.t -> S.t -> S.t
+  val and4 : S.t -> S.t -> S.t -> S.t -> S.t
+  val or3 : S.t -> S.t -> S.t -> S.t
+  val or4 : S.t -> S.t -> S.t -> S.t -> S.t
+  val xor3 : S.t -> S.t -> S.t -> S.t
+
+  val imply : S.t -> S.t -> S.t
+  (** [imply a b] = ¬a ∨ b. *)
+
+  val orw : S.t list -> S.t
+  (** Or-reduction of a non-empty word, as a balanced tree (logarithmic
+      depth). *)
+
+  val andw : S.t list -> S.t
+  val xorw : S.t list -> S.t
+
+  val any1 : S.t list -> S.t
+  (** 1 iff some bit is 1 (the paper's [any1]; alias of {!orw}). *)
+
+  val all1 : S.t list -> S.t
+  val parity : S.t list -> S.t
+
+  val is_zero : S.t list -> S.t
+  (** 1 iff every bit is 0. *)
+
+  val invw : S.t list -> S.t list
+  (** Bitwise complement. *)
+
+  val and2w : S.t list -> S.t list -> S.t list
+  val or2w : S.t list -> S.t list -> S.t list
+  val xor2w : S.t list -> S.t list -> S.t list
+
+  val fanout : int -> S.t -> S.t list
+  (** [fanout n s] is the word [s] repeated [n] times. *)
+
+  val wconst : width:int -> int -> S.t list
+  (** Constant word holding an integer (MSB first). *)
+
+  val wzero : width:int -> S.t list
+
+  val gatew : S.t -> S.t list -> S.t list
+  (** And every bit of the word with a control bit. *)
+
+  val binary_to_gray : S.t list -> S.t list
+  (** [b xor (b >> 1)]: successive binary values map to Gray codewords
+      differing in exactly one bit. *)
+
+  val gray_to_binary : S.t list -> S.t list
+  (** Inverse of {!binary_to_gray} (an inclusive xor scan). *)
+end

@@ -1,0 +1,80 @@
+(* Interconnection circuits: crossbar and round-robin arbiter.
+
+   The paper lists "banyans and butterflies, and other general
+   interconnection patterns" among Hydra's pattern families; these are the
+   switching-side counterparts: a full crossbar (any output selects any
+   input) and the arbitration logic that shares one resource fairly among
+   requesters. *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  open S
+  module G = Gates.Make (S)
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+  module R = Regs.Make (S)
+
+  (* [crossbar ~sel_bits inputs selects]: output j carries
+     inputs[selects_j]; [selects] are sel_bits-wide words, [inputs] has
+     2^sel_bits words.  Pure muxing: any permutation, broadcast
+     included. *)
+  let crossbar ~sel_bits inputs selects =
+    if List.length inputs <> 1 lsl sel_bits then
+      invalid_arg "Interconnect.crossbar: need 2^sel_bits inputs";
+    List.map
+      (fun sel ->
+        if List.length sel <> sel_bits then
+          invalid_arg "Interconnect.crossbar: select width";
+        (* one word-level mux tree per output *)
+        List.mapi
+          (fun bit _ ->
+            M.muxw sel (List.map (fun w -> List.nth w bit) inputs))
+          (List.hd inputs))
+      selects
+
+  (* [priority_arbiter requests]: combinational fixed-priority grant —
+     one-hot grant to the lowest-indexed active request. *)
+  let priority_arbiter requests =
+    let _, granted =
+      Patterns.mscanl
+        (fun req seen -> (or2 seen req, and2 req (inv seen)))
+        zero requests
+    in
+    granted
+
+  (* [round_robin requests]: sequential fair arbiter over a power-of-two
+     number of requesters.  A pointer register remembers the last winner;
+     priority rotates so the requester after the last winner is served
+     first.  Exactly one grant per cycle when any request is up. *)
+  let round_robin requests =
+    let n = List.length requests in
+    let k =
+      let rec log2 acc m = if m <= 1 then acc else log2 (acc + 1) (m / 2) in
+      log2 0 n
+    in
+    if n <> 1 lsl k then
+      invalid_arg "Interconnect.round_robin: need a power-of-two requesters";
+    let outs = ref None in
+    let _ =
+      feedback_list k (fun pointer ->
+          (* rotate requests so position 0 is pointer+1 *)
+          let rot_amount = A.incw pointer in
+          (* rotate left by a variable amount: use the barrel rotator on
+             the request word *)
+          let rotated = A.rol_var rot_amount requests in
+          let granted_rot = priority_arbiter rotated in
+          (* rotate grants back right by the same amount = rotate left by
+             n - amt *)
+          let back = A.subw (G.wconst ~width:k 0) rot_amount in
+          let granted = A.rol_var back granted_rot in
+          let any = G.orw requests in
+          (* next pointer: index of the winner (one-hot encode), held when
+             idle *)
+          let winner_idx = M.encode granted in
+          let pointer' = M.wmux1 any pointer winner_idx in
+          outs := Some (granted, any);
+          List.map dff pointer')
+    in
+    match !outs with Some (granted, any) -> (granted, any) | None -> assert false
+end

@@ -1,0 +1,17 @@
+(** Interconnection circuits: crossbar switch and arbiters. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  val crossbar : sel_bits:int -> S.t list list -> S.t list list -> S.t list list
+  (** [crossbar ~sel_bits inputs selects]: output [j] carries
+      [inputs.(selects_j)]; [inputs] has 2{^sel_bits} equal-width words.
+      Any permutation or broadcast. *)
+
+  val priority_arbiter : S.t list -> S.t list
+  (** Combinational one-hot grant to the lowest-indexed active request
+      (all zero when idle). *)
+
+  val round_robin : S.t list -> S.t list * S.t
+  (** Sequential fair arbiter over a power-of-two number of requesters:
+      [(one-hot grant, any_request)].  Priority rotates past the previous
+      winner, so persistent requesters are served in turn. *)
+end

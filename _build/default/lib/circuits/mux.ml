@@ -1,0 +1,92 @@
+(* Multiplexers, demultiplexers, decoders and encoders.
+
+   [mux1] is the paper's Figure 2 circuit, verbatim.  The general [muxw]
+   and [demuxw] are the recursive address-decoding schemes used by the
+   register file (paper section 5) and the control circuit's dispatch
+   (section 6.3). *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) = struct
+  open S
+  module G = Gates.Make (S)
+
+  (* mux1 c x y: output is x if c = 0, y if c = 1 (paper Figure 2). *)
+  let mux1 c x y = or2 (and2 (inv c) x) (and2 c y)
+
+  (* mux2 (c0, c1) w x y z: 4-way multiplexer; (c0,c1) is the 2-bit address,
+     c0 most significant. *)
+  let mux2 (c0, c1) w x y z = mux1 c0 (mux1 c1 w x) (mux1 c1 y z)
+
+  (* muxw cs xs: 2^k-way multiplexer; cs is the k-bit address word (MSB
+     first) and xs has length 2^k. *)
+  let rec muxw cs xs =
+    match (cs, xs) with
+    | [], [ x ] -> x
+    | c :: cs', _ ->
+      let lo, hi = Hydra_core.Patterns.halve xs in
+      mux1 c (muxw cs' lo) (muxw cs' hi)
+    | [], _ -> invalid_arg "Mux.muxw: data width is not 2^(address width)"
+
+  (* Word (bus) multiplexers: select between equal-width words. *)
+  let wmux1 c xs ys = List.map2 (fun x y -> mux1 c x y) xs ys
+
+  let wmux2 cs w x y z =
+    let rec map4 w x y z =
+      match (w, x, y, z) with
+      | [], [], [], [] -> []
+      | a :: w, b :: x, c :: y, d :: z -> mux2 cs a b c d :: map4 w x y z
+      | _ -> invalid_arg "Mux.wmux2: unequal word widths"
+    in
+    map4 w x y z
+
+  (* demux1 c x: route x to output 0 if c = 0, to output 1 if c = 1; the
+     unselected output is 0. *)
+  let demux1 c x = (and2 (inv c) x, and2 c x)
+
+  (* demuxw cs x: route x to one of 2^k outputs addressed by cs (MSB
+     first). *)
+  let rec demuxw cs x =
+    match cs with
+    | [] -> [ x ]
+    | c :: cs' ->
+      let x0, x1 = demux1 c x in
+      demuxw cs' x0 @ demuxw cs' x1
+
+  (* The paper's demux4w: a 4-bit address routes x to one of 16 outputs. *)
+  let demux4w cs x =
+    if List.length cs <> 4 then invalid_arg "Mux.demux4w: need 4 address bits";
+    demuxw cs x
+
+  (* decode cs: one-hot decoder — output i is 1 iff the address word equals
+     i. *)
+  let decode cs = demuxw cs one
+
+  (* encode xs: inverse of [decode] for one-hot inputs: the k-bit index of
+     the (unique) 1 among the 2^k inputs.  Each address bit is the or of
+     the inputs whose index has that bit set. *)
+  let encode xs =
+    let n = List.length xs in
+    let k =
+      let rec log2 acc m = if m <= 1 then acc else log2 (acc + 1) (m / 2) in
+      log2 0 n
+    in
+    if n <> 1 lsl k then invalid_arg "Mux.encode: input count is not a power of two";
+    List.init k (fun bit ->
+        let selected =
+          List.filteri (fun i _ -> i lsr (k - 1 - bit) land 1 = 1) xs
+        in
+        G.orw selected)
+
+  (* priority_encode xs: (valid, index of the first 1, scanning from index
+     0).  [valid] is 0 when no input is set, in which case the index is 0. *)
+  let priority_encode xs =
+    let n = List.length xs in
+    if n = 0 then invalid_arg "Mux.priority_encode: empty";
+    (* one-hot mask of the first set input: x_i and no earlier x set *)
+    let _, none_before =
+      Hydra_core.Patterns.mscanl
+        (fun x seen -> (or2 seen x, and2 x (inv seen)))
+        zero xs
+    in
+    let valid = G.orw xs in
+    (valid, encode none_before)
+end

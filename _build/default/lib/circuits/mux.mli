@@ -1,0 +1,45 @@
+(** Multiplexers, demultiplexers, decoders and encoders.  [mux1] is the
+    paper's Figure 2 circuit; [demuxw]/[muxw] are the recursive address
+    trees used by the register file and the control dispatch. *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) : sig
+  val mux1 : S.t -> S.t -> S.t -> S.t
+  (** [mux1 c x y] is [x] when [c] = 0 and [y] when [c] = 1 (paper
+      Figure 2). *)
+
+  val mux2 : S.t * S.t -> S.t -> S.t -> S.t -> S.t -> S.t
+  (** 4-way multiplexer; [(c0, c1)] is the address, [c0] most
+      significant. *)
+
+  val muxw : S.t list -> S.t list -> S.t
+  (** [muxw cs xs]: 2{^k}-way multiplexer; [cs] is the k-bit address (MSB
+      first), [xs] has length 2{^k}. *)
+
+  val wmux1 : S.t -> S.t list -> S.t list -> S.t list
+  (** Word multiplexer: select between two equal-width buses. *)
+
+  val wmux2 :
+    S.t * S.t -> S.t list -> S.t list -> S.t list -> S.t list -> S.t list
+  (** 4-way word multiplexer. *)
+
+  val demux1 : S.t -> S.t -> S.t * S.t
+  (** [demux1 c x]: route [x] to the first output when [c] = 0, to the
+      second when [c] = 1; the unselected output is 0. *)
+
+  val demuxw : S.t list -> S.t -> S.t list
+  (** Route a bit to one of 2{^k} outputs addressed by a k-bit word. *)
+
+  val demux4w : S.t list -> S.t -> S.t list
+  (** The paper's [demux4w]: 4 address bits, 16 outputs. *)
+
+  val decode : S.t list -> S.t list
+  (** One-hot decoder: output [i] is 1 iff the address equals [i]. *)
+
+  val encode : S.t list -> S.t list
+  (** Inverse of {!decode} for one-hot inputs: the binary index of the
+      unique 1 among 2{^k} inputs. *)
+
+  val priority_encode : S.t list -> S.t * S.t list
+  (** [(valid, index)] of the first 1 (scanning from index 0); [valid] is
+      0 when no input is set.  Input count must be a power of two. *)
+end

@@ -1,0 +1,24 @@
+(* Pipelining combinators: insert register walls between combinational
+   stages.  Throughput becomes one result per cycle while the critical
+   path shrinks to the deepest single stage — the other classic answer
+   (besides carry-lookahead) to the paper's "minimize the critical path"
+   imperative.  The cost is latency: the output is the input's image
+   [k] cycles later, which the tests verify. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  (* a register wall: every wire gets a dff *)
+  let wall w = List.map S.dff w
+
+  (* [pipeline stages w]: stage_1 .. stage_k applied in order with a
+     register wall after each stage.  Latency = number of stages. *)
+  let pipeline stages w =
+    List.fold_left (fun w stage -> wall (stage w)) w stages
+
+  (* [pipeline_front stages w]: register wall before each stage instead
+     (same latency; different retiming). *)
+  let pipeline_front stages w =
+    List.fold_left (fun w stage -> stage (wall w)) w stages
+
+  (* [delay k w]: a pure k-cycle delay line. *)
+  let delay k w = Hydra_core.Patterns.iterate_n k wall w
+end

@@ -1,0 +1,17 @@
+(** Pipelining combinators: register walls between combinational stages.
+    Critical path shrinks to the deepest stage; the output is the
+    combinational result delayed by the number of stages. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  val wall : S.t list -> S.t list
+  (** One dff per wire. *)
+
+  val pipeline : (S.t list -> S.t list) list -> S.t list -> S.t list
+  (** Stages applied in order, a wall after each. *)
+
+  val pipeline_front : (S.t list -> S.t list) list -> S.t list -> S.t list
+  (** Wall before each stage instead. *)
+
+  val delay : int -> S.t list -> S.t list
+  (** Pure k-cycle delay line. *)
+end

@@ -1,0 +1,85 @@
+(* Sequential building blocks: registers, counters, shift registers, the
+   paper's recursive register file, and a structural RAM.
+
+   [reg1] is the paper's section 4.1 circuit: a delay flip flop inside a
+   feedback loop, loading on [ld] and holding otherwise.  [regfile1] is the
+   section 5 recursion verbatim: a file of 2^k one-bit registers with one
+   write port and two read ports, built from two half-size files plus
+   address-decoding demultiplexers and output multiplexers. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  open S
+  module G = Gates.Make (S)
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+
+  (* reg1 ld x: 1-bit register; at a clock tick stores x if ld = 1, else
+     keeps its state (paper section 4.1). *)
+  let reg1 ld x = feedback (fun s -> dff (M.mux1 ld s x))
+
+  (* reg ld xs: n-bit register, one reg1 per bit. *)
+  let reg ld xs = List.map (reg1 ld) xs
+
+  (* reg_init: register with an explicit power-up word. *)
+  let reg1_init init ld x = feedback (fun s -> dff_init init (M.mux1 ld s x))
+
+  let reg_init inits ld xs = List.map2 (fun i x -> reg1_init i ld x) inits xs
+
+  (* counter n en: n-bit counter, increments when en = 1; outputs the
+     current count. *)
+  let counter n en =
+    feedback_list n (fun s ->
+        List.map dff (M.wmux1 en s (A.incw s)))
+
+  (* counter_clear n en clr: as [counter], but resets to 0 when clr = 1
+     (clear wins over enable). *)
+  let counter_clear n en clr =
+    feedback_list n (fun s ->
+        let next = M.wmux1 en s (A.incw s) in
+        List.map (fun b -> dff (and2 (inv clr) b)) next)
+
+  (* shift_reg n ld xs sin: parallel-load left-shift register.  When ld = 1
+     loads xs; otherwise shifts left one position, taking sin into the
+     lsb.  Outputs the register contents. *)
+  let shift_reg n ld xs sin =
+    feedback_list n (fun s ->
+        let shifted = List.tl s @ [ sin ] in
+        List.map dff (M.wmux1 ld shifted xs))
+
+  (* regfile1 k ld d sa sb x: 2^k one-bit registers; writes x to register d
+     when ld = 1; continuously reads registers sa and sb (paper section 5,
+     verbatim recursion). *)
+  let rec regfile1 k ld d sa sb x =
+    match (k, d, sa, sb) with
+    | 0, [], [], [] ->
+      let r = reg1 ld x in
+      (r, r)
+    | _, dh :: ds, sah :: sas, sbh :: sbs when k > 0 ->
+      let ld0, ld1 = M.demux1 dh ld in
+      let a0, b0 = regfile1 (k - 1) ld0 ds sas sbs x in
+      let a1, b1 = regfile1 (k - 1) ld1 ds sas sbs x in
+      let a = M.mux1 sah a0 a1 in
+      let b = M.mux1 sbh b0 b1 in
+      (a, b)
+    | _ -> invalid_arg "Regs.regfile1: address widths must equal k"
+
+  (* regfile k ld d sa sb xs: word-level register file — one regfile1 per
+     bit position, sharing the decoded addresses. *)
+  let regfile k ld d sa sb xs =
+    List.split (List.map (fun x -> regfile1 k ld d sa sb x) xs)
+
+  (* ram1 k we addr x: 2^k one-bit cells with a single read/write port:
+     continuously reads cell [addr]; writes x there when we = 1. *)
+  let rec ram1 k we addr x =
+    match (k, addr) with
+    | 0, [] -> reg1 we x
+    | _, ah :: asx when k > 0 ->
+      let we0, we1 = M.demux1 ah we in
+      let r0 = ram1 (k - 1) we0 asx x in
+      let r1 = ram1 (k - 1) we1 asx x in
+      M.mux1 ah r0 r1
+    | _ -> invalid_arg "Regs.ram1: address width must equal k"
+
+  (* ram k we addr xs: word-level single-port RAM. *)
+  let ram k we addr xs = List.map (fun x -> ram1 k we addr x) xs
+end

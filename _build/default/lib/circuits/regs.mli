@@ -1,0 +1,53 @@
+(** Sequential building blocks: registers (paper section 4.1), counters,
+    shift registers, the recursive register file (paper section 5) and a
+    structural RAM. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  val reg1 : S.t -> S.t -> S.t
+  (** [reg1 ld x]: 1-bit register — a dff in a feedback loop behind a
+      multiplexer; stores [x] at the tick when [ld] = 1, holds
+      otherwise. *)
+
+  val reg : S.t -> S.t list -> S.t list
+  (** Word register: one [reg1] per bit. *)
+
+  val reg1_init : bool -> S.t -> S.t -> S.t
+  (** [reg1] with an explicit power-up value. *)
+
+  val reg_init : bool list -> S.t -> S.t list -> S.t list
+
+  val counter : int -> S.t -> S.t list
+  (** [counter n en]: n-bit counter, increments (mod 2{^n}) when [en]. *)
+
+  val counter_clear : int -> S.t -> S.t -> S.t list
+  (** As {!counter} with a synchronous clear input (clear wins). *)
+
+  val shift_reg : int -> S.t -> S.t list -> S.t -> S.t list
+  (** [shift_reg n ld xs sin]: parallel-load left-shift register; when
+      [ld] = 0 shifts left, taking [sin] into the lsb. *)
+
+  val regfile1 :
+    int -> S.t -> S.t list -> S.t list -> S.t list -> S.t -> S.t * S.t
+  (** [regfile1 k ld d sa sb x]: 2{^k} one-bit registers with one write
+      port and two read ports — the paper's recursion, verbatim.  [d],
+      [sa], [sb] are k-bit addresses.  Returns the two read-outs. *)
+
+  val regfile :
+    int ->
+    S.t ->
+    S.t list ->
+    S.t list ->
+    S.t list ->
+    S.t list ->
+    S.t list * S.t list
+  (** Word-level register file: one {!regfile1} per bit position with
+      shared addresses (the paper's [regfile n k]). *)
+
+  val ram1 : int -> S.t -> S.t list -> S.t -> S.t
+  (** [ram1 k we addr x]: 2{^k} one-bit cells, single read/write port:
+      continuously reads cell [addr]; writes [x] there at the tick when
+      [we] = 1. *)
+
+  val ram : int -> S.t -> S.t list -> S.t list -> S.t list
+  (** Word-level single-port RAM. *)
+end

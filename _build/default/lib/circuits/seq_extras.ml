@@ -1,0 +1,80 @@
+(* Further sequential building blocks: LFSR, Gray-code counter, and a
+   register-based FIFO.  All built from the same primitive set, so they
+   work at every semantics, and each demonstrates a different feedback
+   shape (xor feedback, registered decode, circular buffers). *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  open S
+  module G = Gates.Make (S)
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+  module R = Regs.Make (S)
+
+  (* Fibonacci LFSR with the given tap positions (0 = msb); powers up to
+     the all-ones state via dff_init (the all-zero state is the lock-up
+     state for xor feedback).  [en] gates stepping. *)
+  let lfsr ~taps n en =
+    if n < 2 then invalid_arg "Seq_extras.lfsr: width";
+    List.iter
+      (fun t -> if t < 0 || t >= n then invalid_arg "Seq_extras.lfsr: tap")
+      taps;
+    feedback_list n (fun s ->
+        let tapped = List.filteri (fun i _ -> List.mem i taps) s in
+        let fb = G.xorw tapped in
+        let shifted = List.tl s @ [ fb ] in
+        let next = M.wmux1 en s shifted in
+        List.map (dff_init true) next)
+
+  (* Gray-code counter: a binary counter recoded through
+     {!Gates.binary_to_gray}; successive outputs differ in exactly one
+     bit. *)
+  let gray_counter n en =
+    let count = R.counter n en in
+    G.binary_to_gray count
+
+  (* Synchronous FIFO with 2^k entries of [width] bits.
+
+     Inputs: push, pop, and the data word in.  Outputs: (data out = head
+     entry, empty, full).  Push when full and pop when empty are ignored.
+     Built from a register-file storage array and two pointers plus a
+     counter — the classic circular-buffer design. *)
+  type fifo_outputs = { out : t list; empty : t; full : t }
+
+  let fifo ~k ~width push pop data_in =
+    if List.length data_in <> width then
+      invalid_arg "Seq_extras.fifo: data width mismatch";
+    (* occupancy counter needs k+1 bits to distinguish empty from full *)
+    let depth_bits = k + 1 in
+    let outs = ref None in
+    let _ =
+      feedback_list
+        ((2 * k) + depth_bits)
+        (fun loop ->
+          let wptr, rest = Patterns.split_at k loop in
+          let rptr, count = Patterns.split_at k rest in
+          let empty = G.is_zero count in
+          let full =
+            A.eqw count (G.wconst ~width:depth_bits (1 lsl k))
+          in
+          let do_push = and2 push (inv full) in
+          let do_pop = and2 pop (inv empty) in
+          (* storage: one write port at wptr; read at rptr *)
+          let a, _b = R.regfile k do_push wptr rptr rptr data_in in
+          let next_w = M.wmux1 do_push wptr (A.incw wptr) in
+          let next_r = M.wmux1 do_pop rptr (A.incw rptr) in
+          (* count' = count + push - pop *)
+          let inc_c = A.incw count in
+          let dec_c = A.subw count (G.wconst ~width:depth_bits 1) in
+          let next_c =
+            M.wmux1
+              (xor2 do_push do_pop)
+              count
+              (M.wmux1 do_push dec_c inc_c)
+          in
+          outs := Some { out = a; empty; full };
+          List.map dff (next_w @ next_r @ next_c))
+    in
+    match !outs with Some o -> o | None -> assert false
+end

@@ -1,0 +1,21 @@
+(** Further sequential circuits: LFSR, Gray-code counter, and a
+    register-based synchronous FIFO. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  val lfsr : taps:int list -> int -> S.t -> S.t list
+  (** [lfsr ~taps n en]: Fibonacci linear-feedback shift register of [n]
+      bits (power-up all ones); shifts left when [en] = 1, feeding the xor
+      of the tapped positions (0 = msb) into the lsb.  With primitive-
+      polynomial taps it cycles through all 2{^n}-1 nonzero states. *)
+
+  val gray_counter : int -> S.t -> S.t list
+  (** Binary counter recoded to Gray: successive outputs differ in exactly
+      one bit. *)
+
+  type fifo_outputs = { out : S.t list; empty : S.t; full : S.t }
+
+  val fifo : k:int -> width:int -> S.t -> S.t -> S.t list -> fifo_outputs
+  (** [fifo ~k ~width push pop data_in]: synchronous FIFO with 2{^k}
+      entries; [out] is the head entry.  A push when full or a pop when
+      empty is ignored. *)
+end

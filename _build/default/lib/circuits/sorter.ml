@@ -1,0 +1,48 @@
+(* Bitonic sorting network over unsigned words.
+
+   A showcase for the tree/butterfly design-pattern family (paper section
+   5): the merger stages have exactly the butterfly connection scheme, and
+   the whole network is a static circuit — data-independent structure —
+   so it works at every signal semantics (simulate it, print its netlist,
+   measure its O(log^2 n) depth). *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.COMB) = struct
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+
+  (* compare_exchange ~descending (wa, wb): route the smaller word to the
+     first output (or the larger, when [descending]). *)
+  let compare_exchange ~descending (wa, wb) =
+    let swap =
+      if descending then A.lt_unsigned wa wb else A.gt_unsigned wa wb
+    in
+    (M.wmux1 swap wa wb, M.wmux1 swap wb wa)
+
+  (* bitonic_merge direction xs: sort a bitonic sequence; the butterfly
+     pattern applied to compare-exchange cells. *)
+  let bitonic_merge ~descending xs =
+    Patterns.butterfly (compare_exchange ~descending) xs
+
+  (* sort xs: bitonic sort of a power-of-two number of equal-width words,
+     ascending. *)
+  let rec sort_dir ~descending xs =
+    match xs with
+    | [] | [ _ ] -> xs
+    | _ ->
+      let lo, hi = Patterns.halve xs in
+      let lo' = sort_dir ~descending:false lo in
+      let hi' = sort_dir ~descending:true hi in
+      bitonic_merge ~descending (lo' @ hi')
+
+  let sort xs = sort_dir ~descending:false xs
+
+  (* min_max tree: the smallest and largest word of a non-empty list, via
+     balanced trees of compare-exchanges. *)
+  let minw xs =
+    Patterns.tree_fold (fun a b -> fst (compare_exchange ~descending:false (a, b))) xs
+
+  let maxw xs =
+    Patterns.tree_fold (fun a b -> snd (compare_exchange ~descending:false (a, b))) xs
+end

@@ -1,0 +1,22 @@
+(** Bitonic sorting network over unsigned MSB-first words — a static
+    circuit built from the butterfly pattern family (paper section 5),
+    with O(log² n) depth. *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) : sig
+  val compare_exchange :
+    descending:bool -> S.t list * S.t list -> S.t list * S.t list
+  (** Route the smaller word to the first output (the larger when
+      [descending]). *)
+
+  val bitonic_merge : descending:bool -> S.t list list -> S.t list list
+  (** Sort a bitonic sequence of words: the butterfly of
+      compare-exchange cells. *)
+
+  val sort : S.t list list -> S.t list list
+  (** Sort a power-of-two number of equal-width words, ascending. *)
+
+  val minw : S.t list list -> S.t list
+  (** Smallest word of a non-empty list (balanced tree). *)
+
+  val maxw : S.t list list -> S.t list
+end

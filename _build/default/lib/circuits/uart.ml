@@ -1,0 +1,129 @@
+(* A UART: serial transmitter and receiver with a compile-time baud
+   divisor.
+
+   Frame format: idle high, one start bit (0), eight data bits LSB first,
+   one stop bit (1); every bit lasts [divisor] clock cycles.  The
+   transmitter is a 10-bit shift register drained at baud rate; the
+   receiver detects the start edge, waits one and a half bit times, and
+   samples each data bit at its midpoint.  A TX wired to an RX with the
+   same divisor round-trips bytes (property-tested). *)
+
+module Patterns = Hydra_core.Patterns
+module Bitvec = Hydra_core.Bitvec
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  open S
+  module G = Gates.Make (S)
+  module M = Mux.Make (S)
+  module A = Arith.Make (S)
+
+  let log2_ceil n =
+    let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+    max 1 (go 0)
+
+  type tx_outputs = { line : S.t; tx_busy : S.t }
+
+  (* [tx ~divisor send data]: transmit [data] (8 bits, MSB-first word as
+     usual) when [send] pulses while idle. *)
+  let tx ~divisor send data =
+    if divisor < 1 then invalid_arg "Uart.tx: divisor";
+    if List.length data <> 8 then invalid_arg "Uart.tx: 8 data bits";
+    let baud_bits = log2_ceil (divisor + 1) in
+    let outs = ref None in
+    (* state: shifter (10, MSB-first; the wire drives the lsb) +
+       remaining-bit counter (4) + baud countdown + busy *)
+    let _ =
+      feedback_list
+        (10 + 4 + baud_bits + 1)
+        (fun loop ->
+          let sh, rest = Patterns.split_at 10 loop in
+          let bits, rest = Patterns.split_at 4 rest in
+          let baud, busy_l = Patterns.split_at baud_bits rest in
+          let busy = List.hd busy_l in
+          let lsb = Patterns.last sh in
+          let line = M.mux1 busy one lsb in
+          let go = and2 send (inv busy) in
+          (* frame as an MSB-first word whose lsb goes out first:
+             [stop=1; d7..d0; start=0]; [data] is MSB-first d7..d0 *)
+          let frame = (one :: data) @ [ zero ] in
+          let tick = G.is_zero baud in
+          let sh_shifted =
+            one :: (Patterns.split_at 9 sh |> fst)
+          in
+          let sh_run = M.wmux1 tick sh sh_shifted in
+          let bits_run = M.wmux1 tick bits (A.subw bits (G.wconst ~width:4 1)) in
+          let baud_run =
+            M.wmux1 tick
+              (A.subw baud (G.wconst ~width:baud_bits 1))
+              (G.wconst ~width:baud_bits (divisor - 1))
+          in
+          (* busy clears when the last bit's period ends *)
+          let last_bit = A.eqw bits (G.wconst ~width:4 1) in
+          let busy_run = and2 busy (inv (and2 tick last_bit)) in
+          let sh' = M.wmux1 go (M.wmux1 busy sh sh_run) frame in
+          let bits' =
+            M.wmux1 go (M.wmux1 busy bits bits_run) (G.wconst ~width:4 10)
+          in
+          let baud' =
+            M.wmux1 go
+              (M.wmux1 busy baud baud_run)
+              (G.wconst ~width:baud_bits (divisor - 1))
+          in
+          let busy' = M.mux1 go (and2 busy busy_run) one in
+          outs := Some { line; tx_busy = busy };
+          List.map dff (sh' @ bits' @ baud' @ [ busy' ]))
+    in
+    match !outs with Some o -> o | None -> assert false
+
+  type rx_outputs = { data : S.t list; valid : S.t; rx_busy : S.t }
+
+  (* [rx ~divisor line]: recover bytes from the serial line; [valid]
+     pulses for one cycle when [data] holds a freshly received byte. *)
+  let rx ~divisor line =
+    if divisor < 1 then invalid_arg "Uart.rx: divisor";
+    (* midpoint of the first data bit, counted from the cycle after the
+       start edge; subsequent samples every [divisor] cycles *)
+    let first_wait = divisor + (divisor / 2) - 1 in
+    let cnt_bits = log2_ceil (first_wait + 1) in
+    let outs = ref None in
+    (* state: shift register (8) + sample countdown + remaining bits (4)
+       + busy + valid + last line value (edge detector) *)
+    let _ =
+      feedback_list
+        (8 + cnt_bits + 4 + 3)
+        (fun loop ->
+          let sr, rest = Patterns.split_at 8 loop in
+          let cnt, rest = Patterns.split_at cnt_bits rest in
+          let bits, rest = Patterns.split_at 4 rest in
+          let busy, rest = (List.hd rest, List.tl rest) in
+          let valid, rest = (List.hd rest, List.tl rest) in
+          let last_line = List.hd rest in
+          let falling = and2 last_line (inv line) in
+          let start = and2 falling (inv busy) in
+          let sample = and2 busy (G.is_zero cnt) in
+          (* data arrives lsb first; shift right, new bit into the msb *)
+          let sr_sampled = line :: (Patterns.split_at 7 sr |> fst) in
+          let sr' = M.wmux1 sample sr sr_sampled in
+          let last_bit = A.eqw bits (G.wconst ~width:4 1) in
+          let finish = and2 sample last_bit in
+          let cnt_dec = A.subw cnt (G.wconst ~width:cnt_bits 1) in
+          let cnt_busy =
+            M.wmux1 sample cnt_dec (G.wconst ~width:cnt_bits (divisor - 1))
+          in
+          let cnt' =
+            M.wmux1 start
+              (M.wmux1 busy cnt cnt_busy)
+              (G.wconst ~width:cnt_bits first_wait)
+          in
+          let bits' =
+            M.wmux1 start
+              (M.wmux1 sample bits (A.subw bits (G.wconst ~width:4 1)))
+              (G.wconst ~width:4 8)
+          in
+          let busy' = M.mux1 start (and2 busy (inv finish)) one in
+          let valid' = finish in
+          outs := Some { data = sr; valid; rx_busy = busy };
+          List.map dff (sr' @ cnt' @ bits' @ [ busy'; valid'; line ]))
+    in
+    match !outs with Some o -> o | None -> assert false
+end

@@ -1,0 +1,17 @@
+(** A UART: serial transmitter and receiver (8N1 framing: idle high, one
+    start bit, eight data bits LSB first, one stop bit), each bit lasting
+    [divisor] clock cycles. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  type tx_outputs = { line : S.t; tx_busy : S.t }
+
+  val tx : divisor:int -> S.t -> S.t list -> tx_outputs
+  (** [tx ~divisor send data]: transmit the 8-bit word [data] when [send]
+      pulses while idle; [send] during a transmission is ignored. *)
+
+  type rx_outputs = { data : S.t list; valid : S.t; rx_busy : S.t }
+
+  val rx : divisor:int -> S.t -> rx_outputs
+  (** [rx ~divisor line]: [valid] pulses for one cycle when [data] holds a
+      freshly received byte (sampled at bit midpoints). *)
+end

@@ -1,0 +1,77 @@
+(* Wallace-tree multiplier: carry-save reduction of the partial products.
+
+   The array multiplier in {!Arith.multw} sums partial products with a
+   linear chain of ripple adders (O(n) depth per row, O(n) rows).  The
+   Wallace scheme instead reduces the partial-product matrix with layers
+   of full adders used as 3:2 carry-save compressors — O(log n) layers —
+   and finishes with one fast two-operand adder, giving O(log n) total
+   depth.  The same tradeoff story as the carry-lookahead family
+   (experiment E18 measures it). *)
+
+module Patterns = Hydra_core.Patterns
+
+module Make (S : Hydra_core.Signal_intf.COMB) = struct
+  open S
+  module A = Arith.Make (S)
+
+  (* Columns of bits by weight (index 0 = least significant). *)
+
+  (* One carry-save reduction layer: in every column, compress groups of
+     three bits with a full adder (sum stays, carry moves up) and pairs
+     with a half adder. *)
+  let reduce_layer columns =
+    let ncols = Array.length columns in
+    let next = Array.make (ncols + 1) [] in
+    let push j b = next.(j) <- b :: next.(j) in
+    Array.iteri
+      (fun j bits ->
+        let rec go = function
+          | a :: b :: c :: rest ->
+            let carry, sum = A.full_add (a, b) c in
+            push j sum;
+            push (j + 1) carry;
+            go rest
+          | [ a; b ] ->
+            let carry, sum = A.half_add a b in
+            push j sum;
+            push (j + 1) carry
+          | [ a ] -> push j a
+          | [] -> ()
+        in
+        go bits)
+      columns;
+    (* drop an empty top column if nothing carried into it *)
+    if next.(ncols) = [] then Array.sub next 0 ncols else next
+
+  let max_height columns =
+    Array.fold_left (fun acc c -> max acc (List.length c)) 0 columns
+
+  (* multw xs ys: unsigned n x m -> n+m bits, MSB first. *)
+  let multw ?(network = Patterns.Sklansky) xs ys =
+    let n = List.length xs and m = List.length ys in
+    if n = 0 || m = 0 then invalid_arg "Wallace.multw: empty operand";
+    let x_lsb = Array.of_list (List.rev xs) in
+    let y_lsb = Array.of_list (List.rev ys) in
+    let columns = Array.make (n + m) [] in
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        columns.(i + j) <- and2 x_lsb.(i) y_lsb.(j) :: columns.(i + j)
+      done
+    done;
+    let columns = ref columns in
+    while max_height !columns > 2 do
+      columns := reduce_layer !columns
+    done;
+    let width = n + m in
+    let bit_of cols j k =
+      if j < Array.length cols then
+        match List.nth_opt cols.(j) k with Some b -> b | None -> zero
+      else zero
+    in
+    let row k =
+      List.init width (fun j -> bit_of !columns j k) (* LSB first *)
+    in
+    let a = List.rev (row 0) and b = List.rev (row 1) in
+    let _, sums = A.cla_add ~network zero (List.combine a b) in
+    sums
+end

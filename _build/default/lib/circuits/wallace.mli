@@ -1,0 +1,13 @@
+(** Wallace-tree multiplier: carry-save (3:2 full-adder) reduction layers
+    followed by one carry-lookahead addition — O(log n) depth, versus the
+    O(n) of the ripple-array multiplier in {!Arith.multw} (experiment
+    E18). *)
+
+module Make (S : Hydra_core.Signal_intf.COMB) : sig
+  val multw :
+    ?network:Hydra_core.Patterns.prefix_network ->
+    S.t list ->
+    S.t list ->
+    S.t list
+  (** Unsigned n x m -> (n+m)-bit product, MSB first. *)
+end

@@ -1,0 +1,1 @@
+lib/core/bit.mli: Signal_intf

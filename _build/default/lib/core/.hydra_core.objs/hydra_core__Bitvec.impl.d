@@ -1,0 +1,1 @@
+lib/core/bitvec.ml: Bool List Patterns Printf String

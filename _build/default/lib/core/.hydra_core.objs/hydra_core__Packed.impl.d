@@ -1,0 +1,1 @@
+lib/core/packed.ml: List

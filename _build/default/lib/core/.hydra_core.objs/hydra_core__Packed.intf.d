@@ -1,0 +1,1 @@
+lib/core/packed.mli: Signal_intf

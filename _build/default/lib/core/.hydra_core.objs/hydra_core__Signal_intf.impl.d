@@ -1,0 +1,1 @@
+lib/core/signal_intf.ml:

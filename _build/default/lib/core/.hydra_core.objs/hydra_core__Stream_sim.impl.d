@@ -1,0 +1,1 @@
+lib/core/stream_sim.ml: Array List Printf

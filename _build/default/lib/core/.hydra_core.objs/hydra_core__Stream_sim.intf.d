@@ -1,0 +1,1 @@
+lib/core/stream_sim.mli: Signal_intf

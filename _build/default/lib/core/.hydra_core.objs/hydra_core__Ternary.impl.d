@@ -1,0 +1,1 @@
+lib/core/ternary.ml: List String

@@ -1,0 +1,1 @@
+lib/core/ternary.mli: Signal_intf

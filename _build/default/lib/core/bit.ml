@@ -1,0 +1,31 @@
+(* Instantaneous boolean semantics: a signal is a [bool].
+
+   Applying a combinational circuit to booleans evaluates it on one input
+   vector.  This is the simplest executable semantics and the reference
+   against which the others are tested.  It implements only {!COMB}: a
+   [dff] has no meaning for a single instant. *)
+
+type t = bool
+
+let zero = false
+let one = true
+let constant b = b
+let inv a = not a
+let and2 a b = a && b
+let or2 a b = a || b
+let xor2 a b = a <> b
+let label _name s = s
+
+(* Truth-table helpers. *)
+
+let rec vectors n =
+  if n = 0 then [ [] ]
+  else
+    let rest = vectors (n - 1) in
+    List.map (fun v -> false :: v) rest @ List.map (fun v -> true :: v) rest
+
+let truth_table ~inputs (circuit : t list -> t list) =
+  List.map (fun v -> (v, circuit v)) (vectors inputs)
+
+let equal_circuits ~inputs f g =
+  List.for_all (fun v -> f v = g v) (vectors inputs)

@@ -1,0 +1,20 @@
+(** Instantaneous boolean semantics: a signal is a [bool].
+
+    Applying a combinational circuit (built generically over
+    {!Signal_intf.COMB}) to this instance evaluates it on one input vector.
+    Sequential circuits cannot be expressed here — there is no [dff]. *)
+
+include Signal_intf.COMB with type t = bool
+
+val vectors : int -> bool list list
+(** [vectors n] is all [2^n] input vectors of width [n], in increasing
+    numeric order when a vector is read most-significant-bit first. *)
+
+val truth_table :
+  inputs:int -> (t list -> t list) -> (bool list * bool list) list
+(** [truth_table ~inputs circuit] evaluates [circuit] on every input vector
+    of width [inputs] and returns [(input, output)] rows. *)
+
+val equal_circuits : inputs:int -> (t list -> t list) -> (t list -> t list) -> bool
+(** Exhaustive equivalence of two combinational circuits over all [2^inputs]
+    input vectors. *)

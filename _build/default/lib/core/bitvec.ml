@@ -1,0 +1,49 @@
+(* Words of booleans and conversions to and from integers.
+
+   Following the paper (and Sigma16 lineage), words are lists indexed from
+   the most significant bit: bit 0 of a 16-bit word is the sign bit and
+   [field w 0 4] is the top nibble.  Numeric interpretation is two's
+   complement for the signed conversions. *)
+
+let to_int bits = List.fold_left (fun acc b -> (acc lsl 1) lor Bool.to_int b) 0 bits
+
+let of_int ~width n =
+  if width < 0 || width > 62 then invalid_arg "Bitvec.of_int: width";
+  List.init width (fun i -> (n lsr (width - 1 - i)) land 1 = 1)
+
+let to_signed_int bits =
+  match bits with
+  | [] -> 0
+  | sign :: _ ->
+    let w = List.length bits in
+    let v = to_int bits in
+    if sign then v - (1 lsl w) else v
+
+let of_signed_int ~width n = of_int ~width (n land ((1 lsl width) - 1))
+
+let field w pos len =
+  let sub = List.filteri (fun i _ -> i >= pos && i < pos + len) w in
+  if List.length sub <> len then invalid_arg "Bitvec.field: out of range";
+  sub
+
+let to_string bits =
+  String.concat "" (List.map (fun b -> if b then "1" else "0") bits)
+
+let of_string s =
+  List.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: %c" c))
+
+let to_hex bits =
+  let w = List.length bits in
+  let padded = List.init ((4 - (w mod 4)) mod 4) (fun _ -> false) @ bits in
+  Patterns.chunks 4 padded
+  |> List.map (fun nib -> Printf.sprintf "%x" (to_int nib))
+  |> String.concat ""
+
+let columns rows =
+  (* Transpose a per-cycle list of words into a per-signal list of value
+     streams; useful for feeding word inputs to simulation. *)
+  Patterns.transpose rows

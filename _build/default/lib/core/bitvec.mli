@@ -1,0 +1,33 @@
+(** Boolean words and numeric conversions.
+
+    Words are most-significant-bit-first lists, matching the paper's
+    indexing ([field ir 0 4] is the opcode nibble of a 16-bit instruction
+    word). *)
+
+val to_int : bool list -> int
+(** Unsigned value of a word (MSB first).  Width ≤ 62. *)
+
+val of_int : width:int -> int -> bool list
+(** [of_int ~width n] is the low [width] bits of [n], MSB first. *)
+
+val to_signed_int : bool list -> int
+(** Two's-complement value of a word. *)
+
+val of_signed_int : width:int -> int -> bool list
+(** Two's-complement encoding of [n] in [width] bits. *)
+
+val field : 'a list -> int -> int -> 'a list
+(** [field w pos len]: the [len] elements of [w] starting at index [pos]
+    (the paper's [field]).  Raises [Invalid_argument] when out of range. *)
+
+val to_string : bool list -> string
+(** Word as a string of ['0']/['1'], MSB first. *)
+
+val of_string : string -> bool list
+(** Inverse of {!to_string}. *)
+
+val to_hex : bool list -> string
+(** Word as hex digits (left-padded with zero bits to a nibble). *)
+
+val columns : 'a list list -> 'a list list
+(** Transpose per-cycle rows of words into per-bit streams. *)

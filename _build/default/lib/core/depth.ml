@@ -1,0 +1,73 @@
+(* Path-depth semantics: a signal is the number of gate delays after the
+   start of a clock cycle at which it becomes valid (paper sections 3 and
+   4.5).
+
+   Inputs and dff outputs are valid at the start of the cycle (depth 0); a
+   gate output is valid one delay after its latest input.  Applying a
+   circuit to this instance therefore computes, per output, its path depth;
+   the critical path of the whole circuit is the maximum over all outputs
+   and all dff inputs, which this module accumulates as the circuit is
+   built.  Gate and flip-flop counts are accumulated at the same time, so
+   one instantiation yields a complete static timing/size report.
+
+   Purely combinational feedback cannot be detected at this semantics
+   ([feedback] hands the loop body a depth-0 signal); use
+   {!Hydra_netlist.Levelize} on the graph semantics for structural cycle
+   detection. *)
+
+type t = int
+
+type report = {
+  critical_path : int;  (* max gate delays between clock ticks *)
+  gates : int;          (* inv/and2/or2/xor2 count *)
+  dff_count : int;
+}
+
+let max_dff_input = ref 0
+let gate_count = ref 0
+let dff_total = ref 0
+
+let reset () =
+  max_dff_input := 0;
+  gate_count := 0;
+  dff_total := 0
+
+let zero = 0
+let one = 0
+let constant _ = 0
+let input = 0
+
+let gate1 a =
+  incr gate_count;
+  a + 1
+
+let gate2 a b =
+  incr gate_count;
+  1 + max a b
+
+let inv a = gate1 a
+let and2 a b = gate2 a b
+let or2 a b = gate2 a b
+let xor2 a b = gate2 a b
+let label _ s = s
+
+let dff_init _init x =
+  incr dff_total;
+  if x > !max_dff_input then max_dff_input := x;
+  0
+
+let dff x = dff_init false x
+let feedback f = f 0
+let feedback_list k f = f (List.init k (fun _ -> 0))
+
+let report outputs =
+  let out_max = List.fold_left max 0 outputs in
+  {
+    critical_path = max out_max !max_dff_input;
+    gates = !gate_count;
+    dff_count = !dff_total;
+  }
+
+let analyze ~inputs circuit =
+  reset ();
+  report (circuit (List.init inputs (fun _ -> input)))

@@ -1,0 +1,28 @@
+(** Path-depth semantics: timing analysis by execution (paper section 4.5).
+
+    A signal is its path depth — the number of gate delays after the start
+    of a clock cycle at which it becomes valid.  Instantiating a circuit at
+    this semantics and applying it to depth-0 inputs computes the depth of
+    every output; dff inputs, gate counts and dff counts are accumulated on
+    the side so that one run yields a full static report. *)
+
+include Signal_intf.CLOCKED with type t = int
+
+type report = { critical_path : int; gates : int; dff_count : int }
+
+val input : t
+(** An input signal: valid at the start of the cycle, depth 0. *)
+
+val reset : unit -> unit
+(** Clear the accumulated maximum dff-input depth and the gate/dff
+    counters.  Call before analysing a fresh circuit (done by
+    {!analyze}). *)
+
+val report : t list -> report
+(** [report outputs] is the report for the circuit built since the last
+    {!reset}: the critical path is the maximum of the output depths and of
+    every depth seen at a dff input. *)
+
+val analyze : inputs:int -> (t list -> t list) -> report
+(** [analyze ~inputs circuit] resets, applies [circuit] to [inputs]
+    depth-0 input signals, and reports. *)

@@ -1,0 +1,39 @@
+(** Graph semantics: a signal is a node in a circuit graph (paper section
+    4.4).  Executing a circuit at this instance yields a graph isomorphic
+    to the schematic; {!Hydra_netlist} flattens it to a netlist. *)
+
+type t = { id : int; mutable def : def; mutable names : string list }
+
+and def =
+  | Input of string
+  | Const of bool
+  | Inv of t
+  | And2 of t * t
+  | Or2 of t * t
+  | Xor2 of t * t
+  | Dff of bool * t
+  | Forward of t option ref
+      (** A feedback knot created by {!feedback}; resolved after the loop
+          body has been applied. *)
+
+include Signal_intf.CLOCKED with type t := t
+
+val input : string -> t
+(** A named circuit input port. *)
+
+val inputs_list : string list -> t list
+(** One input per name. *)
+
+val resolve : t -> t
+(** Follow {!Forward} references to the real node.  Raises [Failure] on an
+    unpatched loop. *)
+
+val id : t -> int
+(** Unique id of the resolved node. *)
+
+val name : t -> string option
+(** Most recent {!label} attached to the resolved node, if any. *)
+
+val children : t -> t list
+(** Argument nodes of the resolved node (empty for inputs and constants),
+    themselves resolved. *)

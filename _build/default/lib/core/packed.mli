@@ -1,0 +1,28 @@
+(** Bit-parallel combinational semantics: a signal is a machine word
+    carrying {!lanes} independent simulation runs, so one pass of a
+    circuit evaluates it on up to 62 input vectors at once. *)
+
+include Signal_intf.COMB with type t = int
+
+val lanes : int
+(** Number of parallel lanes (62: OCaml ints keep a tag bit and we keep
+    the sign bit clear). *)
+
+val lane_mask : int
+(** All lanes set. *)
+
+val pack : bool list -> t
+(** Pack per-lane values; element 0 goes to lane 0. *)
+
+val lane : t -> int -> bool
+(** Extract one lane. *)
+
+val unpack : count:int -> t -> bool list
+(** First [count] lanes. *)
+
+val enumerate : inputs:int -> (t list * int) list
+(** [enumerate ~inputs] packs all [2^inputs] input assignments into
+    passes: each element is (one packed word per input variable, number of
+    valid lanes).  Lane [l] of pass words holds one assignment; the
+    assignment ordering matches {!Bit.vectors} (variable 0 is the MSB of
+    the vector index).  Raises for more than 24 inputs. *)

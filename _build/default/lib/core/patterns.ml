@@ -1,0 +1,248 @@
+(* Design patterns: higher-order combinators describing how to replicate a
+   building-block circuit and connect the copies in a regular structure
+   (paper section 5).
+
+   These are ordinary polymorphic functions on lists — not language
+   constructs — so they work at every signal semantics, and designers can
+   define new ones.  The library covers the families the paper names:
+   linear organisations ([mscanr], [mscanl], scans), trees ([tree_fold],
+   the parallel-prefix networks), butterflies and banyans, and grids
+   ([mesh]). *)
+
+(* Word utilities ------------------------------------------------------- *)
+
+let split_at n xs =
+  let rec go n acc xs =
+    if n = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> invalid_arg "Patterns.split_at"
+      | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+let halve xs =
+  let n = List.length xs in
+  if n land 1 <> 0 then invalid_arg "Patterns.halve: odd length";
+  split_at (n / 2) xs
+
+let rec pairup = function
+  | [] -> []
+  | [ _ ] -> invalid_arg "Patterns.pairup: odd length"
+  | a :: b :: rest -> (a, b) :: pairup rest
+
+let unpair ps = List.concat_map (fun (a, b) -> [ a; b ]) ps
+
+(* [riffle] interleaves the two halves of a word like a perfect card
+   shuffle: riffle [a0;a1;b0;b1] = [a0;b0;a1;b1].  [unriffle] inverts. *)
+let riffle xs =
+  let lo, hi = halve xs in
+  unpair (List.combine lo hi)
+
+let unriffle xs =
+  let lo, hi = List.split (pairup xs) in
+  lo @ hi
+
+let rec chunks k = function
+  | [] -> []
+  | xs ->
+    let c, rest = split_at (min k (List.length xs)) xs in
+    c :: chunks k rest
+
+let last xs =
+  match List.rev xs with [] -> invalid_arg "Patterns.last" | x :: _ -> x
+
+let iterate_n n f x =
+  let rec go n acc = if n = 0 then acc else go (n - 1) (f acc) in
+  if n < 0 then invalid_arg "Patterns.iterate_n" else go n x
+
+let transpose rows =
+  match rows with
+  | [] -> []
+  | first :: _ ->
+    List.mapi (fun i _ -> List.map (fun row -> List.nth row i) rows) first
+
+(* Linear patterns ------------------------------------------------------ *)
+
+(* [mscanr f a xs]: a row of [f] cells where the carry enters the
+   rightmost cell as [a] and flows right-to-left; cell [i] receives data
+   input [xs_i] and the carry from its right neighbour, and produces its
+   data output and the carry for its left neighbour.  The overall result is
+   (carry out of the leftmost cell, list of data outputs).  This is the
+   paper's [mscanr]; [mscanr full_add] is an n-bit ripple-carry adder. *)
+let rec mscanr f a = function
+  | [] -> (a, [])
+  | x :: xs ->
+    let a', ys = mscanr f a xs in
+    let a'', y = f x a' in
+    (a'', y :: ys)
+
+(* [mscanl]: mirror image — the carry enters at the left and flows
+   left-to-right. *)
+let rec mscanl f a = function
+  | [] -> (a, [])
+  | x :: xs ->
+    let a1, y = f x a in
+    let a', ys = mscanl f a1 xs in
+    (a', y :: ys)
+
+(* [ascanr f a xs]: inclusive scan from the right;
+   result_i = f xs_i (f xs_(i+1) (... (f xs_(k-1) a))). *)
+let rec ascanr f a = function
+  | [] -> []
+  | [ x ] -> [ f x a ]
+  | x :: xs ->
+    let ys = ascanr f a xs in
+    (match ys with
+     | y :: _ -> f x y :: ys
+     | [] -> assert false)
+
+(* [ascanl f a xs]: inclusive scan from the left;
+   result_i = f (... (f (f a xs_0) xs_1) ...) xs_i. *)
+let ascanl f a xs =
+  let cell x acc =
+    let v = f acc x in
+    (v, v)
+  in
+  let _, ys = mscanl cell a xs in
+  ys
+
+(* Tree patterns -------------------------------------------------------- *)
+
+(* [tree_fold f xs] reduces a non-empty word with a balanced binary tree of
+   [f] cells: logarithmic depth when [f] is a gate. *)
+let rec tree_fold f = function
+  | [] -> invalid_arg "Patterns.tree_fold: empty word"
+  | [ x ] -> x
+  | xs ->
+    let lo, hi = split_at ((List.length xs + 1) / 2) xs in
+    f (tree_fold f lo) (tree_fold f hi)
+
+(* Parallel-prefix (scan) networks.  All compute the inclusive left scan
+   [y_i = x_0 op x_1 op ... op x_i] and are interchangeable when [op] is
+   associative; they differ in depth and size, which is exactly the design
+   space of the logarithmic-time carry-lookahead adder of O'Donnell &
+   Ruenger [23]. *)
+
+(* Serial: depth n-1, size n-1. *)
+let scan_serial op = function
+  | [] -> []
+  | x :: xs ->
+    let cell xi acc =
+      let v = op acc xi in
+      (v, v)
+    in
+    let _, ys = mscanl cell x xs in
+    x :: ys
+
+(* Sklansky (divide and conquer): depth ceil(log2 n), size ~ (n/2) log2 n. *)
+let rec scan_sklansky op = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | xs ->
+    let lo, hi = split_at ((List.length xs + 1) / 2) xs in
+    let slo = scan_sklansky op lo in
+    let shi = scan_sklansky op hi in
+    let carry = last slo in
+    slo @ List.map (fun y -> op carry y) shi
+
+(* Brent-Kung: depth ~ 2 log2 n - 1, size ~ 2n. *)
+let rec scan_brent_kung op = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | xs ->
+    let n = List.length xs in
+    let evens, odd_tail =
+      if n land 1 = 0 then (xs, None)
+      else
+        let body, lastl = split_at (n - 1) xs in
+        (body, Some (List.hd lastl))
+    in
+    let pairs = pairup evens in
+    let combined = List.map (fun (a, b) -> op a b) pairs in
+    let scanned = scan_brent_kung op combined in
+    (* scanned_i is the prefix ending at element 2i+1. *)
+    let rec weave pairs scanned prev =
+      match (pairs, scanned) with
+      | [], [] -> []
+      | (a, _) :: ps, s :: ss ->
+        let even_out = match prev with None -> a | Some p -> op p a in
+        even_out :: s :: weave ps ss (Some s)
+      | _ -> assert false
+    in
+    let body = weave pairs scanned None in
+    (match odd_tail with
+     | None -> body
+     | Some x -> body @ [ op (last body) x ])
+
+(* Kogge-Stone: depth ceil(log2 n), size ~ n log2 n, fanout 2. *)
+let scan_kogge_stone op xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let cur = ref arr in
+  let d = ref 1 in
+  while !d < n do
+    let prev = !cur in
+    cur := Array.init n (fun i -> if i >= !d then op prev.(i - !d) prev.(i) else prev.(i));
+    d := !d * 2
+  done;
+  Array.to_list !cur
+
+type prefix_network = Serial | Sklansky | Brent_kung | Kogge_stone
+
+let scan network op xs =
+  match network with
+  | Serial -> scan_serial op xs
+  | Sklansky -> scan_sklansky op xs
+  | Brent_kung -> scan_brent_kung op xs
+  | Kogge_stone -> scan_kogge_stone op xs
+
+let prefix_network_name = function
+  | Serial -> "serial"
+  | Sklansky -> "sklansky"
+  | Brent_kung -> "brent-kung"
+  | Kogge_stone -> "kogge-stone"
+
+let all_prefix_networks = [ Serial; Sklansky; Brent_kung; Kogge_stone ]
+
+(* Butterfly and banyan networks ---------------------------------------- *)
+
+(* [butterfly f xs] (power-of-two length): stage 1 applies [f] to pairs
+   (x_i, x_{i+n/2}), then both halves recurse.  [banyan f] is the mirror
+   network: recurse first, combine last.  These are the interconnection
+   schemes of FFTs, bitonic mergers and switching fabrics. *)
+let rec butterfly f = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | xs ->
+    let lo, hi = halve xs in
+    let lo', hi' = List.split (List.map2 (fun a b -> f (a, b)) lo hi) in
+    butterfly f lo' @ butterfly f hi'
+
+let rec banyan f = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | xs ->
+    let lo, hi = halve xs in
+    let lo' = banyan f lo in
+    let hi' = banyan f hi in
+    let a, b = List.split (List.map2 (fun x y -> f (x, y)) lo' hi') in
+    a @ b
+
+(* Grid pattern --------------------------------------------------------- *)
+
+(* [mesh f hs vs]: a rectangular array of [f] cells.  Horizontal signals
+   [hs] enter at the left of each row and flow rightwards; vertical signals
+   [vs] enter at the top of each column and flow downwards.  Each cell maps
+   (h, v) to (h', v').  Result: (row outputs at the right, column outputs
+   at the bottom).  Systolic arrays and array multipliers are meshes. *)
+let mesh f hs vs =
+  let row h vs = mscanl (fun v h -> let h', v' = f h v in (h', v')) h vs in
+  let vs_final, hs_out_rev =
+    List.fold_left
+      (fun (vs, acc) h ->
+        let h', vs' = row h vs in
+        (vs', h' :: acc))
+      (vs, []) hs
+  in
+  (List.rev hs_out_rev, vs_final)

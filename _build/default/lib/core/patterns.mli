@@ -1,0 +1,94 @@
+(** Design patterns: higher-order combinators that replicate a building
+    block and connect the copies in a regular structure (paper section 5).
+    All are ordinary polymorphic functions, usable at every signal
+    semantics; designers can add their own. *)
+
+(** {1 Word utilities} *)
+
+val split_at : int -> 'a list -> 'a list * 'a list
+(** [split_at n xs] is [(take n xs, drop n xs)].  Raises [Invalid_argument]
+    if [xs] is shorter than [n]. *)
+
+val halve : 'a list -> 'a list * 'a list
+(** Split an even-length word into its two halves. *)
+
+val pairup : 'a list -> ('a * 'a) list
+(** [[a;b;c;d]] becomes [[(a,b);(c,d)]].  Even length required. *)
+
+val unpair : ('a * 'a) list -> 'a list
+(** Inverse of {!pairup}. *)
+
+val riffle : 'a list -> 'a list
+(** Perfect shuffle: interleave the two halves. *)
+
+val unriffle : 'a list -> 'a list
+(** Inverse of {!riffle}: even-indexed elements, then odd-indexed. *)
+
+val chunks : int -> 'a list -> 'a list list
+(** Split into consecutive chunks of size [k] (last may be shorter). *)
+
+val last : 'a list -> 'a
+(** Last element of a non-empty list. *)
+
+val iterate_n : int -> ('a -> 'a) -> 'a -> 'a
+(** [iterate_n n f x] is [f (f ... (f x))], [n] times. *)
+
+val transpose : 'a list list -> 'a list list
+(** Transpose a rectangular list of rows. *)
+
+(** {1 Linear patterns} *)
+
+val mscanr : ('a -> 'b -> 'b * 'c) -> 'b -> 'a list -> 'b * 'c list
+(** Row of cells with the carry entering at the right and flowing leftwards
+    (the paper's [mscanr]); [mscanr full_add] is a ripple-carry adder. *)
+
+val mscanl : ('a -> 'b -> 'b * 'c) -> 'b -> 'a list -> 'b * 'c list
+(** Mirror image of {!mscanr}: carry enters at the left. *)
+
+val ascanr : ('a -> 'b -> 'b) -> 'b -> 'a list -> 'b list
+(** Inclusive scan from the right: result{_i} [= f x]{_i}[ (f x]{_i+1}[ ... a)]. *)
+
+val ascanl : ('b -> 'a -> 'b) -> 'b -> 'a list -> 'b list
+(** Inclusive scan from the left. *)
+
+(** {1 Tree patterns and parallel prefix} *)
+
+val tree_fold : ('a -> 'a -> 'a) -> 'a list -> 'a
+(** Balanced binary reduction of a non-empty word: logarithmic depth. *)
+
+type prefix_network = Serial | Sklansky | Brent_kung | Kogge_stone
+(** The classic parallel-prefix network topologies; interchangeable for
+    associative operators, trading depth against size and fanout. *)
+
+val scan_serial : ('a -> 'a -> 'a) -> 'a list -> 'a list
+(** Inclusive left scan, linear depth, minimal size. *)
+
+val scan_sklansky : ('a -> 'a -> 'a) -> 'a list -> 'a list
+(** Inclusive left scan, depth ⌈log₂ n⌉, size ~ (n/2)·log₂ n. *)
+
+val scan_brent_kung : ('a -> 'a -> 'a) -> 'a list -> 'a list
+(** Inclusive left scan, depth ~ 2·log₂ n, size ~ 2n. *)
+
+val scan_kogge_stone : ('a -> 'a -> 'a) -> 'a list -> 'a list
+(** Inclusive left scan, depth ⌈log₂ n⌉, size ~ n·log₂ n, fanout ≤ 2. *)
+
+val scan : prefix_network -> ('a -> 'a -> 'a) -> 'a list -> 'a list
+(** Dispatch on {!prefix_network}. *)
+
+val prefix_network_name : prefix_network -> string
+val all_prefix_networks : prefix_network list
+
+(** {1 Butterfly, banyan, grid} *)
+
+val butterfly : ('a * 'a -> 'a * 'a) -> 'a list -> 'a list
+(** Butterfly network on a power-of-two word: combine (x{_i}, x{_i+n/2})
+    pairs, then recurse into both halves. *)
+
+val banyan : ('a * 'a -> 'a * 'a) -> 'a list -> 'a list
+(** Mirror of {!butterfly}: recurse first, combine last. *)
+
+val mesh :
+  ('h -> 'v -> 'h * 'v) -> 'h list -> 'v list -> 'h list * 'v list
+(** Rectangular cell array: horizontal signals flow rightwards along rows,
+    vertical signals downwards along columns; returns (right edge, bottom
+    edge).  Systolic arrays and array multipliers are meshes. *)

@@ -1,0 +1,82 @@
+(* Module types for Hydra signals.
+
+   A circuit is an OCaml function (usually produced by a functor) from
+   signals to signals.  The same circuit text can be instantiated at each of
+   the signal semantics provided by this library:
+
+   - {!Bit} : signal = [bool], instantaneous combinational evaluation
+   - {!Stream_sim} : signal = stream of values, synchronous simulation
+   - {!Depth} : signal = path depth, timing analysis
+   - {!Graph} : signal = graph node, netlist generation
+
+   This is the OCaml rendering of Hydra's overloaded semantics (paper
+   section 4): Haskell type classes become module types, and Haskell's lazy
+   knot-tying for feedback becomes the explicit [feedback] combinators
+   (equivalent to the [label] annotations of Hydra'92). *)
+
+(** Combinational signals: constants and logic gates, no state.
+
+    The primitive gate set is deliberately minimal ([inv], [and2], [or2],
+    [xor2]); everything else is derived in {!Hydra_circuits.Gates} so that
+    every semantics only has to interpret five operations. *)
+module type COMB = sig
+  type t
+  (** A signal.  What a signal {e is} depends on the semantics. *)
+
+  val zero : t
+  (** The constant 0 signal. *)
+
+  val one : t
+  (** The constant 1 signal. *)
+
+  val constant : bool -> t
+  (** [constant b] is {!zero} or {!one} according to [b]. *)
+
+  val inv : t -> t
+  (** Inverter: output is the logical negation of the input. *)
+
+  val and2 : t -> t -> t
+  (** Two-input and gate. *)
+
+  val or2 : t -> t -> t
+  (** Two-input or gate. *)
+
+  val xor2 : t -> t -> t
+  (** Two-input exclusive-or gate. *)
+
+  val label : string -> t -> t
+  (** [label name s] is [s], annotated with [name].  Semantics that build
+      structure (netlists) record the name; executable semantics ignore
+      it. *)
+end
+
+(** Clocked signals: combinational signals plus the delay flip flop and
+    feedback.  This corresponds to the paper's [Clocked] class. *)
+module type CLOCKED = sig
+  include COMB
+
+  val dff : t -> t
+  (** Delay flip flop.  The input during clock cycle [i] becomes the output
+      during cycle [i+1]; the output during cycle 0 is the power-up value 0
+      (the paper's [dff0]). *)
+
+  val dff_init : bool -> t -> t
+  (** [dff_init init x] is a delay flip flop whose power-up value is
+      [init]. *)
+
+  val feedback : (t -> t) -> t
+  (** [feedback f] ties a feedback knot: it is the unique signal [s] with
+      [s = f s].  The loop must pass through at least one {!dff} to be well
+      founded; purely combinational loops are a design error (simulation
+      raises, netlist levelization reports them).
+
+      This combinator plays the role of Haskell's recursive signal
+      equations ([let s = dff (mux1 ld s x)] in the paper): OCaml's
+      [let rec] cannot tie knots through function applications, so the
+      sharing is made explicit, exactly like Hydra'92's [label]. *)
+
+  val feedback_list : int -> (t list -> t list) -> t list
+  (** [feedback_list k f] ties [k] feedback knots at once: it is the word
+      [w] of length [k] with [w = f w].  [f] must return a list of length
+      [k]. *)
+end

@@ -1,0 +1,142 @@
+(* Synchronous stream simulation semantics.
+
+   The paper models a signal as the infinite stream of its values, one per
+   clock cycle, and simulates by mapping logic functions over streams
+   (section 4.2).  Here a signal is a memoized cycle-indexed function
+   [int -> bool].  Memoization uses a two-slot ring buffer indexed by cycle
+   parity: a [dff] only ever looks one cycle back, so when the {!run}
+   driver advances cycle by cycle every lookup hits the cache and a whole
+   simulation costs O(gates) work and O(1) memory per signal per cycle.
+
+   Demand-driven access ([at s t] for arbitrary [t]) remains correct — a
+   cache miss just recomputes, recursing through dffs back towards cycle 0
+   — but can be asymptotically slower; use {!run} for long simulations.
+
+   Combinational cycles are detected with an in-progress marker: a signal
+   that demands its own value at the same cycle while being computed raises
+   {!Combinational_cycle}.  (The marker can be clobbered by an interleaved
+   demand at an older cycle, which only arises through a dff and therefore
+   never hides a genuine combinational loop.) *)
+
+exception Combinational_cycle of string
+
+type slot = Empty | Computing of int | Known of int * bool
+
+type t = {
+  id : int;
+  mutable name : string;
+  mutable slot0 : slot;
+  mutable slot1 : slot;
+  f : t -> int -> bool;
+}
+
+let counter = ref 0
+
+let make ?(name = "") f =
+  incr counter;
+  { id = !counter; name; slot0 = Empty; slot1 = Empty; f }
+
+let at s cycle =
+  if cycle < 0 then invalid_arg "Stream_sim.at: negative cycle";
+  let stored = if cycle land 1 = 0 then s.slot0 else s.slot1 in
+  match stored with
+  | Known (c, v) when c = cycle -> v
+  | Computing c when c = cycle ->
+    let who = if s.name = "" then Printf.sprintf "signal #%d" s.id else s.name in
+    raise (Combinational_cycle who)
+  | Empty | Computing _ | Known _ ->
+    let set sl = if cycle land 1 = 0 then s.slot0 <- sl else s.slot1 <- sl in
+    set (Computing cycle);
+    let v = s.f s cycle in
+    set (Known (cycle, v));
+    v
+
+(* Registry of all dffs created since the last [reset]: the [run] driver
+   forces each of them every cycle so that the two-slot cache never misses
+   on the frontier.  See the module comment. *)
+let dffs : t list ref = ref []
+
+let reset () =
+  dffs := [];
+  counter := 0
+
+(* Constructors --------------------------------------------------------- *)
+
+let constant b = make ~name:(if b then "one" else "zero") (fun _ _ -> b)
+let zero = constant false
+let one = constant true
+
+let inv a = make (fun _ t -> not (at a t))
+let and2 a b = make (fun _ t -> at a t && at b t)
+let or2 a b = make (fun _ t -> at a t || at b t)
+let xor2 a b = make (fun _ t -> at a t <> at b t)
+
+let label name s =
+  s.name <- name;
+  s
+
+let dff_init init x =
+  let d = make (fun _ t -> if t = 0 then init else at x (t - 1)) in
+  dffs := d :: !dffs;
+  d
+
+let dff x = dff_init false x
+
+let feedback f =
+  let fwd = ref None in
+  let s =
+    make (fun _ t ->
+        match !fwd with
+        | Some out -> at out t
+        | None -> failwith "Stream_sim.feedback: loop signal forced during construction")
+  in
+  let out = f s in
+  fwd := Some out;
+  out
+
+let feedback_list k f =
+  let fwds = Array.init k (fun _ -> ref None) in
+  let make_loop r =
+    make (fun _ t ->
+        match !r with
+        | Some out -> at out t
+        | None ->
+          failwith "Stream_sim.feedback_list: loop signal forced during construction")
+  in
+  let loops = Array.to_list (Array.map make_loop fwds) in
+  let outs = f loops in
+  if List.length outs <> k then invalid_arg "Stream_sim.feedback_list: wrong width";
+  List.iteri (fun i out -> fwds.(i) := Some out) outs;
+  outs
+
+(* Inputs --------------------------------------------------------------- *)
+
+let input ?(name = "") f = make ~name (fun _ t -> f t)
+
+let of_list ?(default = false) vs =
+  let arr = Array.of_list vs in
+  let n = Array.length arr in
+  input (fun t -> if t < n then arr.(t) else default)
+
+let of_fun = input
+
+(* Drivers -------------------------------------------------------------- *)
+
+let run_cycle outputs cycle =
+  List.iter (fun d -> ignore (at d cycle)) !dffs;
+  List.map (fun s -> at s cycle) outputs
+
+let run ~cycles outputs =
+  List.init cycles (fun t -> run_cycle outputs t)
+
+let simulate ~inputs ?cycles circuit =
+  reset ();
+  let cycles =
+    match cycles with
+    | Some c -> c
+    | None ->
+      List.fold_left (fun acc l -> max acc (List.length l)) 0 inputs
+  in
+  let ins = List.map (fun l -> of_list l) inputs in
+  let outs = circuit ins in
+  run ~cycles outs

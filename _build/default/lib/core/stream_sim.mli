@@ -1,0 +1,49 @@
+(** Synchronous stream simulation semantics.
+
+    A signal is conceptually the infinite stream of its values, one per
+    clock cycle (paper section 4.2); concretely a memoized cycle-indexed
+    function.  Feedback through a {!dff} is well founded: the value at
+    cycle [i] depends only on values at cycle [i-1]. *)
+
+exception Combinational_cycle of string
+(** Raised when evaluating a signal demands its own value within the same
+    clock cycle — a combinational feedback loop, which the synchronous
+    model forbids (paper section 3). *)
+
+include Signal_intf.CLOCKED
+
+val at : t -> int -> bool
+(** [at s cycle] is the value of [s] during clock cycle [cycle] (0-based).
+    Arbitrary access is correct but may recompute; drive long simulations
+    with {!run} or {!simulate}, which advance cycle by cycle and keep every
+    lookup cached. *)
+
+val input : ?name:string -> (int -> bool) -> t
+(** [input f] is an input signal whose value during cycle [t] is [f t]. *)
+
+val of_list : ?default:bool -> bool list -> t
+(** [of_list vs] is an input signal carrying the successive elements of
+    [vs], then [default] (default [false]) forever after. *)
+
+val of_fun : ?name:string -> (int -> bool) -> t
+(** Alias of {!input}. *)
+
+val reset : unit -> unit
+(** Forget all delay flip flops registered so far.  Call before building a
+    fresh circuit when reusing the module across independent simulations
+    (done automatically by {!simulate}). *)
+
+val run_cycle : t list -> int -> bool list
+(** [run_cycle outputs t] forces every registered dff and each output at
+    cycle [t] and returns the output values.  Call with increasing [t]. *)
+
+val run : cycles:int -> t list -> bool list list
+(** [run ~cycles outputs] simulates cycles [0 .. cycles-1] and returns one
+    row of output values per cycle. *)
+
+val simulate :
+  inputs:bool list list -> ?cycles:int -> (t list -> t list) -> bool list list
+(** [simulate ~inputs circuit] resets the module, builds one input signal
+    per list in [inputs] (padded with [false]), applies [circuit], and runs
+    for [cycles] (default: the longest input list).  Returns one row of
+    output values per cycle. *)

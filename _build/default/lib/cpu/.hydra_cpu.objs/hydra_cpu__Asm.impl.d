@@ -1,0 +1,1 @@
+lib/cpu/asm.ml: Array Buffer Hashtbl Isa List Printf String

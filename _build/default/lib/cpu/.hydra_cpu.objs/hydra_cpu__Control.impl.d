@@ -1,0 +1,1 @@
+lib/cpu/control.ml: Buffer Isa List Printf String

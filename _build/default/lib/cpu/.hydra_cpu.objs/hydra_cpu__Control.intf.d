@@ -1,0 +1,1 @@
+lib/cpu/control.mli: Isa

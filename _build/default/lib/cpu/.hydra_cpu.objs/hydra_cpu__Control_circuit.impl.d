@@ -1,0 +1,1 @@
+lib/cpu/control_circuit.ml: Array Control Fun Hydra_circuits Hydra_core Isa List

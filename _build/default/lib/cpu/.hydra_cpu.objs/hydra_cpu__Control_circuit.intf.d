@@ -1,0 +1,1 @@
+lib/cpu/control_circuit.mli: Control Hydra_core

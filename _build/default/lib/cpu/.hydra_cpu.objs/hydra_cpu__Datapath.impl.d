@@ -1,0 +1,1 @@
+lib/cpu/datapath.ml: Control Hydra_circuits Hydra_core Isa

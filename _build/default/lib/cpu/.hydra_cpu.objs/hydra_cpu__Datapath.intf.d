@@ -1,0 +1,1 @@
+lib/cpu/datapath.mli: Control Hydra_core

@@ -1,0 +1,1 @@
+lib/cpu/driver.ml: Array Control Golden Hydra_core Isa List Printf System

@@ -1,0 +1,1 @@
+lib/cpu/golden.ml: Array Bool Isa List

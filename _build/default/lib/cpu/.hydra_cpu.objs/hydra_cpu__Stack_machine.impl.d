@@ -1,0 +1,1 @@
+lib/cpu/stack_machine.ml: Array Control Control_circuit Hydra_circuits Hydra_core List

@@ -1,0 +1,1 @@
+lib/cpu/stack_machine.mli: Control Hydra_core

@@ -1,0 +1,1 @@
+lib/cpu/system.ml: Control Control_circuit Datapath Hydra_circuits Hydra_core Isa List Option

@@ -1,0 +1,1 @@
+lib/cpu/system.mli: Control_circuit Datapath Hydra_core

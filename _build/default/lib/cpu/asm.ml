@@ -1,0 +1,205 @@
+(* A two-pass assembler for the section-6 processor.
+
+   Syntax (one statement per line; ';' starts a comment):
+
+     label: add   R1,R2,R3        ; RRR
+            inc   R1,R2           ; RRR, sb unused
+            nop / halt            ; RRR, no operands
+            load  R1,x[R2]        ; RX: displacement[index]
+            jump  loop[R0]        ; RX with d = 0
+            jumpf R1,done[R0]     ; RX
+            data  42              ; literal word (decimal, 0x hex, or label)
+
+   Displacements and data may be numbers or labels.  The program is
+   assembled at origin 0 (where the DMA loader places it). *)
+
+type operand = Num of int | Label of string
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+
+type item =
+  | Irrr of Isa.opcode * int * int * int
+  | Irx of Isa.opcode * int * int * operand
+  | Idata of operand
+
+let size_of = function Irrr _ -> 1 | Irx _ -> 2 | Idata _ -> 1
+
+let parse_reg line s =
+  let s = String.trim s in
+  let fail () = error line "expected register, got %S" s in
+  if String.length s < 2 || (s.[0] <> 'R' && s.[0] <> 'r') then fail ();
+  match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+  | Some r when r >= 0 && r < Isa.num_regs -> r
+  | Some r -> error line "register R%d out of range" r
+  | None -> fail ()
+
+let parse_operand line s =
+  let s = String.trim s in
+  if s = "" then error line "empty operand";
+  match int_of_string_opt s with
+  | Some n -> Num n
+  | None ->
+    if
+      (s.[0] >= 'a' && s.[0] <= 'z')
+      || (s.[0] >= 'A' && s.[0] <= 'Z')
+      || s.[0] = '_'
+    then Label s
+    else error line "bad operand %S" s
+
+(* "disp[Rk]" *)
+let parse_rx_arg line s =
+  let s = String.trim s in
+  match String.index_opt s '[' with
+  | None -> error line "RX operand must look like disp[Rn], got %S" s
+  | Some i ->
+    if s.[String.length s - 1] <> ']' then error line "missing ']' in %S" s;
+    let disp = parse_operand line (String.sub s 0 i) in
+    let reg =
+      parse_reg line (String.sub s (i + 1) (String.length s - i - 2))
+    in
+    (disp, reg)
+
+let split_operands s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let opcode_table =
+  [ ("add", Isa.Add); ("sub", Isa.Sub); ("cmplt", Isa.Cmplt);
+    ("cmpeq", Isa.Cmpeq); ("cmpgt", Isa.Cmpgt); ("inc", Isa.Inc);
+    ("and", Isa.Land); ("or", Isa.Lor); ("xor", Isa.Lxor);
+    ("halt", Isa.Halt); ("load", Isa.Load);
+    ("store", Isa.Store); ("ldval", Isa.Ldval); ("jump", Isa.Jump);
+    ("jumpf", Isa.Jumpf); ("jumpt", Isa.Jumpt) ]
+
+let parse_line lineno raw =
+  let text =
+    match String.index_opt raw ';' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let text = String.trim text in
+  if text = "" then (None, None)
+  else
+    let label, rest =
+      match String.index_opt text ':' with
+      | Some i ->
+        let l = String.trim (String.sub text 0 i) in
+        if l = "" then error lineno "empty label";
+        (Some l, String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+      | None -> (None, text)
+    in
+    if rest = "" then (label, None)
+    else
+      let mnemonic, args =
+        match String.index_opt rest ' ' with
+        | Some i ->
+          ( String.lowercase_ascii (String.sub rest 0 i),
+            String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
+        | None -> (String.lowercase_ascii rest, "")
+      in
+      if mnemonic = "data" then
+        (label, Some (Idata (parse_operand lineno args)))
+      else if mnemonic = "nop" then
+        (* nop is an alias for "and R0,R0,R0": rewrite R0 with itself *)
+        (label, Some (Irrr (Isa.Land, 0, 0, 0)))
+      else
+        match List.assoc_opt mnemonic opcode_table with
+        | None -> error lineno "unknown mnemonic %S" mnemonic
+        | Some op -> (
+          let ops = split_operands args in
+          match (op, ops) with
+          | Isa.Halt, [] -> (label, Some (Irrr (op, 0, 0, 0)))
+          | Isa.Inc, [ d; sa ] ->
+            (label, Some (Irrr (op, parse_reg lineno d, parse_reg lineno sa, 0)))
+          | ( Isa.Add | Isa.Sub | Isa.Cmplt | Isa.Cmpeq | Isa.Cmpgt
+            | Isa.Land | Isa.Lor | Isa.Lxor ), [ d; sa; sb ]
+            ->
+            ( label,
+              Some
+                (Irrr
+                   ( op,
+                     parse_reg lineno d,
+                     parse_reg lineno sa,
+                     parse_reg lineno sb )) )
+          | Isa.Jump, [ rx ] ->
+            let disp, sa = parse_rx_arg lineno rx in
+            (label, Some (Irx (op, 0, sa, disp)))
+          | (Isa.Load | Isa.Store | Isa.Ldval | Isa.Jumpf | Isa.Jumpt), [ d; rx ]
+            ->
+            let disp, sa = parse_rx_arg lineno rx in
+            (label, Some (Irx (op, parse_reg lineno d, sa, disp)))
+          | _ ->
+            error lineno "wrong operands for %s" (Isa.opcode_name op))
+
+(* Assemble source text into memory words (origin 0). *)
+let assemble source =
+  let lines = String.split_on_char '\n' source in
+  (* pass 1: collect items and label addresses *)
+  let items = ref [] and labels = Hashtbl.create 16 and addr = ref 0 in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let label, item = parse_line lineno raw in
+      (match label with
+      | Some l ->
+        if Hashtbl.mem labels l then error lineno "duplicate label %S" l;
+        Hashtbl.replace labels l !addr
+      | None -> ());
+      match item with
+      | Some it ->
+        items := (lineno, it) :: !items;
+        addr := !addr + size_of it
+      | None -> ())
+    lines;
+  let items = List.rev !items in
+  (* pass 2: resolve and encode *)
+  let resolve lineno = function
+    | Num n -> n
+    | Label l -> (
+        match Hashtbl.find_opt labels l with
+        | Some a -> a
+        | None -> error lineno "undefined label %S" l)
+  in
+  List.concat_map
+    (fun (lineno, it) ->
+      match it with
+      | Irrr (op, d, sa, sb) -> Isa.encode (Isa.Rrr (op, d, sa, sb))
+      | Irx (op, d, sa, disp) ->
+        Isa.encode (Isa.Rx (op, d, sa, resolve lineno disp))
+      | Idata v -> [ resolve lineno v land 0xffff ])
+    items
+
+let labels_of source =
+  let lines = String.split_on_char '\n' source in
+  let labels = Hashtbl.create 16 and addr = ref 0 in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let label, item = parse_line lineno raw in
+      (match label with
+      | Some l -> Hashtbl.replace labels l !addr
+      | None -> ());
+      match item with
+      | Some it -> addr := !addr + size_of it
+      | None -> ())
+    lines;
+  labels
+
+(* Disassemble a memory image of [words]. *)
+let disassemble words =
+  let arr = Array.of_list words in
+  let buf = Buffer.create 256 in
+  let i = ref 0 in
+  while !i < Array.length arr do
+    let fetch a = if a < Array.length arr then arr.(a) else 0 in
+    let instr, len = Isa.decode ~fetch !i in
+    Buffer.add_string buf
+      (Printf.sprintf "%04x  %s\n" !i (Isa.to_string instr));
+    i := !i + len
+  done;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Two-pass assembler and disassembler for the section-6 processor.
+
+    Syntax (one statement per line, [;] comments):
+    {v
+      label: add   R1,R2,R3      ; RRR
+             inc   R1,R2
+             nop / halt
+             load  R1,x[R2]      ; RX: displacement[index]
+             jump  loop[R0]
+             jumpf R1,done[R0]
+             data  42            ; literal word (decimal, 0x hex, label)
+    v} *)
+
+type operand = Num of int | Label of string
+
+exception Error of { line : int; message : string }
+
+val assemble : string -> int list
+(** Assemble source text at origin 0; raises {!Error} with the offending
+    line on any problem. *)
+
+val labels_of : string -> (string, int) Hashtbl.t
+(** Label addresses of a source text. *)
+
+val disassemble : int list -> string
+(** Textual listing of a memory image (data words decode as whatever
+    instruction their bits spell). *)

@@ -1,0 +1,215 @@
+(* The control algorithm (paper section 6.2).
+
+   "It is best to define the control system in two stages: first as an
+   abstract control algorithm and then as a detailed control circuit."
+   This module is the first stage: a data representation of the imperative
+   control program — an infinite loop of fetch, dispatch on the opcode,
+   and a short sequence of states per instruction, each state asserting a
+   set of control signals.  {!Control_circuit} compiles it to hardware
+   with the delay element method (section 6.3). *)
+
+(* The individual control signals of the datapath (paper section 6.1). *)
+type ctl =
+  | Rf_ld   (* register file writes reg[ir_d] := p at the tick *)
+  | Rf_alu  (* rf write data p comes from the ALU result r (else indat) *)
+  | Rf_sd   (* rf read address sa := ir_d (else ir_sa) *)
+  | Ir_ld   (* instruction register loads indat *)
+  | Pc_ld   (* program counter loads r *)
+  | Ad_ld   (* address register loads *)
+  | Ad_alu  (* ad input comes from r (else indat) *)
+  | Ma_pc   (* memory address is pc (else ad) *)
+  | X_pc    (* ALU x operand is pc (else a) *)
+  | Y_ad    (* ALU y operand is ad (else b) *)
+  | Sto     (* memory write enable: mem[ma] := a at the tick *)
+
+let all_ctls =
+  [ Rf_ld; Rf_alu; Rf_sd; Ir_ld; Pc_ld; Ad_ld; Ad_alu; Ma_pc; X_pc; Y_ad; Sto ]
+
+let ctl_name = function
+  | Rf_ld -> "ctl_rf_ld"
+  | Rf_alu -> "ctl_rf_alu"
+  | Rf_sd -> "ctl_rf_sd"
+  | Ir_ld -> "ctl_ir_ld"
+  | Pc_ld -> "ctl_pc_ld"
+  | Ad_ld -> "ctl_ad_ld"
+  | Ad_alu -> "ctl_ad_alu"
+  | Ma_pc -> "ctl_ma_pc"
+  | X_pc -> "ctl_x_pc"
+  | Y_ad -> "ctl_y_ad"
+  | Sto -> "ctl_sto"
+
+(* ALU operation requested by a state (4-bit abcd code, {!Hydra_circuits.Alu}). *)
+type alu_sel =
+  | Alu_add
+  | Alu_sub
+  | Alu_inc
+  | Alu_and
+  | Alu_or
+  | Alu_xor
+  | Alu_lt
+  | Alu_eq
+  | Alu_gt
+
+let alu_code = function
+  | Alu_add -> 0b0000
+  | Alu_sub -> 0b0100
+  | Alu_inc -> 0b1100
+  | Alu_and -> 0b1101
+  | Alu_or -> 0b1110
+  | Alu_xor -> 0b1111
+  | Alu_lt -> 0b1001
+  | Alu_eq -> 0b1010
+  | Alu_gt -> 0b1011
+
+(* Where the control token goes after a state. *)
+type next =
+  | Next_state       (* fall through to the following state in the list *)
+  | To_fetch         (* back to st_instr_fet *)
+  | Stay             (* self-loop: the halt state *)
+  | If_cond_next
+      (* conditional: when the datapath's cond bit is 1 the token falls
+         through to the next state, otherwise it returns to fetch
+         (used by jumpt) *)
+  | If_not_cond_next
+      (* the mirror: cond = 0 falls through, cond = 1 returns to fetch
+         (used by jumpf) *)
+
+type state = {
+  name : string;
+  operation : string;  (* the paper-style register-transfer comment *)
+  signals : ctl list;
+  alu : alu_sel;
+  next : next;
+}
+
+let st ?(alu = Alu_add) ?(next = Next_state) name operation signals =
+  { name; operation; signals; alu; next }
+
+type algorithm = {
+  fetch : state;
+  (* per opcode 0..15, the execution sequence (possibly empty = straight
+     back to fetch, like nop) *)
+  sequences : (Isa.opcode * state list) list;
+}
+
+(* The control algorithm for the section-6 processor.  The fetch and Load
+   sequences are the paper's, verbatim. *)
+let algorithm =
+  let fetch =
+    st "st_instr_fet" "ir := mem[pc], pc++"
+      [ Ma_pc; Ir_ld; X_pc; Pc_ld ]
+      ~alu:Alu_inc ~next:Next_state
+  in
+  (* The common first state of every RX instruction: fetch the
+     displacement word into ad and increment the pc. *)
+  let fetch_disp name =
+    st name "ad := mem[pc], pc++" [ Ma_pc; Ad_ld; X_pc; Pc_ld ] ~alu:Alu_inc
+  in
+  let effective_address name =
+    st name "ad := reg[ir_sa] + ad" [ Y_ad; Ad_ld; Ad_alu ] ~alu:Alu_add
+  in
+  let alu_rrr name operation sel =
+    [ st name operation [ Rf_ld; Rf_alu ] ~alu:sel ~next:To_fetch ]
+  in
+  let sequences =
+    [
+      (Isa.Add, alu_rrr "st_add" "reg[ir_d] := reg[ir_sa] + reg[ir_sb]" Alu_add);
+      ( Isa.Load,
+        [
+          fetch_disp "st_load0";
+          effective_address "st_load1";
+          st "st_load2" "reg[ir_d] := mem[ad]" [ Rf_ld ] ~next:To_fetch;
+        ] );
+      ( Isa.Store,
+        [
+          fetch_disp "st_store0";
+          effective_address "st_store1";
+          st "st_store2" "mem[ad] := reg[ir_d]" [ Rf_sd; Sto ] ~next:To_fetch;
+        ] );
+      ( Isa.Ldval,
+        [
+          fetch_disp "st_ldval0";
+          st "st_ldval1" "reg[ir_d] := reg[ir_sa] + ad" [ Y_ad; Rf_ld; Rf_alu ]
+            ~alu:Alu_add ~next:To_fetch;
+        ] );
+      (Isa.Sub, alu_rrr "st_sub" "reg[ir_d] := reg[ir_sa] - reg[ir_sb]" Alu_sub);
+      (Isa.Halt, [ st "st_halt" "halt" [] ~next:Stay ]);
+      (Isa.Cmplt, alu_rrr "st_cmplt" "reg[ir_d] := reg[ir_sa] < reg[ir_sb]" Alu_lt);
+      (Isa.Cmpeq, alu_rrr "st_cmpeq" "reg[ir_d] := reg[ir_sa] = reg[ir_sb]" Alu_eq);
+      (Isa.Cmpgt, alu_rrr "st_cmpgt" "reg[ir_d] := reg[ir_sa] > reg[ir_sb]" Alu_gt);
+      ( Isa.Jump,
+        [
+          fetch_disp "st_jump0";
+          st "st_jump1" "pc := reg[ir_sa] + ad" [ Y_ad; Pc_ld ] ~alu:Alu_add
+            ~next:To_fetch;
+        ] );
+      ( Isa.Jumpf,
+        [
+          (* present reg[ir_d] on read port a so cond = (reg[ir_d] <> 0) *)
+          st "st_jumpf0" "ad := mem[pc], pc++; test reg[ir_d]"
+            [ Ma_pc; Ad_ld; X_pc; Pc_ld; Rf_sd ]
+            ~alu:Alu_inc ~next:If_not_cond_next;
+          st "st_jumpf1" "pc := reg[ir_sa] + ad" [ Y_ad; Pc_ld ] ~alu:Alu_add
+            ~next:To_fetch;
+        ] );
+      ( Isa.Jumpt,
+        [
+          st "st_jumpt0" "ad := mem[pc], pc++; test reg[ir_d]"
+            [ Ma_pc; Ad_ld; X_pc; Pc_ld; Rf_sd ]
+            ~alu:Alu_inc ~next:If_cond_next;
+          st "st_jumpt1" "pc := reg[ir_sa] + ad" [ Y_ad; Pc_ld ] ~alu:Alu_add
+            ~next:To_fetch;
+        ] );
+      (Isa.Inc, alu_rrr "st_inc" "reg[ir_d] := reg[ir_sa] + 1" Alu_inc);
+      (Isa.Land, alu_rrr "st_and" "reg[ir_d] := reg[ir_sa] and reg[ir_sb]" Alu_and);
+      (Isa.Lor, alu_rrr "st_or" "reg[ir_d] := reg[ir_sa] or reg[ir_sb]" Alu_or);
+      (Isa.Lxor, alu_rrr "st_xor" "reg[ir_d] := reg[ir_sa] xor reg[ir_sb]" Alu_xor);
+    ]
+  in
+  { fetch; sequences }
+
+(* All states of the algorithm in document order: fetch, dispatch (implied),
+   then each opcode's sequence. *)
+let states alg =
+  alg.fetch :: List.concat_map snd alg.sequences
+
+let sequence_for alg op =
+  match List.assoc_opt op alg.sequences with
+  | Some seq -> seq
+  | None -> []
+
+(* Pretty-print the algorithm in the paper's notation. *)
+let to_string alg =
+  let buf = Buffer.create 1024 in
+  let state s =
+    Buffer.add_string buf (Printf.sprintf "%s:\n  %s\n" s.name s.operation);
+    let sigs = List.map ctl_name s.signals in
+    let alu_note =
+      if s.alu = Alu_add then []
+      else
+        [ Printf.sprintf "ctl_alu_abcd=%d%d%d%d"
+            ((alu_code s.alu lsr 3) land 1)
+            ((alu_code s.alu lsr 2) land 1)
+            ((alu_code s.alu lsr 1) land 1)
+            (alu_code s.alu land 1) ]
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  {%s}\n" (String.concat ", " (sigs @ alu_note)));
+    (match s.next with
+    | If_cond_next ->
+      Buffer.add_string buf "  if cond = 0 then goto st_instr_fet\n"
+    | If_not_cond_next ->
+      Buffer.add_string buf "  if cond = 1 then goto st_instr_fet\n"
+    | Stay -> Buffer.add_string buf "  (stays here forever)\n"
+    | Next_state | To_fetch -> ())
+  in
+  state alg.fetch;
+  Buffer.add_string buf "st_dispatch:\n  case ir_op of\n";
+  List.iter
+    (fun (op, seq) ->
+      Buffer.add_string buf
+        (Printf.sprintf "-- %s (opcode %d)\n" (Isa.opcode_name op)
+           (Isa.int_of_opcode op));
+      List.iter state seq)
+    alg.sequences;
+  Buffer.contents buf

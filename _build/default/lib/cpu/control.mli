@@ -1,0 +1,69 @@
+(** The abstract control algorithm (paper section 6.2): an infinite loop
+    of fetch, dispatch on the opcode, and a short sequence of states per
+    instruction, each asserting a set of control signals.  Represented as
+    data so that {!Control_circuit} can compile it to hardware. *)
+
+(** The datapath's control signals (paper section 6.1). *)
+type ctl =
+  | Rf_ld  (** register file writes reg[ir_d] := p at the tick *)
+  | Rf_alu  (** rf write data comes from the ALU result (else indat) *)
+  | Rf_sd  (** rf read address sa := ir_d (else ir_sa) *)
+  | Ir_ld  (** instruction register loads indat *)
+  | Pc_ld  (** program counter loads r *)
+  | Ad_ld  (** address register loads *)
+  | Ad_alu  (** ad input comes from r (else indat) *)
+  | Ma_pc  (** memory address is pc (else ad) *)
+  | X_pc  (** ALU x operand is pc (else a) *)
+  | Y_ad  (** ALU y operand is ad (else b) *)
+  | Sto  (** memory write enable *)
+
+val all_ctls : ctl list
+val ctl_name : ctl -> string
+
+type alu_sel =
+  | Alu_add
+  | Alu_sub
+  | Alu_inc
+  | Alu_and
+  | Alu_or
+  | Alu_xor
+  | Alu_lt
+  | Alu_eq
+  | Alu_gt
+
+val alu_code : alu_sel -> int
+(** The 4-bit abcd code ({!Hydra_circuits.Alu}). *)
+
+(** Where the control token goes after a state. *)
+type next =
+  | Next_state
+  | To_fetch
+  | Stay  (** self-loop: the halt state *)
+  | If_cond_next  (** cond = 1 falls through, else back to fetch (jumpt) *)
+  | If_not_cond_next  (** cond = 0 falls through (jumpf) *)
+
+type state = {
+  name : string;
+  operation : string;  (** register-transfer comment, paper style *)
+  signals : ctl list;
+  alu : alu_sel;
+  next : next;
+}
+
+val st :
+  ?alu:alu_sel -> ?next:next -> string -> string -> ctl list -> state
+
+type algorithm = {
+  fetch : state;
+  sequences : (Isa.opcode * state list) list;
+}
+
+val algorithm : algorithm
+(** The control algorithm for the section-6 processor; the fetch and Load
+    sequences are the paper's, verbatim. *)
+
+val states : algorithm -> state list
+val sequence_for : algorithm -> Isa.opcode -> state list
+
+val to_string : algorithm -> string
+(** Pretty-print in the paper's notation. *)

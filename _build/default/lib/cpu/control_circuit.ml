@@ -1,0 +1,181 @@
+(* Control circuit synthesis: the delay element method (paper section 6.3).
+
+   The circuit contains one flip flop per state of the control algorithm; a
+   unique 1 ("I am in this state") travels through them exactly as the
+   locus of execution moves through the algorithm:
+
+     st_instr_fet = dff (start OR every token returning to fetch)
+     st_dispatch  = dff st_instr_fet
+     p            = demuxw op st_dispatch
+     first state of sequence entered by code i = dff (p !! i), then chained
+
+   Conditional transfers route the token with a demultiplexer driven by
+   the datapath's cond bit.  [synthesize_fsm] builds this one-hot skeleton
+   for ANY machine — the dispatch codes just have to partition the opcode
+   space; [synthesize] instantiates it for the section-6 processor and
+   ors the state tokens into its named control signals. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  module G = Hydra_circuits.Gates.Make (S)
+  module M = Hydra_circuits.Mux.Make (S)
+
+  (* The machine-independent skeleton: one-hot state tokens. *)
+  type fsm = {
+    token : string -> S.t;        (* state token by name *)
+    state_tokens : (string * S.t) list;  (* in document order *)
+    fsm_halted : S.t;             (* or of the Stay states *)
+  }
+
+  (* [synthesize_fsm ~fetch_name ~sequences ~start ~op ~cond]:
+     [sequences] associates each execution sequence — a list of
+     (state name, transition) pairs — with the dispatch codes (values of
+     the [op] word) that enter it; together the codes must cover every
+     opcode exactly once. *)
+  let synthesize_fsm ~fetch_name
+      ~(sequences : (int list * (string * Control.next) list) list) ~start
+      ~op ~cond =
+    let states = ref [] in
+    let halted = ref S.zero in
+    let returns = ref [] in
+    let add_state name token = states := (name, token) :: !states in
+    (* token flow along one sequence; returns the fall-out-the-end token *)
+    let rec flow token seq =
+      match seq with
+      | [] -> token
+      | (name, next) :: rest ->
+        let tok = S.label name (S.dff token) in
+        add_state name tok;
+        (match next with
+        | Control.Next_state -> flow tok rest
+        | Control.To_fetch ->
+          assert (rest = []);
+          tok
+        | Control.Stay ->
+          failwith
+            "Control_circuit: Stay is only supported as a whole sequence"
+        | Control.If_cond_next ->
+          (* cond = 1 falls through, cond = 0 returns to fetch *)
+          let not_taken, taken = M.demux1 cond tok in
+          returns := not_taken :: !returns;
+          flow taken rest
+        | Control.If_not_cond_next ->
+          let taken, not_taken = M.demux1 cond tok in
+          returns := not_taken :: !returns;
+          flow taken rest)
+    in
+    (* a Stay state holds its token with a self-loop *)
+    let flow_halt token name =
+      let tok =
+        S.feedback (fun self -> S.label name (S.dff (S.or2 token self)))
+      in
+      add_state name tok;
+      halted := S.or2 !halted tok;
+      S.zero
+    in
+    let nlines = 1 lsl List.length op in
+    let owners = Array.make nlines 0 in
+    List.iter
+      (fun (codes, _) ->
+        List.iter
+          (fun c ->
+            if c < 0 || c >= nlines then
+              invalid_arg "Control_circuit: dispatch code out of range";
+            owners.(c) <- owners.(c) + 1)
+          codes)
+      sequences;
+    if Array.exists (fun k -> k <> 1) owners then
+      invalid_arg
+        "Control_circuit: dispatch codes must partition the opcode space";
+    let _fetch_token =
+      S.feedback (fun fetch_loop ->
+          let fetch_loop = S.label fetch_name fetch_loop in
+          add_state fetch_name fetch_loop;
+          let dispatch = S.label "st_dispatch" (S.dff fetch_loop) in
+          add_state "st_dispatch" dispatch;
+          let p = M.demuxw op dispatch in
+          let entry_for codes =
+            G.orw (List.filteri (fun i _ -> List.mem i codes) p)
+          in
+          let seq_ends =
+            List.map
+              (fun (codes, seq) ->
+                let entry = entry_for codes in
+                match seq with
+                | [ (name, Control.Stay) ] -> flow_halt entry name
+                | _ -> flow entry seq)
+              sequences
+          in
+          (* the loop placeholder transparently forwards to this dff in
+             every semantics, so the recorded fetch token needs no patch *)
+          S.dff (G.orw ((start :: seq_ends) @ !returns)))
+    in
+    let state_tokens = List.rev !states in
+    let token name =
+      match List.assoc_opt name state_tokens with
+      | Some t -> t
+      | None -> invalid_arg ("Control_circuit: unknown state " ^ name)
+    in
+    { token; state_tokens; fsm_halted = !halted }
+
+  (* ------------------------------------------------------------------ *)
+  (* The section-6 processor's control circuit: the FSM skeleton plus the
+     named control signals, each the or of the states that assert it. *)
+
+  type outputs = {
+    ctl : Control.ctl -> S.t;
+    alu_op : S.t list;  (* 4-bit abcd code for the ALU *)
+    states : (string * S.t) list;  (* one-hot state word, for observation *)
+    halted : S.t;
+  }
+
+  let synthesize (alg : Control.algorithm) ~start ~ir_op ~cond =
+    let sequences =
+      List.map
+        (fun (opc, seq) ->
+          let codes =
+            List.filter
+              (fun i -> Isa.opcode_of_int i = opc)
+              (List.init 16 Fun.id)
+          in
+          ( codes,
+            List.map (fun st -> (st.Control.name, st.Control.next)) seq ))
+        alg.Control.sequences
+    in
+    let fsm =
+      synthesize_fsm ~fetch_name:alg.Control.fetch.Control.name ~sequences
+        ~start ~op:ir_op ~cond
+    in
+    (* per-state signal/alu annotations, fetch included *)
+    let annotated = Control.states alg in
+    let ctl c =
+      let setters =
+        List.filter_map
+          (fun st ->
+            if List.mem c st.Control.signals then
+              Some (fsm.token st.Control.name)
+            else None)
+          annotated
+      in
+      match setters with
+      | [] -> S.zero
+      | _ -> S.label (Control.ctl_name c) (G.orw setters)
+    in
+    let alu_op =
+      List.init 4 (fun bit ->
+          let setters =
+            List.filter_map
+              (fun st ->
+                if (Control.alu_code st.Control.alu lsr (3 - bit)) land 1 = 1
+                then Some (fsm.token st.Control.name)
+                else None)
+              annotated
+          in
+          match setters with [] -> S.zero | _ -> G.orw setters)
+    in
+    {
+      ctl;
+      alu_op;
+      states = fsm.state_tokens;
+      halted = fsm.fsm_halted;
+    }
+end

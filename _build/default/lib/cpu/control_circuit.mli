@@ -1,0 +1,42 @@
+(** Control circuit synthesis by the delay element method (paper section
+    6.3): one flip flop per state; a unique 1 travels through them as the
+    locus of execution moves through the algorithm; each control signal is
+    the or of the states that assert it. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  (** The machine-independent skeleton: one-hot state tokens for any
+      fetch/dispatch/sequence control algorithm. *)
+  type fsm = {
+    token : string -> S.t;  (** state token by name *)
+    state_tokens : (string * S.t) list;
+    fsm_halted : S.t;  (** or of the [Stay] states *)
+  }
+
+  val synthesize_fsm :
+    fetch_name:string ->
+    sequences:(int list * (string * Control.next) list) list ->
+    start:S.t ->
+    op:S.t list ->
+    cond:S.t ->
+    fsm
+  (** [sequences] pairs each execution sequence — (state name, transition)
+      pairs — with the dispatch codes of the [op] word that enter it; the
+      codes must partition the opcode space.  This is how a control
+      circuit for {e any} machine is synthesized; the stack machine
+      ({!Stack_machine}) uses it directly. *)
+
+  type outputs = {
+    ctl : Control.ctl -> S.t;
+    alu_op : S.t list;  (** the 4-bit abcd code for the ALU *)
+    states : (string * S.t) list;
+        (** the one-hot control state word, for observation (paper: "it
+            outputs a word representing the control state") *)
+    halted : S.t;
+  }
+
+  val synthesize :
+    Control.algorithm -> start:S.t -> ir_op:S.t list -> cond:S.t -> outputs
+  (** [start] is the one-cycle reset pulse, [ir_op] the opcode field of
+      the instruction register, [cond] the condition bit from the
+      datapath. *)
+end

@@ -1,0 +1,85 @@
+(* The datapath circuit (paper section 6.1), translated equation for
+   equation.
+
+   The datapath contains the register file, the instruction register ir,
+   the program counter pc and the address register ad, the ALU, and the
+   internal buses selected by multiplexers.  It performs whatever the
+   control signals command each cycle.  The construction-time circularity
+   (the register file's write data p depends on the ALU result r, which
+   depends on the register file's outputs) is tied with [feedback_list];
+   at clock level every such loop passes through a register, so the
+   circuit is synchronous and well founded. *)
+
+module Bitvec = Hydra_core.Bitvec
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  module G = Hydra_circuits.Gates.Make (S)
+  module M = Hydra_circuits.Mux.Make (S)
+  module A = Hydra_circuits.Alu.Make (S)
+  module R = Hydra_circuits.Regs.Make (S)
+
+  type control_bus = {
+    get : Control.ctl -> S.t;
+    alu_op : S.t list;  (* abcd *)
+  }
+
+  type outputs = {
+    ma : S.t list;    (* memory address *)
+    cond : S.t;       (* condition bit: reg-file port a <> 0 *)
+    a : S.t list;     (* register file read port a (also memory data out) *)
+    b : S.t list;
+    ir : S.t list;
+    pc : S.t list;
+    ad : S.t list;
+    ovfl : S.t;
+    r : S.t list;     (* ALU result *)
+    x : S.t list;     (* ALU operands *)
+    y : S.t list;
+    p : S.t list;     (* register file write data *)
+    ir_op : S.t list;
+    ir_d : S.t list;
+    ir_sa : S.t list;
+    ir_sb : S.t list;
+  }
+
+  let n = Isa.word_size
+  let k = Isa.reg_address_bits
+
+  let datapath (control : control_bus) (indat : S.t list) =
+    let ctl = control.get in
+    let ir = R.reg (ctl Control.Ir_ld) indat in
+    (* instruction fields (paper: field ir 0 4 etc.) *)
+    let ir_op = Bitvec.field ir 0 4 in
+    let ir_d = Bitvec.field ir 4 4 in
+    let ir_sa = Bitvec.field ir 8 4 in
+    let ir_sb = Bitvec.field ir 12 4 in
+    let stash = ref None in
+    (* The loop word is pc ++ ad ++ p: the three signals involved in
+       construction-time circularity. *)
+    let loop = S.feedback_list (3 * n) (fun loop ->
+        let pc, rest = Hydra_core.Patterns.split_at n loop in
+        let ad, p = Hydra_core.Patterns.split_at n rest in
+        let rf_sa = M.wmux1 (ctl Control.Rf_sd) ir_sa ir_d in
+        let rf_sb = ir_sb in
+        let a, b = R.regfile k (ctl Control.Rf_ld) ir_d rf_sa rf_sb p in
+        let x = M.wmux1 (ctl Control.X_pc) a pc in
+        let y = M.wmux1 (ctl Control.Y_ad) b ad in
+        let ovfl, r = A.alu control.alu_op x y in
+        let pc' = R.reg (ctl Control.Pc_ld) r in
+        let ad' =
+          R.reg (ctl Control.Ad_ld)
+            (M.wmux1 (ctl Control.Ad_alu) indat r)
+        in
+        let p' = M.wmux1 (ctl Control.Rf_alu) indat r in
+        stash := Some (a, b, x, y, r, ovfl);
+        pc' @ ad' @ p')
+    in
+    let pc, rest = Hydra_core.Patterns.split_at n loop in
+    let ad, p = Hydra_core.Patterns.split_at n rest in
+    let a, b, x, y, r, ovfl =
+      match !stash with Some v -> v | None -> assert false
+    in
+    let ma = M.wmux1 (ctl Control.Ma_pc) ad pc in
+    let cond = G.any1 a in
+    { ma; cond; a; b; ir; pc; ad; ovfl; r; x; y; p; ir_op; ir_d; ir_sa; ir_sb }
+end

@@ -1,0 +1,39 @@
+(** The datapath circuit (paper section 6.1), translated equation for
+    equation: register file, ir/pc/ad registers, ALU, and the multiplexed
+    internal buses, all commanded by the control signals. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  type control_bus = {
+    get : Control.ctl -> S.t;
+    alu_op : S.t list;
+  }
+
+  type outputs = {
+    ma : S.t list;  (** memory address *)
+    cond : S.t;  (** condition bit: read port a <> 0 (the paper's any1) *)
+    a : S.t list;  (** register file read port a; also memory write data *)
+    b : S.t list;
+    ir : S.t list;
+    pc : S.t list;
+    ad : S.t list;
+    ovfl : S.t;
+    r : S.t list;  (** ALU result *)
+    x : S.t list;
+    y : S.t list;
+    p : S.t list;  (** register file write data *)
+    ir_op : S.t list;  (** instruction fields (paper's [field ir 0 4]...) *)
+    ir_d : S.t list;
+    ir_sa : S.t list;
+    ir_sb : S.t list;
+  }
+
+  val n : int
+  (** Word size (16). *)
+
+  val k : int
+  (** Register address bits (4). *)
+
+  val datapath : control_bus -> S.t list -> outputs
+  (** [datapath control indat]: the paper's circuit; [indat] is the
+      memory/input data word. *)
+end

@@ -1,0 +1,214 @@
+(* Simulation driver (paper section 6.4).
+
+   "Hydra provides a set of tools for defining simulation drivers... it
+   takes the machine language program to be executed, generates the
+   control signals needed to load it into memory via direct memory access
+   I/O (DMA), it starts the machine, and it formats the various control
+   and datapath outputs."
+
+   Two memory configurations:
+   - [run_structural]: the whole system, gate-level RAM included, runs in
+     the stream semantics; the program is loaded through the DMA circuit.
+   - [run_behavioural]: the processor core runs at gate level; the memory
+     is an OCaml array driven through the exposed memory bus.  This is the
+     substitution for a full 64K-word gate-level RAM (see DESIGN.md) and
+     lets long programs run quickly. *)
+
+module S = Hydra_core.Stream_sim
+module Bitvec = Hydra_core.Bitvec
+module Sys_c = System.Make (S)
+
+type trace_entry = {
+  cycle : int;
+  state : string;
+  pc : int;
+  ir : int;
+  ad : int;
+  r : int;
+  a : int;
+  b : int;
+  ma : int;
+  indat : int;
+}
+
+type result = {
+  trace : trace_entry list;
+  events : Golden.event list;  (* reg/mem writes and jumps, in order *)
+  cycles : int;                (* cycles from start pulse to halt *)
+  halted : bool;
+}
+
+let word_of_int = Bitvec.of_int ~width:Isa.word_size
+
+(* Observation plumbing: evaluate a word of signals at a cycle. *)
+let word_at t ws = Bitvec.to_int (List.map (fun s -> S.at s t) ws)
+
+let state_name_at t states =
+  match
+    List.find_opt (fun (_, s) -> S.at s t) states
+  with
+  | Some (n, _) -> n
+  | None -> "-"
+
+let trace_fmt e =
+  Printf.sprintf "%4d  %-13s pc=%04x ir=%04x ad=%04x r=%04x a=%04x b=%04x"
+    e.cycle e.state e.pc e.ir e.ad e.r e.a e.b
+
+(* Shared per-cycle observation. *)
+let observe (outs : Sys_c.outputs) t =
+  let dp = outs.Sys_c.dp in
+  {
+    cycle = t;
+    state = state_name_at t outs.Sys_c.control.Sys_c.CC.states;
+    pc = word_at t dp.Sys_c.D.pc;
+    ir = word_at t dp.Sys_c.D.ir;
+    ad = word_at t dp.Sys_c.D.ad;
+    r = word_at t dp.Sys_c.D.r;
+    a = word_at t dp.Sys_c.D.a;
+    b = word_at t dp.Sys_c.D.b;
+    ma = word_at t dp.Sys_c.D.ma;
+    indat = word_at t outs.Sys_c.mem_rdata;
+  }
+
+let events_at (outs : Sys_c.outputs) ~dma_active t =
+  let dp = outs.Sys_c.dp in
+  let ctl c = S.at (outs.Sys_c.control.Sys_c.CC.ctl c) t in
+  let evs = ref [] in
+  if not (dma_active t) then begin
+    if ctl Control.Rf_ld then
+      evs :=
+        Golden.Reg_write
+          { reg = word_at t dp.Sys_c.D.ir_d; value = word_at t dp.Sys_c.D.p }
+        :: !evs;
+    if ctl Control.Sto then
+      evs :=
+        Golden.Mem_write
+          { addr = word_at t dp.Sys_c.D.ma; value = word_at t dp.Sys_c.D.a }
+        :: !evs;
+    (* a taken jump: pc loaded outside the fetch/rx-fetch states *)
+    let state = state_name_at t outs.Sys_c.control.Sys_c.CC.states in
+    if
+      ctl Control.Pc_ld
+      && (state = "st_jump1" || state = "st_jumpf1" || state = "st_jumpt1")
+    then
+      evs := Golden.Jump_taken { target = word_at t dp.Sys_c.D.r } :: !evs
+  end;
+  List.rev !evs
+
+(* Run with the gate-level RAM: [mem_bits] address bits.  The program is
+   DMA-loaded into addresses 0.., then [start] pulses. *)
+let run_structural ?(mem_bits = 6) ?(max_cycles = 2000) ?(collect_trace = true)
+    program =
+  if List.length program > 1 lsl mem_bits then
+    invalid_arg "Driver.run_structural: program does not fit in memory";
+  S.reset ();
+  let prog = Array.of_list program in
+  let load_cycles = Array.length prog in
+  let dma_active t = t < load_cycles in
+  let start = S.input (fun t -> t = load_cycles) in
+  let dma = S.input dma_active in
+  let dma_a =
+    List.init Isa.word_size (fun bit ->
+        S.input (fun t ->
+            if dma_active t then List.nth (word_of_int t) bit else false))
+  in
+  let dma_d =
+    List.init Isa.word_size (fun bit ->
+        S.input (fun t ->
+            if dma_active t then List.nth (word_of_int prog.(t)) bit else false))
+  in
+  let outs = Sys_c.system ~mem_bits { Sys_c.start; dma; dma_a; dma_d } in
+  let trace = ref [] and events = ref [] in
+  let halted = ref false in
+  let t = ref 0 in
+  let total = ref 0 in
+  while (not !halted) && !t < max_cycles + load_cycles do
+    ignore (S.run_cycle [ outs.Sys_c.halted ] !t);
+    if collect_trace && not (dma_active !t) then
+      trace := observe outs !t :: !trace;
+    events := List.rev_append (events_at outs ~dma_active !t) !events;
+    if S.at outs.Sys_c.halted !t then halted := true;
+    incr t
+  done;
+  total := !t - load_cycles - 1 (* cycles after the start pulse *);
+  {
+    trace = List.rev !trace;
+    events = List.rev (if !halted then Golden.Halted :: !events else !events);
+    cycles = max 0 !total;
+    halted = !halted;
+  }
+
+(* Run with behavioural memory: the core is gate level; memory reads come
+   from an OCaml array and writes observed on the bus update it at the end
+   of each cycle. *)
+let run_behavioural ?(mem_words = 65536) ?(max_cycles = 100_000)
+    ?(collect_trace = true) program =
+  S.reset ();
+  let mem = Array.make mem_words 0 in
+  List.iteri (fun i w -> mem.(i) <- w land 0xffff) program;
+  let start = S.input (fun t -> t = 0) in
+  let dma = S.input (fun _ -> false) in
+  let zero_word = List.init Isa.word_size (fun _ -> S.zero) in
+  (* indat: combinational read of the memory array at the current bus
+     address.  Reading the address signals from inside the input closure
+     is safe: the address derives from register outputs only. *)
+  let outs_ref = ref None in
+  let indat =
+    List.init Isa.word_size (fun bit ->
+        S.input (fun t ->
+            match !outs_ref with
+            | None -> false
+            | Some outs ->
+              let addr = word_at t outs.Sys_c.mem_addr mod mem_words in
+              List.nth (word_of_int mem.(addr)) bit))
+  in
+  let outs =
+    Sys_c.system_external_memory
+      { Sys_c.start; dma; dma_a = zero_word; dma_d = zero_word }
+      ~indat
+  in
+  outs_ref := Some outs;
+  let trace = ref [] and events = ref [] in
+  let halted = ref false in
+  let t = ref 0 in
+  while (not !halted) && !t < max_cycles do
+    ignore (S.run_cycle [ outs.Sys_c.halted ] !t);
+    if collect_trace then
+      trace := observe outs !t :: !trace;
+    events := List.rev_append (events_at outs ~dma_active:(fun _ -> false) !t) !events;
+    (* commit the memory write for this cycle *)
+    if S.at outs.Sys_c.mem_write !t then begin
+      let addr = word_at !t outs.Sys_c.mem_addr mod mem_words in
+      mem.(addr) <- word_at !t outs.Sys_c.mem_wdata
+    end;
+    if S.at outs.Sys_c.halted !t then halted := true;
+    incr t
+  done;
+  {
+    trace = List.rev !trace;
+    events = List.rev (if !halted then Golden.Halted :: !events else !events);
+    cycles = (if !t > 0 then !t - 1 else 0);
+    halted = !halted;
+  }
+
+(* The structural RAM is internal to the circuit, so final memory (and
+   register) contents are reconstructed by replaying the event log over
+   the loaded program. *)
+let final_memory ~size result ~program =
+  let mem = Array.make size 0 in
+  List.iteri (fun i w -> if i < size then mem.(i) <- w land 0xffff) program;
+  List.iter
+    (function
+      | Golden.Mem_write { addr; value } -> if addr < size then mem.(addr) <- value
+      | Golden.Reg_write _ | Golden.Jump_taken _ | Golden.Halted -> ())
+    result.events;
+  mem
+
+let final_registers result =
+  let regs = Array.make Isa.num_regs 0 in
+  List.iter
+    (function
+      | Golden.Reg_write { reg; value } -> regs.(reg) <- value
+      | Golden.Mem_write _ | Golden.Jump_taken _ | Golden.Halted -> ())
+    result.events;
+  regs

@@ -1,0 +1,53 @@
+(** Simulation driver (paper section 6.4): loads a machine-language
+    program via DMA, pulses start, runs the gate-level system in the
+    stream semantics, and formats the control/datapath outputs.  Events
+    (register writes, memory writes, taken jumps, halt) are extracted in
+    {!Golden.event} form so runs can be compared with the golden model
+    exactly. *)
+
+type trace_entry = {
+  cycle : int;
+  state : string;  (** control state name ("-" during DMA) *)
+  pc : int;
+  ir : int;
+  ad : int;
+  r : int;
+  a : int;
+  b : int;
+  ma : int;
+  indat : int;
+}
+
+type result = {
+  trace : trace_entry list;
+  events : Golden.event list;
+  cycles : int;  (** clock cycles from the start pulse to halt *)
+  halted : bool;
+}
+
+val run_structural :
+  ?mem_bits:int ->
+  ?max_cycles:int ->
+  ?collect_trace:bool ->
+  int list ->
+  result
+(** Whole system at gate level, including a 2{^mem_bits}-word structural
+    RAM (default 6); the program is DMA-loaded at address 0. *)
+
+val run_behavioural :
+  ?mem_words:int ->
+  ?max_cycles:int ->
+  ?collect_trace:bool ->
+  int list ->
+  result
+(** Gate-level core with an OCaml-array memory on the exposed bus: the
+    documented substitution for a full 64K-word gate-level RAM. *)
+
+val final_registers : result -> int array
+(** Register contents reconstructed from the event log. *)
+
+val final_memory : size:int -> result -> program:int list -> int array
+(** Memory contents reconstructed by replaying the writes over the loaded
+    program. *)
+
+val trace_fmt : trace_entry -> string

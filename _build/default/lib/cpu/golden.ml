@@ -1,0 +1,123 @@
+(* Golden-model ISA interpreter.
+
+   A plain OCaml implementation of the instruction set, used as the
+   reference in co-simulation: the gate-level processor must make exactly
+   the same register writes, memory writes and control transfers.  This is
+   the machine-language-level "behaviour" against which the circuit is
+   validated. *)
+
+type t = {
+  mem : int array;      (* 16-bit words *)
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable cycles : int; (* clock cycles the circuit implementation needs *)
+  mutable instructions : int;
+}
+
+type event =
+  | Reg_write of { reg : int; value : int }
+  | Mem_write of { addr : int; value : int }
+  | Jump_taken of { target : int }
+  | Halted
+
+let mask16 v = v land 0xffff
+
+let signed v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let create ?(mem_words = 65536) () =
+  {
+    mem = Array.make mem_words 0;
+    regs = Array.make Isa.num_regs 0;
+    pc = 0;
+    halted = false;
+    cycles = 0;
+    instructions = 0;
+  }
+
+let load_program t ?(at = 0) words =
+  List.iteri (fun i w -> t.mem.(at + i) <- mask16 w) words
+
+let read_mem t a = t.mem.(mask16 a mod Array.length t.mem)
+let write_mem t a v = t.mem.(mask16 a mod Array.length t.mem) <- mask16 v
+let reg t r = t.regs.(r)
+let pc t = t.pc
+
+(* Clock cycles the delay-element control circuit spends per instruction:
+   fetch (1) + dispatch (1) + execution states.  Conditional jumps take one
+   execution state when not taken (the token returns to fetch straight from
+   the test state) and two when taken.  Used to predict the gate-level
+   cycle count exactly. *)
+let exec_cycles t = function
+  | Isa.Rrr (_, _, _, _) -> 1
+  | Isa.Rx (Isa.Load, _, _, _) | Isa.Rx (Isa.Store, _, _, _) -> 3
+  | Isa.Rx (Isa.Ldval, _, _, _) | Isa.Rx (Isa.Jump, _, _, _) -> 2
+  | Isa.Rx (Isa.Jumpf, d, _, _) -> if t.regs.(d) = 0 then 2 else 1
+  | Isa.Rx (Isa.Jumpt, d, _, _) -> if t.regs.(d) <> 0 then 2 else 1
+  | Isa.Rx (_, _, _, _) -> 1 (* cannot occur: other ops decode as Rrr *)
+
+(* Execute one instruction; returns the observable events. *)
+let step t =
+  if t.halted then [ Halted ]
+  else begin
+    let instr, len = Isa.decode ~fetch:(read_mem t) t.pc in
+    let next_pc = mask16 (t.pc + len) in
+    t.instructions <- t.instructions + 1;
+    t.cycles <- t.cycles + 2 + exec_cycles t instr;
+    let events = ref [] in
+    let set_reg d v =
+      t.regs.(d) <- mask16 v;
+      events := Reg_write { reg = d; value = mask16 v } :: !events
+    in
+    t.pc <- next_pc;
+    (match instr with
+    | Isa.Rrr (Isa.Add, d, sa, sb) -> set_reg d (t.regs.(sa) + t.regs.(sb))
+    | Isa.Rrr (Isa.Sub, d, sa, sb) -> set_reg d (t.regs.(sa) - t.regs.(sb))
+    | Isa.Rrr (Isa.Inc, d, sa, _) -> set_reg d (t.regs.(sa) + 1)
+    | Isa.Rrr (Isa.Cmplt, d, sa, sb) ->
+      set_reg d (Bool.to_int (signed t.regs.(sa) < signed t.regs.(sb)))
+    | Isa.Rrr (Isa.Cmpeq, d, sa, sb) ->
+      set_reg d (Bool.to_int (t.regs.(sa) = t.regs.(sb)))
+    | Isa.Rrr (Isa.Cmpgt, d, sa, sb) ->
+      set_reg d (Bool.to_int (signed t.regs.(sa) > signed t.regs.(sb)))
+    | Isa.Rrr (Isa.Halt, _, _, _) ->
+      t.halted <- true;
+      events := Halted :: !events
+    | Isa.Rrr (Isa.Land, d, sa, sb) -> set_reg d (t.regs.(sa) land t.regs.(sb))
+    | Isa.Rrr (Isa.Lor, d, sa, sb) -> set_reg d (t.regs.(sa) lor t.regs.(sb))
+    | Isa.Rrr (Isa.Lxor, d, sa, sb) -> set_reg d (t.regs.(sa) lxor t.regs.(sb))
+    | Isa.Rrr ((Isa.Load | Isa.Store | Isa.Ldval | Isa.Jump | Isa.Jumpf
+               | Isa.Jumpt), _, _, _) -> assert false
+    | Isa.Rx (op, d, sa, disp) ->
+      let ea = mask16 (t.regs.(sa) + disp) in
+      (match op with
+      | Isa.Load -> set_reg d (read_mem t ea)
+      | Isa.Store ->
+        write_mem t ea t.regs.(d);
+        events := Mem_write { addr = ea; value = t.regs.(d) } :: !events
+      | Isa.Ldval -> set_reg d ea
+      | Isa.Jump ->
+        t.pc <- ea;
+        events := Jump_taken { target = ea } :: !events
+      | Isa.Jumpf ->
+        if t.regs.(d) = 0 then begin
+          t.pc <- ea;
+          events := Jump_taken { target = ea } :: !events
+        end
+      | Isa.Jumpt ->
+        if t.regs.(d) <> 0 then begin
+          t.pc <- ea;
+          events := Jump_taken { target = ea } :: !events
+        end
+      | Isa.Add | Isa.Sub | Isa.Halt | Isa.Cmplt | Isa.Cmpeq | Isa.Cmpgt
+      | Isa.Inc | Isa.Land | Isa.Lor | Isa.Lxor -> assert false));
+    List.rev !events
+  end
+
+(* Run until halt or [max_instructions]; returns all events in order. *)
+let run ?(max_instructions = 100_000) t =
+  let rec go n acc =
+    if t.halted || n >= max_instructions then List.concat (List.rev acc)
+    else go (n + 1) (step t :: acc)
+  in
+  go 0 []

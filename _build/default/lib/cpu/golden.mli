@@ -1,0 +1,33 @@
+(** Golden-model ISA interpreter: the reference the gate-level processor
+    is co-simulated against, down to exact clock-cycle counts. *)
+
+type t = {
+  mem : int array;
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable cycles : int;
+      (** clock cycles the delay-element control circuit needs for the
+          instructions executed so far *)
+  mutable instructions : int;
+}
+
+type event =
+  | Reg_write of { reg : int; value : int }
+  | Mem_write of { addr : int; value : int }
+  | Jump_taken of { target : int }
+  | Halted
+
+val create : ?mem_words:int -> unit -> t
+val load_program : t -> ?at:int -> int list -> unit
+val read_mem : t -> int -> int
+val write_mem : t -> int -> int -> unit
+val reg : t -> int -> int
+val pc : t -> int
+
+val step : t -> event list
+(** Execute one instruction; the returned events are what the circuit
+    must also produce, in order. *)
+
+val run : ?max_instructions:int -> t -> event list
+(** Run until halt (or the instruction budget); all events in order. *)

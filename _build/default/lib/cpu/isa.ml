@@ -1,0 +1,157 @@
+(* Instruction set of the paper's RISC processor (section 6).
+
+   A 16-bit word machine with 16 general registers.  One-word RRR
+   instructions operate register-to-register; two-word RX instructions
+   carry a displacement word and compute an effective address
+   ea = reg[sa] + disp (the paper's Load walks exactly this sequence:
+   fetch displacement into ad, add the index register, access memory).
+
+   Instruction word fields, most significant nibble first (the paper's
+   [field ir 0 4] etc.):  op | d | sa | sb.
+
+   Opcodes (Load fixed at 1 by the paper):
+
+     0  add    RRR  reg[d] := reg[sa] + reg[sb]
+     1  load   RX   reg[d] := mem[reg[sa] + disp]
+     2  store  RX   mem[reg[sa] + disp] := reg[d]
+     3  ldval  RX   reg[d] := reg[sa] + disp
+     4  sub    RRR  reg[d] := reg[sa] - reg[sb]
+     5  halt        stop (the control loops in a final state)
+     6  cmplt  RRR  reg[d] := reg[sa] < reg[sb]   (two's complement)
+     7  cmpeq  RRR  reg[d] := reg[sa] = reg[sb]
+     8  cmpgt  RRR  reg[d] := reg[sa] > reg[sb]
+     9  jump   RX   pc := reg[sa] + disp
+    10  jumpf  RX   if reg[d] = 0 then pc := reg[sa] + disp
+    11  jumpt  RX   if reg[d] <> 0 then pc := reg[sa] + disp
+    12  inc    RRR  reg[d] := reg[sa] + 1
+    13  and    RRR  reg[d] := reg[sa] land reg[sb]
+    14  or     RRR  reg[d] := reg[sa] lor reg[sb]
+    15  xor    RRR  reg[d] := reg[sa] lxor reg[sb]
+
+   The assembler's [nop] is an alias for [and R0,R0,R0], which rewrites a
+   register with its own value. *)
+
+let word_size = 16
+let reg_address_bits = 4
+let num_regs = 1 lsl reg_address_bits
+
+type opcode =
+  | Add
+  | Load
+  | Store
+  | Ldval
+  | Sub
+  | Halt
+  | Cmplt
+  | Cmpeq
+  | Cmpgt
+  | Jump
+  | Jumpf
+  | Jumpt
+  | Inc
+  | Land
+  | Lor
+  | Lxor
+
+let opcode_of_int = function
+  | 0 -> Add
+  | 1 -> Load
+  | 2 -> Store
+  | 3 -> Ldval
+  | 4 -> Sub
+  | 5 -> Halt
+  | 6 -> Cmplt
+  | 7 -> Cmpeq
+  | 8 -> Cmpgt
+  | 9 -> Jump
+  | 10 -> Jumpf
+  | 11 -> Jumpt
+  | 12 -> Inc
+  | 13 -> Land
+  | 14 -> Lor
+  | 15 -> Lxor
+  | n -> invalid_arg (Printf.sprintf "Isa.opcode_of_int: %d" n)
+
+let int_of_opcode = function
+  | Add -> 0
+  | Load -> 1
+  | Store -> 2
+  | Ldval -> 3
+  | Sub -> 4
+  | Halt -> 5
+  | Cmplt -> 6
+  | Cmpeq -> 7
+  | Cmpgt -> 8
+  | Jump -> 9
+  | Jumpf -> 10
+  | Jumpt -> 11
+  | Inc -> 12
+  | Land -> 13
+  | Lor -> 14
+  | Lxor -> 15
+
+let opcode_name = function
+  | Add -> "add"
+  | Load -> "load"
+  | Store -> "store"
+  | Ldval -> "ldval"
+  | Sub -> "sub"
+  | Halt -> "halt"
+  | Cmplt -> "cmplt"
+  | Cmpeq -> "cmpeq"
+  | Cmpgt -> "cmpgt"
+  | Jump -> "jump"
+  | Jumpf -> "jumpf"
+  | Jumpt -> "jumpt"
+  | Inc -> "inc"
+  | Land -> "and"
+  | Lor -> "or"
+  | Lxor -> "xor"
+
+let is_rx = function
+  | Load | Store | Ldval | Jump | Jumpf | Jumpt -> true
+  | Add | Sub | Halt | Cmplt | Cmpeq | Cmpgt | Inc | Land | Lor | Lxor ->
+    false
+
+type instruction =
+  | Rrr of opcode * int * int * int  (* op, d, sa, sb *)
+  | Rx of opcode * int * int * int   (* op, d, sa, disp *)
+
+let check_reg name r =
+  if r < 0 || r >= num_regs then
+    invalid_arg (Printf.sprintf "Isa: register %s=%d out of range" name r)
+
+let mask16 v = v land 0xffff
+
+(* Encode to one or two 16-bit words. *)
+let encode = function
+  | Rrr (op, d, sa, sb) ->
+    check_reg "d" d;
+    check_reg "sa" sa;
+    check_reg "sb" sb;
+    [ (int_of_opcode op lsl 12) lor (d lsl 8) lor (sa lsl 4) lor sb ]
+  | Rx (op, d, sa, disp) ->
+    check_reg "d" d;
+    check_reg "sa" sa;
+    [ (int_of_opcode op lsl 12) lor (d lsl 8) lor (sa lsl 4); mask16 disp ]
+
+let encode_program instrs = List.concat_map encode instrs
+
+(* Decode the instruction starting at [addr] in [fetch]; returns the
+   instruction and its length in words. *)
+let decode ~fetch addr =
+  let w = fetch addr in
+  let op = opcode_of_int ((w lsr 12) land 0xf) in
+  let d = (w lsr 8) land 0xf and sa = (w lsr 4) land 0xf and sb = w land 0xf in
+  if is_rx op then (Rx (op, d, sa, fetch (mask16 (addr + 1))), 2)
+  else (Rrr (op, d, sa, sb), 1)
+
+let to_string = function
+  | Rrr (Halt, _, _, _) -> "halt"
+  | Rrr (Land, 0, 0, 0) -> "nop"
+  | Rrr (Inc, d, sa, _) -> Printf.sprintf "inc   R%d,R%d" d sa
+  | Rrr (op, d, sa, sb) ->
+    Printf.sprintf "%-5s R%d,R%d,R%d" (opcode_name op) d sa sb
+  | Rx (Jump, _, sa, disp) -> Printf.sprintf "jump  %d[R%d]" disp sa
+  | Rx (op, d, sa, disp) ->
+    Printf.sprintf "%-5s R%d,%d[R%d]" (opcode_name op) d disp sa

@@ -1,0 +1,48 @@
+(** Instruction set of the paper's RISC processor (section 6): a 16-bit
+    word machine, 16 registers, one-word RRR instructions and two-word RX
+    instructions with effective address [reg[sa] + displacement].  Load
+    has opcode 1, as in the paper. *)
+
+val word_size : int
+val reg_address_bits : int
+val num_regs : int
+
+type opcode =
+  | Add
+  | Load
+  | Store
+  | Ldval
+  | Sub
+  | Halt
+  | Cmplt
+  | Cmpeq
+  | Cmpgt
+  | Jump
+  | Jumpf
+  | Jumpt
+  | Inc
+  | Land
+  | Lor
+  | Lxor
+
+val opcode_of_int : int -> opcode
+(** Total on 0..15; raises otherwise. *)
+
+val int_of_opcode : opcode -> int
+val opcode_name : opcode -> string
+val is_rx : opcode -> bool
+
+type instruction =
+  | Rrr of opcode * int * int * int  (** op, d, sa, sb *)
+  | Rx of opcode * int * int * int  (** op, d, sa, displacement *)
+
+val encode : instruction -> int list
+(** One or two 16-bit words; register fields are range-checked. *)
+
+val encode_program : instruction list -> int list
+
+val decode : fetch:(int -> int) -> int -> instruction * int
+(** [decode ~fetch addr]: the instruction at [addr] and its length in
+    words. *)
+
+val to_string : instruction -> string

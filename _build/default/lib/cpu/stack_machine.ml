@@ -1,0 +1,433 @@
+(* A second complete processor: a 16-bit stack machine.
+
+   The paper notes that "several complex circuits, including complete
+   computer systems, have been designed successfully using Hydra"; this
+   machine demonstrates that the methodology — datapath/control
+   separation, a control algorithm compiled by the delay element method
+   ({!Control_circuit.synthesize_fsm}, shared with the section-6 RISC),
+   DMA loading and golden-model co-simulation — is generic, not
+   special-cased to one CPU.
+
+   Architecture: one word per instruction, op(4) | imm(12) zero-extended.
+
+     0  push imm     push imm
+     1  load         pop a; push mem[a]
+     2  store        pop addr; pop v; mem[addr] := v
+     3  add          pop b; pop a; push a + b
+     4  sub          pop b; pop a; push a - b
+     5  dup          push top
+     6  drop         pop
+     7  swap         exchange the top two
+     8  jump imm     pc := imm
+     9  jz imm       pop c; if c = 0 then pc := imm
+    10  halt
+    11..15  nop
+
+   The expression stack is a register file of 2^3 words addressed by a
+   stack pointer; top = stack[sp-1].  No overflow protection: programs
+   must stay within 8 entries (the golden model checks this). *)
+
+module Patterns = Hydra_core.Patterns
+module Bitvec = Hydra_core.Bitvec
+
+let word_size = 16
+let imm_bits = 12
+let stack_bits = 3
+
+type sop =
+  | Spush of int
+  | Sload
+  | Sstore
+  | Sadd
+  | Ssub
+  | Sdup
+  | Sdrop
+  | Sswap
+  | Sjump of int
+  | Sjz of int
+  | Shalt
+  | Snop
+
+let opcode = function
+  | Spush _ -> 0
+  | Sload -> 1
+  | Sstore -> 2
+  | Sadd -> 3
+  | Ssub -> 4
+  | Sdup -> 5
+  | Sdrop -> 6
+  | Sswap -> 7
+  | Sjump _ -> 8
+  | Sjz _ -> 9
+  | Shalt -> 10
+  | Snop -> 11
+
+let encode op =
+  let imm = match op with Spush i | Sjump i | Sjz i -> i land 0xfff | _ -> 0 in
+  (opcode op lsl imm_bits) lor imm
+
+let encode_program ops = List.map encode ops
+
+let decode w =
+  let imm = w land 0xfff in
+  match (w lsr imm_bits) land 0xf with
+  | 0 -> Spush imm
+  | 1 -> Sload
+  | 2 -> Sstore
+  | 3 -> Sadd
+  | 4 -> Ssub
+  | 5 -> Sdup
+  | 6 -> Sdrop
+  | 7 -> Sswap
+  | 8 -> Sjump imm
+  | 9 -> Sjz imm
+  | 10 -> Shalt
+  | _ -> Snop
+
+(* Golden model ---------------------------------------------------------- *)
+
+module Golden = struct
+  type t = {
+    mem : int array;
+    mutable stack : int list;
+    mutable pc : int;
+    mutable halted : bool;
+    mutable cycles : int;
+    mutable mem_writes : (int * int) list;  (* newest first *)
+  }
+
+  let create ?(mem_words = 64) () =
+    { mem = Array.make mem_words 0; stack = []; pc = 0; halted = false;
+      cycles = 0; mem_writes = [] }
+
+  let load_program t words =
+    List.iteri (fun i w -> t.mem.(i) <- w land 0xffff) words
+
+  let mask v = v land 0xffff
+
+  let pop t =
+    match t.stack with
+    | x :: rest ->
+      t.stack <- rest;
+      x
+    | [] -> failwith "Stack_machine.Golden: stack underflow"
+
+  let push t v =
+    if List.length t.stack >= 1 lsl stack_bits then
+      failwith "Stack_machine.Golden: stack overflow";
+    t.stack <- mask v :: t.stack
+
+  let step t =
+    if not t.halted then begin
+      let instr = decode t.mem.(t.pc mod Array.length t.mem) in
+      t.pc <- mask (t.pc + 1);
+      let exec =
+        match instr with
+        | Spush i ->
+          push t i;
+          1
+        | Sload ->
+          let a = pop t in
+          push t t.mem.(a mod Array.length t.mem);
+          1
+        | Sstore ->
+          let a = pop t in
+          let v = pop t in
+          t.mem.(a mod Array.length t.mem) <- v;
+          t.mem_writes <- (a, v) :: t.mem_writes;
+          1
+        | Sadd ->
+          let b = pop t in
+          let a = pop t in
+          push t (a + b);
+          1
+        | Ssub ->
+          let b = pop t in
+          let a = pop t in
+          push t (a - b);
+          1
+        | Sdup ->
+          let v = pop t in
+          push t v;
+          push t v;
+          1
+        | Sdrop ->
+          ignore (pop t);
+          1
+        | Sswap ->
+          let b = pop t in
+          let a = pop t in
+          push t b;
+          push t a;
+          2
+        | Sjump i ->
+          t.pc <- i;
+          1
+        | Sjz i ->
+          let c = pop t in
+          if c = 0 then begin
+            t.pc <- i;
+            2
+          end
+          else 1
+        | Shalt ->
+          t.halted <- true;
+          1
+        | Snop -> 1
+      in
+      t.cycles <- t.cycles + 2 + exec
+    end
+
+  let run ?(max_instructions = 10_000) t =
+    let n = ref 0 in
+    while (not t.halted) && !n < max_instructions do
+      step t;
+      incr n
+    done
+
+  let top t = match t.stack with x :: _ -> Some x | [] -> None
+end
+
+(* Circuit ---------------------------------------------------------------- *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  module G = Hydra_circuits.Gates.Make (S)
+  module M = Hydra_circuits.Mux.Make (S)
+  module A = Hydra_circuits.Arith.Make (S)
+  module R = Hydra_circuits.Regs.Make (S)
+  module CC = Control_circuit.Make (S)
+
+  type inputs = {
+    start : S.t;
+    dma : S.t;
+    dma_a : S.t list;
+    dma_d : S.t list;
+  }
+
+  type outputs = {
+    halted : S.t;
+    top : S.t list;       (* stack[sp-1], the top of stack *)
+    sp : S.t list;
+    pc : S.t list;
+    state_tokens : (string * S.t) list;
+    mem_write : S.t;
+    mem_addr : S.t list;
+    mem_wdata : S.t list;
+  }
+
+  (* The control algorithm: sequence of states per opcode, compiled with
+     the shared delay-element synthesizer. *)
+  let fsm_sequences =
+    let one name = [ (name, Control.To_fetch) ] in
+    [
+      ([ 0 ], one "st_push");
+      ([ 1 ], one "st_load");
+      ([ 2 ], one "st_store");
+      ([ 3 ], one "st_add");
+      ([ 4 ], one "st_sub");
+      ([ 5 ], one "st_dup");
+      ([ 6 ], one "st_drop");
+      ([ 7 ], [ ("st_swap0", Control.Next_state); ("st_swap1", Control.To_fetch) ]);
+      ([ 8 ], one "st_jump");
+      (* jz: pop and test; cond = 1 (top = 0) falls through to the jump *)
+      ([ 9 ], [ ("st_jz0", Control.If_cond_next); ("st_jz1", Control.To_fetch) ]);
+      ([ 10 ], [ ("st_halt", Control.Stay) ]);
+      ([ 11; 12; 13; 14; 15 ], one "st_nop");
+    ]
+
+  let system ~mem_bits (i : inputs) =
+    let n = word_size in
+    let outs = ref None in
+    (* knot: control tokens <-> datapath <-> memory, all through registers *)
+    let _ =
+      S.feedback_list (n + 1) (fun loop ->
+          (* loop: memory read data (n) + cond *)
+          let mem_rdata, cond_l = Patterns.split_at n loop in
+          let cond = List.hd cond_l in
+          (* --- registers --- *)
+          let stash = ref None in
+          let _ =
+            S.feedback_list (n + n + 4 + n) (fun regs ->
+                let ir, rest = Patterns.split_at n regs in
+                let pc, rest = Patterns.split_at n rest in
+                let sp, tmp = Patterns.split_at 4 rest in
+                (* control *)
+                let ir_op = Bitvec.field ir 0 4 in
+                let fsm =
+                  CC.synthesize_fsm ~fetch_name:"st_fetch"
+                    ~sequences:fsm_sequences ~start:i.start ~op:ir_op ~cond
+                in
+                let t = fsm.CC.token in
+                let imm_ext =
+                  G.wzero ~width:(n - imm_bits) @ Bitvec.field ir 4 imm_bits
+                in
+                (* stack addressing *)
+                let sp_m1 = A.subw sp (G.wconst ~width:4 1) in
+                let sp_m2 = A.subw sp (G.wconst ~width:4 2) in
+                let low3 w = Bitvec.field w 1 3 in
+                (* write port: address and data depend on the state *)
+                let wr_at_m1 = G.orw [ t "st_load"; t "st_swap0" ] in
+                let wr_at_m2 = G.orw [ t "st_add"; t "st_sub"; t "st_swap1" ] in
+                let wr_en =
+                  G.orw
+                    [ t "st_push"; t "st_dup"; t "st_load"; t "st_add";
+                      t "st_sub"; t "st_swap0"; t "st_swap1" ]
+                in
+                let wr_addr =
+                  M.wmux1 wr_at_m2
+                    (M.wmux1 wr_at_m1 (low3 sp) (low3 sp_m1))
+                    (low3 sp_m2)
+                in
+                (* stack read ports: top and next *)
+                let stash_stack = ref None in
+                let _ =
+                  S.feedback_list n (fun wr_data ->
+                      let top, next =
+                        R.regfile stack_bits wr_en wr_addr (low3 sp_m1)
+                          (low3 sp_m2) wr_data
+                      in
+                      stash_stack := Some (top, next);
+                      (* ALU over the top two entries *)
+                      let _, _, alu_out =
+                        A.add_sub (t "st_sub") next top
+                      in
+                      let data =
+                        M.wmux1 (t "st_push") top imm_ext
+                      in
+                      let data = M.wmux1 (t "st_load") data mem_rdata in
+                      let data =
+                        M.wmux1 (S.or2 (t "st_add") (t "st_sub")) data alu_out
+                      in
+                      let data = M.wmux1 (t "st_swap0") data next in
+                      let data = M.wmux1 (t "st_swap1") data tmp in
+                      data)
+                in
+                let top, next =
+                  match !stash_stack with Some v -> v | None -> assert false
+                in
+                (* next-state registers *)
+                let fetching = t "st_fetch" in
+                let ir' = M.wmux1 fetching ir mem_rdata in
+                let pc_inc = A.incw pc in
+                let pc' = M.wmux1 fetching pc pc_inc in
+                let jumping = S.or2 (t "st_jump") (t "st_jz1") in
+                let pc' = M.wmux1 jumping pc' imm_ext in
+                let sp_inc = A.incw sp in
+                let push_like = S.or2 (t "st_push") (t "st_dup") in
+                let pop_like =
+                  G.orw [ t "st_drop"; t "st_add"; t "st_sub"; t "st_jz0" ]
+                in
+                let sp' = M.wmux1 push_like sp sp_inc in
+                let sp' = M.wmux1 pop_like sp' sp_m1 in
+                let sp' = M.wmux1 (t "st_store") sp' sp_m2 in
+                let tmp' = M.wmux1 (t "st_swap0") tmp top in
+                (* memory bus *)
+                let ma_top = G.orw [ t "st_load"; t "st_store" ] in
+                let cpu_addr = M.wmux1 ma_top pc top in
+                let mem_addr = M.wmux1 i.dma cpu_addr i.dma_a in
+                let mem_wdata = M.wmux1 i.dma next i.dma_d in
+                let mem_write = M.mux1 i.dma (t "st_store") S.one in
+                let addr_low =
+                  Bitvec.field mem_addr (n - mem_bits) mem_bits
+                in
+                let mem_rdata' = R.ram mem_bits mem_write addr_low mem_wdata in
+                (* cond for jz: the value being popped is zero *)
+                let cond' = G.is_zero top in
+                stash :=
+                  Some
+                    ( fsm, top, sp, pc, mem_write, mem_addr, mem_wdata,
+                      mem_rdata', cond' );
+                List.map S.dff (ir' @ pc' @ sp' @ tmp'))
+          in
+          let fsm, top, sp, pc, mem_write, mem_addr, mem_wdata, mem_rdata',
+              cond' =
+            match !stash with Some v -> v | None -> assert false
+          in
+          outs :=
+            Some
+              {
+                halted = fsm.CC.fsm_halted;
+                top;
+                sp;
+                pc;
+                state_tokens = fsm.CC.state_tokens;
+                mem_write;
+                mem_addr;
+                mem_wdata;
+              };
+          mem_rdata' @ [ cond' ])
+    in
+    match !outs with Some o -> o | None -> assert false
+end
+
+(* Driver ----------------------------------------------------------------- *)
+
+module Driver = struct
+  module S = Hydra_core.Stream_sim
+  module SM = Make (S)
+
+  type result = {
+    halted : bool;
+    cycles : int;
+    top : int option;      (* top of stack at halt (None if empty) *)
+    mem_writes : (int * int) list;  (* in order *)
+    states : string list;  (* control state per post-load cycle *)
+  }
+
+  let word_of_int = Bitvec.of_int ~width:word_size
+
+  let run ?(mem_bits = 6) ?(max_cycles = 2000) program =
+    if List.length program > 1 lsl mem_bits then
+      invalid_arg "Stack_machine.Driver.run: program too large";
+    S.reset ();
+    let prog = Array.of_list (encode_program program) in
+    let load_cycles = Array.length prog in
+    let dma_active t = t < load_cycles in
+    let start = S.input (fun t -> t = load_cycles) in
+    let dma = S.input dma_active in
+    let dma_a =
+      List.init word_size (fun bit ->
+          S.input (fun t ->
+              dma_active t && List.nth (word_of_int t) bit))
+    in
+    let dma_d =
+      List.init word_size (fun bit ->
+          S.input (fun t ->
+              dma_active t && List.nth (word_of_int prog.(t)) bit))
+    in
+    let outs = SM.system ~mem_bits { SM.start; dma; dma_a; dma_d } in
+    let t = ref 0 in
+    let halted = ref false in
+    let writes = ref [] and states = ref [] in
+    while (not !halted) && !t < max_cycles + load_cycles do
+      ignore (S.run_cycle [ outs.SM.halted ] !t);
+      if not (dma_active !t) then begin
+        (match
+           List.find_opt (fun (_, s) -> S.at s !t) outs.SM.state_tokens
+         with
+        | Some (name, _) -> states := name :: !states
+        | None -> states := "-" :: !states);
+        if S.at outs.SM.mem_write !t then
+          writes :=
+            ( Bitvec.to_int (List.map (fun s -> S.at s !t) outs.SM.mem_addr),
+              Bitvec.to_int (List.map (fun s -> S.at s !t) outs.SM.mem_wdata)
+            )
+            :: !writes
+      end;
+      if S.at outs.SM.halted !t then halted := true;
+      incr t
+    done;
+    let final = !t - 1 in
+    let sp = Bitvec.to_int (List.map (fun s -> S.at s final) outs.SM.sp) in
+    let top =
+      if sp = 0 then None
+      else Some (Bitvec.to_int (List.map (fun s -> S.at s final) outs.SM.top))
+    in
+    {
+      halted = !halted;
+      cycles = max 0 (!t - load_cycles - 1);
+      top;
+      mem_writes = List.rev !writes;
+      states = List.rev !states;
+    }
+end

@@ -1,0 +1,89 @@
+(** A second complete processor — a 16-bit stack machine — built with the
+    same methodology as the section-6 RISC: datapath/control separation,
+    the shared delay-element control synthesizer
+    ({!Control_circuit.Make.synthesize_fsm}), DMA program loading, and
+    golden-model co-simulation.
+
+    Instructions are one word: op(4) | imm(12).  The expression stack is a
+    register file of 8 words; programs must stay within it (the golden
+    model checks). *)
+
+val word_size : int
+val imm_bits : int
+val stack_bits : int
+
+type sop =
+  | Spush of int
+  | Sload
+  | Sstore
+  | Sadd
+  | Ssub
+  | Sdup
+  | Sdrop
+  | Sswap
+  | Sjump of int
+  | Sjz of int  (** pop; jump when the popped value is zero *)
+  | Shalt
+  | Snop
+
+val opcode : sop -> int
+val encode : sop -> int
+val encode_program : sop list -> int list
+val decode : int -> sop
+
+(** Reference interpreter; also predicts the circuit's cycle count. *)
+module Golden : sig
+  type t = {
+    mem : int array;
+    mutable stack : int list;
+    mutable pc : int;
+    mutable halted : bool;
+    mutable cycles : int;
+    mutable mem_writes : (int * int) list;  (** newest first *)
+  }
+
+  val create : ?mem_words:int -> unit -> t
+  val load_program : t -> int list -> unit
+  val step : t -> unit
+  val run : ?max_instructions:int -> t -> unit
+  val top : t -> int option
+end
+
+(** The gate-level machine. *)
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  type inputs = {
+    start : S.t;
+    dma : S.t;
+    dma_a : S.t list;
+    dma_d : S.t list;
+  }
+
+  type outputs = {
+    halted : S.t;
+    top : S.t list;  (** stack[sp-1] *)
+    sp : S.t list;
+    pc : S.t list;
+    state_tokens : (string * S.t) list;
+    mem_write : S.t;
+    mem_addr : S.t list;
+    mem_wdata : S.t list;
+  }
+
+  val fsm_sequences : (int list * (string * Control.next) list) list
+  (** The control algorithm, in the generic synthesizer's form. *)
+
+  val system : mem_bits:int -> inputs -> outputs
+end
+
+(** Stream-semantics driver: DMA-load, start, run to halt. *)
+module Driver : sig
+  type result = {
+    halted : bool;
+    cycles : int;
+    top : int option;
+    mem_writes : (int * int) list;  (** in order *)
+    states : string list;
+  }
+
+  val run : ?mem_bits:int -> ?max_cycles:int -> sop list -> result
+end

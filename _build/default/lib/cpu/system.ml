@@ -1,0 +1,136 @@
+(* The complete processor system: datapath + synthesized control circuit +
+   memory + DMA (paper sections 6.1-6.4).
+
+   The memory can be structural — a gate-level RAM with a configurable
+   address width, since a full 2^16-word RAM is enormous at gate level —
+   or external, in which case the memory bus is exposed and the simulation
+   driver models the store behaviourally (the substitution is documented
+   in DESIGN.md; both configurations drive the identical datapath and
+   control circuits).
+
+   DMA: while [dma] is 1 the memory address, write data and write enable
+   are taken from the [dma_a]/[dma_d] inputs, which is how the driver
+   loads a machine-language program before pulsing [start] (paper section
+   6.4). *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  module G = Hydra_circuits.Gates.Make (S)
+  module M = Hydra_circuits.Mux.Make (S)
+  module R = Hydra_circuits.Regs.Make (S)
+  module D = Datapath.Make (S)
+  module CC = Control_circuit.Make (S)
+
+  type inputs = {
+    start : S.t;        (* one-cycle pulse: begin execution *)
+    dma : S.t;          (* DMA mode: the loader owns the memory bus *)
+    dma_a : S.t list;   (* DMA address *)
+    dma_d : S.t list;   (* DMA write data *)
+  }
+
+  type outputs = {
+    dp : D.outputs;
+    control : CC.outputs;
+    halted : S.t;
+    (* memory bus as driven this cycle *)
+    mem_addr : S.t list;
+    mem_write : S.t;
+    mem_wdata : S.t list;
+    mem_rdata : S.t list;  (* = indat: what the processor reads *)
+  }
+
+  let n = Isa.word_size
+
+  (* [system ~mem_bits inputs]: processor with a structural RAM of
+     2^mem_bits words. *)
+  let system ~mem_bits (i : inputs) =
+    if mem_bits < 1 || mem_bits > n then invalid_arg "System.system: mem_bits";
+    let stash = ref None in
+    (* Construction circularity: the control needs ir_op/cond from the
+       datapath; the datapath needs the control signals; memory couples
+       both.  All loops pass through registers (ir, the state flip flops),
+       so tie the knot on the control-to-datapath bus: 11 ctl signals +
+       4 alu bits + indat (n bits). *)
+    let _loop =
+      S.feedback_list
+        (List.length Control.all_ctls + 4 + n)
+        (fun loop ->
+          let ctls, rest =
+            Hydra_core.Patterns.split_at (List.length Control.all_ctls) loop
+          in
+          let alu_op, indat = Hydra_core.Patterns.split_at 4 rest in
+          let get c =
+            List.nth ctls
+              (Option.get
+                 (List.find_index (fun c' -> c' = c) Control.all_ctls))
+          in
+          let dp = D.datapath { D.get; alu_op } indat in
+          let control =
+            CC.synthesize Control.algorithm ~start:i.start
+              ~ir_op:dp.D.ir_op ~cond:dp.D.cond
+          in
+          (* memory bus with DMA override *)
+          let mem_addr = M.wmux1 i.dma dp.D.ma i.dma_a in
+          let mem_wdata = M.wmux1 i.dma dp.D.a i.dma_d in
+          let mem_write = M.mux1 i.dma (control.CC.ctl Control.Sto) S.one in
+          let addr_low =
+            (* low mem_bits of the address word (MSB-first list) *)
+            Hydra_core.Bitvec.field mem_addr (n - mem_bits) mem_bits
+          in
+          let mem_rdata = R.ram mem_bits mem_write addr_low mem_wdata in
+          stash :=
+            Some
+              {
+                dp;
+                control;
+                halted = control.CC.halted;
+                mem_addr;
+                mem_write;
+                mem_wdata;
+                mem_rdata;
+              };
+          List.map control.CC.ctl Control.all_ctls
+          @ control.CC.alu_op @ mem_rdata)
+    in
+    match !stash with Some o -> o | None -> assert false
+
+  (* [system_external_memory i ~indat]: the processor core alone; [indat]
+     is the memory read data, supplied by the environment, and the memory
+     bus outputs tell the environment what to do.  Used by the behavioural-
+     memory driver. *)
+  let system_external_memory (i : inputs) ~indat =
+    let stash = ref None in
+    let _loop =
+      S.feedback_list
+        (List.length Control.all_ctls + 4)
+        (fun loop ->
+          let ctls, alu_op =
+            Hydra_core.Patterns.split_at (List.length Control.all_ctls) loop
+          in
+          let get c =
+            List.nth ctls
+              (Option.get
+                 (List.find_index (fun c' -> c' = c) Control.all_ctls))
+          in
+          let dp = D.datapath { D.get; alu_op } indat in
+          let control =
+            CC.synthesize Control.algorithm ~start:i.start
+              ~ir_op:dp.D.ir_op ~cond:dp.D.cond
+          in
+          let mem_addr = M.wmux1 i.dma dp.D.ma i.dma_a in
+          let mem_wdata = M.wmux1 i.dma dp.D.a i.dma_d in
+          let mem_write = M.mux1 i.dma (control.CC.ctl Control.Sto) S.one in
+          stash :=
+            Some
+              {
+                dp;
+                control;
+                halted = control.CC.halted;
+                mem_addr;
+                mem_write;
+                mem_wdata;
+                mem_rdata = indat;
+              };
+          List.map control.CC.ctl Control.all_ctls @ control.CC.alu_op)
+    in
+    match !stash with Some o -> o | None -> assert false
+end

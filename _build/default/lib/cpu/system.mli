@@ -1,0 +1,33 @@
+(** The complete processor system (paper sections 6.1-6.4): datapath +
+    synthesized control circuit + memory + DMA loading. *)
+
+module Make (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  module D : module type of Datapath.Make (S)
+  module CC : module type of Control_circuit.Make (S)
+
+  type inputs = {
+    start : S.t;  (** one-cycle pulse: begin execution *)
+    dma : S.t;  (** while 1, the loader owns the memory bus *)
+    dma_a : S.t list;
+    dma_d : S.t list;
+  }
+
+  type outputs = {
+    dp : D.outputs;
+    control : CC.outputs;
+    halted : S.t;
+    mem_addr : S.t list;  (** memory bus as driven this cycle *)
+    mem_write : S.t;
+    mem_wdata : S.t list;
+    mem_rdata : S.t list;  (** what the processor reads (= indat) *)
+  }
+
+  val system : mem_bits:int -> inputs -> outputs
+  (** Processor with a structural gate-level RAM of 2{^mem_bits} words
+      (the full 2{^16} is gate-level enormous; see DESIGN.md). *)
+
+  val system_external_memory : inputs -> indat:S.t list -> outputs
+  (** The processor core alone: memory read data is supplied by the
+      environment through [indat], and the memory bus outputs say what the
+      environment should do — used by the behavioural-memory driver. *)
+end

@@ -1,0 +1,1 @@
+lib/engine/compiled.ml: Array Bytes Hashtbl Hydra_netlist List

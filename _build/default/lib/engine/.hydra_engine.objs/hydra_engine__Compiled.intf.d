@@ -1,0 +1,1 @@
+lib/engine/compiled.mli: Hydra_netlist

@@ -1,0 +1,1 @@
+lib/engine/event.ml: Array Hashtbl Hydra_netlist List

@@ -1,0 +1,1 @@
+lib/engine/interp.ml: Array Hashtbl Hydra_netlist List

@@ -1,0 +1,1 @@
+lib/engine/interp.mli: Hydra_netlist

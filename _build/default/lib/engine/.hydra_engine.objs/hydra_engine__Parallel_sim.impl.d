@@ -1,0 +1,1 @@
+lib/engine/parallel_sim.ml: Array Compiled Hydra_netlist Hydra_parallel List

@@ -1,0 +1,1 @@
+lib/engine/parallel_sim.mli: Hydra_netlist Hydra_parallel

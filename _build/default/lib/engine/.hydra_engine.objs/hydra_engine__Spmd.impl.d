@@ -1,0 +1,1 @@
+lib/engine/spmd.ml: Array Atomic Compiled Domain Hydra_netlist List Unix

@@ -1,0 +1,1 @@
+lib/engine/spmd.mli: Hydra_netlist

@@ -1,0 +1,1 @@
+lib/engine/testbench.ml: Buffer Compiled Hashtbl Hydra_core Hydra_netlist Interp List Option Printf Wave

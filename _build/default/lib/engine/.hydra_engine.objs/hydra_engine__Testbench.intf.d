@@ -1,0 +1,1 @@
+lib/engine/testbench.mli: Hydra_netlist

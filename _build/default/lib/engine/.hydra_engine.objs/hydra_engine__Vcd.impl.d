@@ -1,0 +1,1 @@
+lib/engine/vcd.ml: Bool Buffer Char Compiled List Printf String

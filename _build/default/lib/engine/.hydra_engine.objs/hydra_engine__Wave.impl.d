@@ -1,0 +1,1 @@
+lib/engine/wave.ml: Buffer Compiled List Printf String

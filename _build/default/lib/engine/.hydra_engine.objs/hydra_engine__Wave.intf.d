@@ -1,0 +1,1 @@
+lib/engine/wave.mli: Compiled

@@ -1,0 +1,1 @@
+lib/engine/xsim.ml: Array Hashtbl Hydra_core Hydra_netlist List

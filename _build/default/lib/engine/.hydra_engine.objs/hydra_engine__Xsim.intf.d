@@ -1,0 +1,1 @@
+lib/engine/xsim.mli: Hydra_core Hydra_netlist

@@ -1,0 +1,29 @@
+(** Event-driven simulation with transport gate delays: watch a clock
+    cycle from the inside (paper section 3).  Reports when the circuit
+    settled and how many transitions/glitches occurred; the settle time
+    never exceeds the critical path (experiment E14). *)
+
+type cycle_report = {
+  settle_time : int;  (** time of the last value change *)
+  transitions : int;  (** total component-output changes this cycle *)
+  glitches : int;  (** changes beyond the first per component *)
+}
+
+type t
+
+val create :
+  ?delay:(Hydra_netlist.Netlist.t -> int -> int) ->
+  Hydra_netlist.Netlist.t ->
+  t
+(** [delay] maps a component index to its propagation delay; the default
+    gives every gate delay 1 and ports/dffs delay 0. *)
+
+val set_input : t -> string -> bool -> unit
+
+val step : t -> cycle_report
+(** Propagate this cycle's input and state changes until quiescence, then
+    latch the dffs. *)
+
+val output : t -> string -> bool
+val outputs : t -> (string * bool) list
+val cycle : t -> int

@@ -1,0 +1,20 @@
+(** Direct netlist interpreter: demand-driven recursive evaluation with a
+    per-cycle epoch stamp, no levelization preprocessing.  The naive
+    baseline that {!Compiled} is measured against (experiment E12). *)
+
+type t
+
+val create : Hydra_netlist.Netlist.t -> t
+val reset : t -> unit
+val set_input : t -> string -> bool -> unit
+val output : t -> string -> bool
+val outputs : t -> (string * bool) list
+
+val step : t -> unit
+(** Evaluate all outputs and dff inputs for the current cycle, then
+    latch. *)
+
+val cycle : t -> int
+
+val run :
+  t -> inputs:(string * bool list) list -> cycles:int -> (string * bool) list list

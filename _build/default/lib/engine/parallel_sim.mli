@@ -1,0 +1,24 @@
+(** Fork-join parallel simulator (paper section 4.3): each levelized rank
+    is a [parallel_for] over the domain pool, with a barrier between
+    ranks.  Compare {!Spmd}, which replaces the fork-join with persistent
+    workers and spin barriers (experiment E10 measures both). *)
+
+type t
+
+val create : ?pool:Hydra_parallel.Pool.t -> Hydra_netlist.Netlist.t -> t
+(** Without [?pool], a private pool is created and owned (shut down by
+    {!shutdown}). *)
+
+val shutdown : t -> unit
+(** Shuts the pool down only if this simulator created it. *)
+
+val reset : t -> unit
+val set_input : t -> string -> bool -> unit
+val settle : t -> unit
+val tick : t -> unit
+val step : t -> unit
+val output : t -> string -> bool
+val outputs : t -> (string * bool) list
+
+val run :
+  t -> inputs:(string * bool list) list -> cycles:int -> (string * bool) list list

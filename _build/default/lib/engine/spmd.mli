@@ -1,0 +1,23 @@
+(** SPMD parallel simulator (paper section 4.3): persistent worker domains
+    each execute their static slice of every levelized rank, synchronized
+    only by sense-reversing spin barriers.  Workers busy-wait between
+    cycles (degrading to yields on oversubscribed hosts); call {!shutdown}
+    when done. *)
+
+type t
+
+val create : ?domains:int -> Hydra_netlist.Netlist.t -> t
+(** [domains] is the total parallelism including the caller (default 2);
+    [domains = 1] runs inline with no workers. *)
+
+val shutdown : t -> unit
+val reset : t -> unit
+val set_input : t -> string -> bool -> unit
+val settle : t -> unit
+val tick : t -> unit
+val step : t -> unit
+val output : t -> string -> bool
+val outputs : t -> (string * bool) list
+
+val run :
+  t -> inputs:(string * bool list) list -> cycles:int -> (string * bool) list list

@@ -1,0 +1,43 @@
+(** A declarative test bench over named netlist ports (paper section 6.4's
+    simulation-driver toolkit): drive bits or words with per-cycle values
+    or generator functions, check expectations, and get a readable report
+    with waveforms on failure. *)
+
+type stimulus =
+  | Bit_values of string * bool list
+      (** port, value per cycle; the last value holds *)
+  | Bit_fun of string * (int -> bool)
+  | Word_values of string * int * int list
+      (** port-name prefix, width, value per cycle.  The word's bit ports
+          are [prefix0 .. prefix{w-1}], MSB first. *)
+  | Word_fun of string * int * (int -> int)
+
+type expectation =
+  | Expect_bit of { cycle : int; port : string; value : bool }
+  | Expect_word of { cycle : int; prefix : string; width : int; value : int }
+
+type failure = {
+  at_cycle : int;
+  what : string;
+  expected : string;
+  got : string;
+}
+
+type report = {
+  cycles_run : int;
+  failures : failure list;
+  observed : (string * bool list) list;  (** every output's full trace *)
+}
+
+val passed : report -> bool
+
+val run :
+  ?engine:[ `Compiled | `Interp ] ->
+  cycles:int ->
+  stimuli:stimulus list ->
+  expectations:expectation list ->
+  Hydra_netlist.Netlist.t ->
+  report
+
+val report_string : report -> string
+(** "PASS (...)" or the failure list plus ASCII waveforms. *)

@@ -1,0 +1,16 @@
+(** VCD (value change dump) waveform output, one VCD time unit per clock
+    cycle; viewable in GTKWave and friends. *)
+
+type t
+
+val create : signals:string list -> t
+val sample : t -> (string * bool) list -> unit
+(** Record one cycle's sampled values (unknown names are ignored; only
+    changes are written). *)
+
+val contents : t -> string
+val to_file : t -> string -> unit
+
+val of_compiled_run :
+  Compiled.t -> inputs:(string * bool list) list -> cycles:int -> t
+(** Run a compiled simulation and dump its inputs and outputs. *)

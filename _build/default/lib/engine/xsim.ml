@@ -1,0 +1,110 @@
+(* Ternary (X-propagation) netlist simulator: power-up and reset analysis.
+
+   Flip flops start as X — "value unknown at power-up" — and the circuit
+   is stepped with concrete inputs.  An output that reads 0/1 is provably
+   independent of the unknown state; a dff that becomes known has been
+   properly initialized by the reset sequence.  This mechanizes the
+   argument the paper makes informally for the synchronous discipline:
+   after the right reset protocol the machine's state is fully defined.
+
+   (The [dff0] power-up value of the paper's dff is deliberately ignored
+   unless [respect_init] is set: the point of the analysis is to check
+   that the design does not depend on it.) *)
+
+module Netlist = Hydra_netlist.Netlist
+module T = Hydra_core.Ternary
+
+type t = {
+  netlist : Netlist.t;
+  values : T.t array;
+  stamp : int array;
+  state : T.t array;
+  is_dff : bool array;
+  inputs_now : T.t array;
+  input_index : (string, int) Hashtbl.t;
+  mutable epoch : int;
+  mutable cycle : int;
+}
+
+let create ?(respect_init = false) netlist =
+  ignore (Hydra_netlist.Levelize.check netlist);
+  let n = Netlist.size netlist in
+  let is_dff =
+    Array.map (function Netlist.Dffc _ -> true | _ -> false)
+      netlist.Netlist.components
+  in
+  let state = Array.make n T.X in
+  if respect_init then
+    Array.iteri
+      (fun i comp ->
+        match comp with
+        | Netlist.Dffc init -> state.(i) <- T.of_bool init
+        | _ -> ())
+      netlist.Netlist.components;
+  let input_index = Hashtbl.create 16 in
+  List.iter (fun (s, i) -> Hashtbl.replace input_index s i) netlist.Netlist.inputs;
+  {
+    netlist;
+    values = Array.make n T.X;
+    stamp = Array.make n (-1);
+    state;
+    is_dff;
+    inputs_now = Array.make n T.X;
+    input_index;
+    epoch = 0;
+    cycle = 0;
+  }
+
+let set_input t name v =
+  match Hashtbl.find_opt t.input_index name with
+  | Some i -> t.inputs_now.(i) <- v
+  | None -> invalid_arg ("Xsim.set_input: unknown input " ^ name)
+
+let set_input_bool t name b = set_input t name (T.of_bool b)
+
+let rec eval t i =
+  if t.stamp.(i) = t.epoch then t.values.(i)
+  else begin
+    let fi k = eval t t.netlist.Netlist.fanin.(i).(k) in
+    let value =
+      match t.netlist.Netlist.components.(i) with
+      | Netlist.Inport _ -> t.inputs_now.(i)
+      | Netlist.Constant b -> T.of_bool b
+      | Netlist.Dffc _ -> t.state.(i)
+      | Netlist.Invc -> T.inv (fi 0)
+      | Netlist.And2c -> T.and2 (fi 0) (fi 1)
+      | Netlist.Or2c -> T.or2 (fi 0) (fi 1)
+      | Netlist.Xor2c -> T.xor2 (fi 0) (fi 1)
+      | Netlist.Outport _ -> fi 0
+    in
+    t.values.(i) <- value;
+    t.stamp.(i) <- t.epoch;
+    value
+  end
+
+let output t name =
+  match List.assoc_opt name t.netlist.Netlist.outputs with
+  | Some i -> eval t i
+  | None -> invalid_arg ("Xsim.output: unknown output " ^ name)
+
+let outputs t = List.map (fun (s, i) -> (s, eval t i)) t.netlist.Netlist.outputs
+
+let step t =
+  ignore (outputs t);
+  let next = ref [] in
+  Array.iteri
+    (fun i d ->
+      if d then next := (i, eval t t.netlist.Netlist.fanin.(i).(0)) :: !next)
+    t.is_dff;
+  List.iter (fun (i, v) -> t.state.(i) <- v) !next;
+  t.epoch <- t.epoch + 1;
+  t.cycle <- t.cycle + 1
+
+(* How many flip flops are still unknown. *)
+let unknown_dffs t =
+  let n = ref 0 in
+  Array.iteri (fun i d -> if d && t.state.(i) = T.X then incr n) t.is_dff;
+  !n
+
+let all_outputs_known t =
+  List.for_all (fun (_, v) -> T.is_known v) (outputs t)

@@ -1,0 +1,23 @@
+(** Ternary (X-propagation) netlist simulator for power-up and reset
+    analysis: flip flops start unknown; any output that reads 0/1 is
+    provably independent of the power-up state, and a dff that becomes
+    known has been initialized by the reset sequence. *)
+
+type t
+
+val create : ?respect_init:bool -> Hydra_netlist.Netlist.t -> t
+(** With [respect_init] (default false), dffs power up to their declared
+    values instead of X. *)
+
+val set_input : t -> string -> Hydra_core.Ternary.t -> unit
+val set_input_bool : t -> string -> bool -> unit
+val output : t -> string -> Hydra_core.Ternary.t
+val outputs : t -> (string * Hydra_core.Ternary.t) list
+
+val step : t -> unit
+(** Evaluate the cycle and latch (ternary values propagate into state). *)
+
+val unknown_dffs : t -> int
+(** How many flip flops are still X. *)
+
+val all_outputs_known : t -> bool

@@ -1,0 +1,1 @@
+lib/netlist/formats.ml: Array Bool Buffer List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/formats.mli: Netlist

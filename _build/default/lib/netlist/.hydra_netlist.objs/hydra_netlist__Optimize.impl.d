@@ -1,0 +1,1 @@
+lib/netlist/optimize.ml: Array Bool Hashtbl List Netlist Option Printf

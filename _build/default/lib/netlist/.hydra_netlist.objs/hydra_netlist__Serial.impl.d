@@ -1,0 +1,1 @@
+lib/netlist/serial.ml: Array Buffer List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/serial.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/transform.ml: Array List Netlist

@@ -1,0 +1,25 @@
+(** Netlist output formats: the paper's 4-tuple (section 4.4), Graphviz
+    dot, structural Verilog, and a statistics line. *)
+
+val to_paper_string : Netlist.t -> string
+(** The exact shape printed in paper section 4.4: input ports, output
+    ports, components, and wires [((source, out_port), [(sink, in_port);
+    ...])], numbered inputs-outputs-internals. *)
+
+val to_dot : ?name:string -> Netlist.t -> string
+(** Graphviz digraph. *)
+
+val to_verilog : ?name:string -> Netlist.t -> string
+(** Structural Verilog: one wire per component, [assign] per gate, a
+    clocked [always] block per dff (with its power-up value as the
+    initializer).  A [clk] port is added iff the circuit is sequential. *)
+
+val stats_string : Netlist.t -> string
+val sanitize : string -> string
+(** Make a port name a legal Verilog identifier. *)
+
+val paper_numbering : Netlist.t -> int array
+(** Renumbering used by {!to_paper_string}: inputs first, then outputs,
+    then internal components. *)
+
+val comp_label : Netlist.component -> string

@@ -1,0 +1,96 @@
+(* Levelization: assign each component the number of gate delays after the
+   start of a clock cycle at which its output is valid.
+
+   Inports, constants and dff outputs are level 0; a combinational gate is
+   one more than its deepest driver; an outport takes its driver's level.
+   A dff's input edge does not constrain the dff (the synchronous model
+   breaks cycles at flip flops, paper section 3), so this is a Kahn
+   topological sort over combinational edges only.  Components left
+   unleveled form combinational cycles, which the synchronous model
+   forbids — they are reported rather than silently accepted. *)
+
+type t = {
+  levels : int array;            (* per component; -1 inside a cycle *)
+  order : int array;             (* combinational evaluation order *)
+  by_level : int array array;    (* combinational components per level *)
+  critical_path : int;
+  cyclic : int list;             (* components on combinational cycles *)
+}
+
+exception Combinational_cycle of int list
+
+let compute (nl : Netlist.t) =
+  let n = Netlist.size nl in
+  let levels = Array.make n (-1) in
+  let remaining = Array.make n 0 in
+  let fanout = Netlist.fanout nl in
+  let is_source i =
+    match nl.Netlist.components.(i) with
+    | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> true
+    | Netlist.Outport _ | Netlist.Invc | Netlist.And2c | Netlist.Or2c
+    | Netlist.Xor2c -> false
+  in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if is_source i then begin
+      levels.(i) <- 0;
+      Queue.add i queue
+    end
+    else remaining.(i) <- Array.length nl.Netlist.fanin.(i)
+  done;
+  let order = ref [] in
+  (* Every non-source occupies its own rank, one past its deepest driver —
+     including outports, so that per-level parallel execution never
+     schedules a port in the same rank as its driver.  (This does not
+     affect the critical path, which is computed from the *drivers* of
+     outports and dffs below.) *)
+  let gate_delay _ = 1 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if not (is_source i) then order := i :: !order;
+    List.iter
+      (fun (sink, _port) ->
+        (* edges into a dff do not constrain the dff's level *)
+        match nl.Netlist.components.(sink) with
+        | Netlist.Dffc _ -> ()
+        | _ ->
+          remaining.(sink) <- remaining.(sink) - 1;
+          let lvl = levels.(i) + gate_delay sink in
+          if lvl > levels.(sink) then levels.(sink) <- lvl;
+          if remaining.(sink) = 0 then Queue.add sink queue)
+      fanout.(i)
+  done;
+  let cyclic = ref [] in
+  for i = n - 1 downto 0 do
+    if levels.(i) < 0 then cyclic := i :: !cyclic
+  done;
+  (* Critical path: deepest signal that must settle before the next tick —
+     at an output port or at a dff input. *)
+  let critical = ref 0 in
+  for i = 0 to n - 1 do
+    match nl.Netlist.components.(i) with
+    | Netlist.Outport _ | Netlist.Dffc _ ->
+      Array.iter
+        (fun drv -> if levels.(drv) > !critical then critical := levels.(drv))
+        nl.Netlist.fanin.(i)
+    | _ -> ()
+  done;
+  let order = Array.of_list (List.rev !order) in
+  let max_level = Array.fold_left max 0 levels in
+  let buckets = Array.make (max_level + 1) [] in
+  Array.iter
+    (fun i ->
+      let l = levels.(i) in
+      buckets.(l) <- i :: buckets.(l))
+    order;
+  let by_level =
+    Array.map (fun l -> Array.of_list (List.rev l)) buckets
+  in
+  { levels; order; by_level; critical_path = !critical; cyclic = !cyclic }
+
+let check nl =
+  let t = compute nl in
+  if t.cyclic <> [] then raise (Combinational_cycle t.cyclic);
+  t
+
+let critical_path nl = (compute nl).critical_path

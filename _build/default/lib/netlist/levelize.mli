@@ -1,0 +1,28 @@
+(** Levelization: rank every component by the number of gate delays after
+    a clock tick at which its output is valid.  Flip-flop inputs do not
+    constrain the flip flop (the synchronous model breaks loops at
+    registers), so purely combinational cycles — which the model forbids —
+    are detected and reported. *)
+
+type t = {
+  levels : int array;  (** per component; -1 inside a combinational cycle *)
+  order : int array;  (** combinational evaluation order (topological) *)
+  by_level : int array array;
+      (** combinational components grouped by rank; every rank's members
+          are mutually independent, which is what the parallel engines
+          exploit *)
+  critical_path : int;
+      (** deepest signal that must settle before the next tick (at an
+          output port or a dff input) *)
+  cyclic : int list;  (** components on combinational cycles *)
+}
+
+exception Combinational_cycle of int list
+
+val compute : Netlist.t -> t
+
+val check : Netlist.t -> t
+(** As {!compute}, but raises {!Combinational_cycle} when the netlist has
+    one. *)
+
+val critical_path : Netlist.t -> int

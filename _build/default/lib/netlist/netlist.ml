@@ -1,0 +1,181 @@
+(* Flat netlists extracted from the graph semantics (paper section 4.4,
+   second step).
+
+   A netlist lists the components of a circuit and the connections between
+   their ports; it is the fabrication interface.  Extraction traverses the
+   (possibly circular) graph with an id-based visited set, so feedback
+   loops — which make the graph circular, isomorphic to the schematic —
+   are handled exactly once. *)
+
+module Graph = Hydra_core.Graph
+
+type component =
+  | Inport of string
+  | Outport of string
+  | Constant of bool
+  | Invc
+  | And2c
+  | Or2c
+  | Xor2c
+  | Dffc of bool  (* power-up value *)
+
+type t = {
+  components : component array;
+  fanin : int array array;
+      (* [fanin.(c)] lists the components driving each input port of [c],
+         in port order *)
+  names : string list array;  (* labels attached via [Graph.label] *)
+  inputs : (string * int) list;   (* port name, component index *)
+  outputs : (string * int) list;
+}
+
+let component_name = function
+  | Inport s -> "inport:" ^ s
+  | Outport s -> "outport:" ^ s
+  | Constant b -> if b then "const1" else "const0"
+  | Invc -> "inv"
+  | And2c -> "and2"
+  | Or2c -> "or2"
+  | Xor2c -> "xor2"
+  | Dffc _ -> "dff"
+
+let input_arity = function
+  | Inport _ | Constant _ -> 0
+  | Outport _ | Invc | Dffc _ -> 1
+  | And2c | Or2c | Xor2c -> 2
+
+(* Extraction ----------------------------------------------------------- *)
+
+let extract ~inputs ~outputs =
+  (* Post-order emission — children before parents, which reproduces the
+     paper's component numbering — with an on-stack marker so that the
+     circular graphs produced by feedback terminate: a back edge simply
+     records the target's graph id, and every fanin is translated to a
+     component index once all nodes have been emitted. *)
+  let index : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let on_stack : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let comps = ref [] and fanins = ref [] and names = ref [] in
+  let count = ref 0 in
+  let add comp fanin_ids nms =
+    let idx = !count in
+    incr count;
+    comps := comp :: !comps;
+    fanins := fanin_ids :: !fanins;
+    names := nms :: !names;
+    idx
+  in
+  let rec visit node =
+    let node = Graph.resolve node in
+    if
+      not
+        (Hashtbl.mem index node.Graph.id
+        || Hashtbl.mem on_stack node.Graph.id)
+    then begin
+      Hashtbl.add on_stack node.Graph.id ();
+      let children = Graph.children node in
+      List.iter visit children;
+      let comp =
+        match node.Graph.def with
+        | Graph.Input s -> Inport s
+        | Graph.Const b -> Constant b
+        | Graph.Inv _ -> Invc
+        | Graph.And2 _ -> And2c
+        | Graph.Or2 _ -> Or2c
+        | Graph.Xor2 _ -> Xor2c
+        | Graph.Dff (init, _) -> Dffc init
+        | Graph.Forward _ -> assert false
+      in
+      let child_ids = List.map Graph.id children in
+      let idx = add comp child_ids (List.rev node.Graph.names) in
+      Hashtbl.remove on_stack node.Graph.id;
+      Hashtbl.add index node.Graph.id idx
+    end
+  in
+  (* Declared inputs come first (even when no gate reads them), so that a
+     circuit's port list does not depend on which inputs happen to be
+     used. *)
+  List.iter visit inputs;
+  let out_entries =
+    List.map
+      (fun (name, node) ->
+        visit node;
+        let idx = add (Outport name) [ Graph.id node ] [] in
+        (name, idx))
+      outputs
+  in
+  let n = !count in
+  let components = Array.make n (Constant false) in
+  let fanin = Array.make n [||] in
+  let names_arr = Array.make n [] in
+  List.iteri (fun i comp -> components.(n - 1 - i) <- comp) !comps;
+  List.iteri
+    (fun i ids ->
+      fanin.(n - 1 - i) <-
+        Array.of_list (List.map (fun gid -> Hashtbl.find index gid) ids))
+    !fanins;
+  List.iteri (fun i nm -> names_arr.(n - 1 - i) <- nm) !names;
+  let inputs = ref [] in
+  Array.iteri
+    (fun i comp ->
+      match comp with Inport s -> inputs := (s, i) :: !inputs | _ -> ())
+    components;
+  {
+    components;
+    fanin;
+    names = names_arr;
+    inputs = List.rev !inputs;
+    outputs = out_entries;
+  }
+
+(* Statistics ----------------------------------------------------------- *)
+
+type stats = {
+  gates : int;
+  dffs : int;
+  inports : int;
+  outports : int;
+  constants : int;
+  total : int;
+}
+
+let stats t =
+  let gates = ref 0
+  and dffs = ref 0
+  and ins = ref 0
+  and outs = ref 0
+  and consts = ref 0 in
+  Array.iter
+    (function
+      | Invc | And2c | Or2c | Xor2c -> incr gates
+      | Dffc _ -> incr dffs
+      | Inport _ -> incr ins
+      | Outport _ -> incr outs
+      | Constant _ -> incr consts)
+    t.components;
+  {
+    gates = !gates;
+    dffs = !dffs;
+    inports = !ins;
+    outports = !outs;
+    constants = !consts;
+    total = Array.length t.components;
+  }
+
+let size t = Array.length t.components
+
+(* Fanout: for each component, the list of (sink component, sink input
+   port) pairs it drives. *)
+let fanout t =
+  let out = Array.make (size t) [] in
+  Array.iteri
+    (fun sink drivers ->
+      Array.iteri
+        (fun port driver -> out.(driver) <- (sink, port) :: out.(driver))
+        drivers)
+    t.fanin;
+  Array.map List.rev out
+
+(* [of_graph ~outputs] extracts the netlist reachable from [outputs];
+   [extract ~inputs ~outputs] additionally declares input ports explicitly,
+   so that unused inputs still appear in the port list. *)
+let of_graph ~outputs = extract ~inputs:[] ~outputs

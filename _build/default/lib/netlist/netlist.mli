@@ -1,0 +1,55 @@
+(** Flat netlists extracted from the graph semantics (paper section 4.4):
+    the fabrication interface — components plus the connections between
+    their ports. *)
+
+type component =
+  | Inport of string
+  | Outport of string
+  | Constant of bool
+  | Invc
+  | And2c
+  | Or2c
+  | Xor2c
+  | Dffc of bool  (** carries the power-up value *)
+
+type t = {
+  components : component array;
+  fanin : int array array;
+      (** [fanin.(c)] lists the component driving each input port of [c],
+          in port order *)
+  names : string list array;
+      (** labels attached via {!Hydra_core.Graph.label} *)
+  inputs : (string * int) list;  (** port name, component index *)
+  outputs : (string * int) list;
+}
+
+val component_name : component -> string
+
+val input_arity : component -> int
+(** Number of input ports (the output port's index, in the paper's
+    numbering). *)
+
+val extract : inputs:Hydra_core.Graph.t list -> outputs:(string * Hydra_core.Graph.t) list -> t
+(** Extract the netlist reachable from [outputs], declaring [inputs]
+    explicitly so that unused input ports still appear.  Components are
+    numbered children-first (the paper's order); circular graphs from
+    feedback are handled. *)
+
+val of_graph : outputs:(string * Hydra_core.Graph.t) list -> t
+(** [extract ~inputs:[]]. *)
+
+type stats = {
+  gates : int;
+  dffs : int;
+  inports : int;
+  outports : int;
+  constants : int;
+  total : int;
+}
+
+val stats : t -> stats
+val size : t -> int
+
+val fanout : t -> (int * int) list array
+(** Per component: the (sink component, sink input port) pairs it
+    drives. *)

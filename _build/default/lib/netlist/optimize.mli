@@ -1,0 +1,10 @@
+(** Netlist optimization: constant folding, structural deduplication,
+    inverter-pair collapsing and dead-component elimination, iterated to a
+    fixed point.  Behaviour-preserving (checked against the original on
+    random circuits in the test suite) and never larger. *)
+
+val once : Netlist.t -> Netlist.t * bool
+(** One folding/dedup pass followed by a rebuild; the flag reports whether
+    any rewriting happened. *)
+
+val optimize : ?max_rounds:int -> Netlist.t -> Netlist.t

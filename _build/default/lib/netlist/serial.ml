@@ -1,0 +1,142 @@
+(* Netlist serialization: a simple line-based text format, so circuits can
+   be saved, diffed, versioned and reloaded — the "netlist as artifact"
+   half of the paper's fabrication story.
+
+   Format (one component per line, index order):
+
+     hydra-netlist 1
+     component <idx> <kind> [<fanin> ...]    kind: in:<name> out:<name>
+                                                   const0 const1 inv and2
+                                                   or2 xor2 dff0 dff1
+     name <idx> <label>
+     end *)
+
+let kind_string (nl : Netlist.t) i =
+  match nl.Netlist.components.(i) with
+  | Netlist.Inport s -> "in:" ^ s
+  | Netlist.Outport s -> "out:" ^ s
+  | Netlist.Constant b -> if b then "const1" else "const0"
+  | Netlist.Invc -> "inv"
+  | Netlist.And2c -> "and2"
+  | Netlist.Or2c -> "or2"
+  | Netlist.Xor2c -> "xor2"
+  | Netlist.Dffc b -> if b then "dff1" else "dff0"
+
+let to_string (nl : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "hydra-netlist 1\n";
+  Array.iteri
+    (fun i _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "component %d %s%s\n" i (kind_string nl i)
+           (String.concat ""
+              (Array.to_list
+                 (Array.map (Printf.sprintf " %d") nl.Netlist.fanin.(i))))))
+    nl.Netlist.components;
+  Array.iteri
+    (fun i names ->
+      List.iter
+        (fun n -> Buffer.add_string buf (Printf.sprintf "name %d %s\n" i n))
+        names)
+    nl.Netlist.names;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let comps = ref [] and names = ref [] in
+  let seen_header = ref false and seen_end = ref false in
+  List.iteri
+    (fun lineno0 line ->
+      let lineno = lineno0 + 1 in
+      let line = String.trim line in
+      if line = "" || !seen_end then ()
+      else if not !seen_header then
+        if line = "hydra-netlist 1" then seen_header := true
+        else parse_error lineno "expected header, got %S" line
+      else
+        match String.split_on_char ' ' line with
+        | "end" :: _ -> seen_end := true
+        | "component" :: idx :: kind :: fanin ->
+          let idx = int_of_string idx in
+          let comp =
+            if String.length kind > 3 && String.sub kind 0 3 = "in:" then
+              Netlist.Inport (String.sub kind 3 (String.length kind - 3))
+            else if String.length kind > 4 && String.sub kind 0 4 = "out:"
+            then Netlist.Outport (String.sub kind 4 (String.length kind - 4))
+            else
+              match kind with
+              | "const0" -> Netlist.Constant false
+              | "const1" -> Netlist.Constant true
+              | "inv" -> Netlist.Invc
+              | "and2" -> Netlist.And2c
+              | "or2" -> Netlist.Or2c
+              | "xor2" -> Netlist.Xor2c
+              | "dff0" -> Netlist.Dffc false
+              | "dff1" -> Netlist.Dffc true
+              | k -> parse_error lineno "unknown component kind %S" k
+          in
+          let fanin = Array.of_list (List.map int_of_string fanin) in
+          if Array.length fanin <> Netlist.input_arity comp then
+            parse_error lineno "component %d: wrong fanin arity" idx;
+          comps := (idx, comp, fanin) :: !comps
+        | "name" :: idx :: label ->
+          names := (int_of_string idx, String.concat " " label) :: !names
+        | _ -> parse_error lineno "unparseable line %S" line)
+    lines;
+  if not !seen_end then parse_error 0 "missing end marker";
+  let comps = List.sort (fun (a, _, _) (b, _, _) -> compare a b) (List.rev !comps) in
+  let n = List.length comps in
+  List.iteri
+    (fun expect (idx, _, _) ->
+      if idx <> expect then parse_error 0 "component indices not dense")
+    comps;
+  let components = Array.make n (Netlist.Constant false) in
+  let fanin = Array.make n [||] in
+  let names_arr = Array.make n [] in
+  List.iter
+    (fun (idx, comp, fi) ->
+      components.(idx) <- comp;
+      Array.iter
+        (fun d ->
+          if d < 0 || d >= n then parse_error 0 "fanin %d out of range" d)
+        fi;
+      fanin.(idx) <- fi)
+    comps;
+  List.iter
+    (fun (idx, label) ->
+      if idx < 0 || idx >= n then parse_error 0 "name index out of range";
+      names_arr.(idx) <- names_arr.(idx) @ [ label ])
+    (List.rev !names);
+  let inputs = ref [] and outputs = ref [] in
+  Array.iteri
+    (fun i comp ->
+      match comp with
+      | Netlist.Inport s -> inputs := (s, i) :: !inputs
+      | Netlist.Outport s -> outputs := (s, i) :: !outputs
+      | _ -> ())
+    components;
+  {
+    Netlist.components;
+    fanin;
+    names = names_arr;
+    inputs = List.rev !inputs;
+    outputs = List.rev !outputs;
+  }
+
+let to_file nl path =
+  let oc = open_out path in
+  output_string oc (to_string nl);
+  close_out oc
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

@@ -1,0 +1,10 @@
+(** Netlist serialization: a line-based text format for saving, diffing
+    and reloading extracted circuits.  Round-trips exactly (component
+    order, fanin, labels, port lists). *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Netlist.t -> string
+val of_string : string -> Netlist.t
+val to_file : Netlist.t -> string -> unit
+val of_file : string -> Netlist.t

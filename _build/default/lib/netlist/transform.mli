@@ -1,0 +1,12 @@
+(** Whole-netlist transformations on the state elements — the paper's
+    "true conditional load register instead of a gated clock" argument,
+    mechanized: both passes put a multiplexer in front of every flip
+    flop's data input and never touch the clock. *)
+
+val insert_stall : Netlist.t -> name:string -> Netlist.t
+(** Add an input; while it is 1 every flip flop holds, so simulation is
+    exactly time-dilated.  Raises if the input name exists. *)
+
+val insert_reset : Netlist.t -> name:string -> Netlist.t
+(** Add an input; while it is 1 every flip flop synchronously reloads its
+    power-up value at the tick. *)

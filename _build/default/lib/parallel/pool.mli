@@ -1,0 +1,29 @@
+(** A reusable domain pool with a chunk-stealing [parallel_for] — the
+    substrate for parallel circuit simulation (paper section 4.3).
+
+    The calling domain participates in every [parallel_for], so a pool of
+    size [n] spawns [n - 1] worker domains. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of total parallelism [domains]
+    (default: [Domain.recommended_domain_count], capped at 8). *)
+
+val size : t -> int
+(** Total parallelism, caller included. *)
+
+val parallel_for : ?chunk:int -> t -> int -> int -> (int -> unit) -> unit
+(** [parallel_for t lo hi f] runs [f i] for every [lo <= i < hi], possibly
+    concurrently, and returns once all are done (a barrier).  [f] must be
+    safe to run concurrently for distinct [i].  Small ranges run inline.
+    The first exception raised by [f] (if any) is re-raised in the
+    caller. *)
+
+val parallel_sum : t -> int -> int -> (int -> int) -> int
+(** Parallel sum of [f i] over the range. *)
+
+val shutdown : t -> unit
+(** Join all workers.  The pool must not be used afterwards. *)
+
+val default_domains : unit -> int

@@ -1,0 +1,1 @@
+lib/verify/bdd.ml: Float Hashtbl List

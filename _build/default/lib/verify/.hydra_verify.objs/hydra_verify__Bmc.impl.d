@@ -1,0 +1,1 @@
+lib/verify/bmc.ml: Array Hashtbl Hydra_core Hydra_engine Hydra_netlist List Queue

@@ -1,0 +1,1 @@
+lib/verify/bmc.mli: Hydra_netlist

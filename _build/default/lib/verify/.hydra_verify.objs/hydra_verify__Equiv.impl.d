@@ -1,0 +1,1 @@
+lib/verify/equiv.ml: Bdd Hydra_core List Random

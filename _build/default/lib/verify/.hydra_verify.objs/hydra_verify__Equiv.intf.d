@@ -1,0 +1,1 @@
+lib/verify/equiv.mli: Bdd Hydra_core

@@ -1,0 +1,1 @@
+lib/verify/fault.ml: Array Bool Hydra_engine Hydra_netlist List Printf Random

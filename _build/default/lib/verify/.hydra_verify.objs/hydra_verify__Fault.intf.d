@@ -1,0 +1,1 @@
+lib/verify/fault.mli: Hydra_netlist

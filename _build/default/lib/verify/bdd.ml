@@ -1,0 +1,178 @@
+(* Reduced ordered binary decision diagrams, hash-consed.
+
+   The formal-reasoning substrate (paper section 4.6): equational reasoning
+   about combinational circuits becomes canonical-form comparison.  Because
+   ROBDDs are canonical for a fixed variable order, two circuits are
+   equivalent iff their BDDs are the same node. *)
+
+type t = False | True | Node of { id : int; var : int; lo : t; hi : t }
+
+type manager = {
+  unique : (int * int * int, t) Hashtbl.t;  (* (var, lo id, hi id) -> node *)
+  and_cache : (int * int, t) Hashtbl.t;
+  xor_cache : (int * int, t) Hashtbl.t;
+  not_cache : (int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let manager () =
+  {
+    unique = Hashtbl.create 1024;
+    and_cache = Hashtbl.create 1024;
+    xor_cache = Hashtbl.create 1024;
+    not_cache = Hashtbl.create 256;
+    next_id = 2;
+  }
+
+let id = function False -> 0 | True -> 1 | Node { id; _ } -> id
+
+(* Hash-consing constructor: enforces reduction (no redundant test) and
+   sharing (unique table), which together give canonicity. *)
+let mk m var lo hi =
+  if id lo = id hi then lo
+  else
+    let key = (var, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = m.next_id; var; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+
+let bfalse = False
+let btrue = True
+let of_bool b = if b then True else False
+let var m v = mk m v False True
+let nvar m v = mk m v True False
+
+let top_var = function False | True -> max_int | Node { var; _ } -> var
+
+let cofactors v = function
+  | (False | True) as n -> (n, n)
+  | Node { var; lo; hi; _ } as n -> if var = v then (lo, hi) else (n, n)
+
+let rec bdd_not m n =
+  match n with
+  | False -> True
+  | True -> False
+  | Node { id = i; var; lo; hi } -> (
+      match Hashtbl.find_opt m.not_cache i with
+      | Some r -> r
+      | None ->
+        let r = mk m var (bdd_not m lo) (bdd_not m hi) in
+        Hashtbl.add m.not_cache i r;
+        r)
+
+let rec bdd_and m a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, x | x, True -> x
+  | _ ->
+    if id a = id b then a
+    else
+      let key = if id a <= id b then (id a, id b) else (id b, id a) in
+      (match Hashtbl.find_opt m.and_cache key with
+      | Some r -> r
+      | None ->
+        let v = min (top_var a) (top_var b) in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let r = mk m v (bdd_and m a0 b0) (bdd_and m a1 b1) in
+        Hashtbl.add m.and_cache key r;
+        r)
+
+let bdd_or m a b = bdd_not m (bdd_and m (bdd_not m a) (bdd_not m b))
+
+let rec bdd_xor m a b =
+  match (a, b) with
+  | False, x | x, False -> x
+  | True, x | x, True -> bdd_not m x
+  | _ ->
+    if id a = id b then False
+    else
+      let key = if id a <= id b then (id a, id b) else (id b, id a) in
+      (match Hashtbl.find_opt m.xor_cache key with
+      | Some r -> r
+      | None ->
+        let v = min (top_var a) (top_var b) in
+        let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
+        let r = mk m v (bdd_xor m a0 b0) (bdd_xor m a1 b1) in
+        Hashtbl.add m.xor_cache key r;
+        r)
+
+let bdd_ite m c a b = bdd_or m (bdd_and m c a) (bdd_and m (bdd_not m c) b)
+
+let equal a b = id a = id b
+
+(* Evaluate under an assignment (a function from variable to value). *)
+let rec eval assign = function
+  | False -> false
+  | True -> true
+  | Node { var; lo; hi; _ } -> eval assign (if assign var then hi else lo)
+
+(* Number of satisfying assignments over variables 0 .. nvars-1.
+
+   c(n) counts assignments of the variables from top_var(n) downwards;
+   skipped levels between a node and its child each double the count. *)
+let sat_count ~nvars n =
+  let level x = min nvars (top_var x) in
+  let memo = Hashtbl.create 64 in
+  let rec c n =
+    match n with
+    | False -> 0.0
+    | True -> 1.0
+    | Node { id = i; var; lo; hi } -> (
+        match Hashtbl.find_opt memo i with
+        | Some r -> r
+        | None ->
+          let branch child =
+            c child *. Float.pow 2.0 (float_of_int (level child - var - 1))
+          in
+          let r = branch lo +. branch hi in
+          Hashtbl.replace memo i r;
+          r)
+  in
+  c n *. Float.pow 2.0 (float_of_int (level n))
+
+let support n =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | False | True -> ()
+    | Node { id = i; var; lo; hi } ->
+      if not (Hashtbl.mem seen i) then begin
+        Hashtbl.add seen i ();
+        Hashtbl.replace vars var ();
+        go lo;
+        go hi
+      end
+  in
+  go n;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+(* Number of distinct nodes (a standard size measure). *)
+let size n =
+  let seen = Hashtbl.create 64 in
+  let rec go acc = function
+    | False | True -> acc
+    | Node { id = i; lo; hi; _ } ->
+      if Hashtbl.mem seen i then acc
+      else begin
+        Hashtbl.add seen i ();
+        go (go (acc + 1) lo) hi
+      end
+  in
+  go 0 n
+
+(* One satisfying assignment, if any: (var, value) pairs for the variables
+   on the found path; unmentioned variables are don't-cares. *)
+let rec any_sat = function
+  | False -> None
+  | True -> Some []
+  | Node { var; lo; hi; _ } -> (
+      match any_sat hi with
+      | Some a -> Some ((var, true) :: a)
+      | None -> (
+          match any_sat lo with
+          | Some a -> Some ((var, false) :: a)
+          | None -> None))

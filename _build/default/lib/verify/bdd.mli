@@ -1,0 +1,52 @@
+(** Hash-consed reduced ordered binary decision diagrams: the
+    formal-reasoning substrate (paper section 4.6).  Canonical for a fixed
+    variable order, so equivalence is {!equal} on nodes. *)
+
+type t = private
+  | False
+  | True
+  | Node of { id : int; var : int; lo : t; hi : t }
+
+type manager
+
+val manager : unit -> manager
+(** A fresh unique table and operation caches.  Nodes from different
+    managers must not be mixed. *)
+
+val bfalse : t
+val btrue : t
+val of_bool : bool -> t
+val var : manager -> int -> t
+val nvar : manager -> int -> t
+val id : t -> int
+
+val bdd_not : manager -> t -> t
+val bdd_and : manager -> t -> t -> t
+val bdd_or : manager -> t -> t -> t
+val bdd_xor : manager -> t -> t -> t
+val bdd_ite : manager -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Function equality (constant time, by canonicity). *)
+
+val eval : (int -> bool) -> t -> bool
+val sat_count : nvars:int -> t -> float
+(** Number of satisfying assignments over variables [0 .. nvars-1]. *)
+
+val support : t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val size : t -> int
+(** Distinct node count. *)
+
+val any_sat : t -> (int * bool) list option
+(** A satisfying partial assignment (unmentioned variables are
+    don't-cares), or [None] for the constant false. *)
+
+val top_var : t -> int
+(** [max_int] on terminals. *)
+
+val mk : manager -> int -> t -> t -> t
+(** Raw hash-consing constructor (reduction + sharing); [mk m v lo hi] is
+    the function "if var [v] then [hi] else [lo]".  Children's top
+    variables must be greater than [v]. *)

@@ -1,0 +1,157 @@
+(* Bounded model checking and reachability over netlist state machines.
+
+   The synchronous model makes the whole circuit one state machine whose
+   state vector is the flip-flop contents (paper section 3).  This module
+   explores that machine on the compiled engine: breadth-first reachability
+   over dff states (for circuits with few inputs/flip flops) and
+   bounded-depth checking of output invariants. *)
+
+module Netlist = Hydra_netlist.Netlist
+module Compiled = Hydra_engine.Compiled
+
+type violation = {
+  depth : int;
+  inputs : bool list list;  (* input rows leading to the violation *)
+  outputs : (string * bool) list;
+}
+
+type result = Holds | Violated of violation
+
+(* State snapshot = dff values. *)
+let snapshot sim =
+  let dffs = Compiled.dff_indices sim in
+  Array.to_list (Array.map (fun i -> Compiled.peek sim i) dffs)
+
+let restore sim state =
+  let dffs = Compiled.dff_indices sim in
+  List.iteri (fun j b -> Compiled.poke sim dffs.(j) b) state
+
+(* [check ~netlist ~property ~depth]: drive the circuit with every input
+   sequence of length [depth] (exhaustive over the circuit's inputs per
+   cycle) and fail if [property] (a named output) is ever 0 after
+   settling.  Breadth-first over deduplicated dff states, so a reported
+   violation is at the earliest possible depth.  Exponential in inputs:
+   intended for control-style circuits with few inputs. *)
+let check ?(max_states = 200_000) ~property ~depth netlist =
+  let sim = Compiled.create netlist in
+  let input_names = List.map fst netlist.Netlist.inputs in
+  let vectors = Hydra_core.Bit.vectors (List.length input_names) in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let start = snapshot sim in
+  Hashtbl.add seen start ();
+  Queue.add (start, 0, []) queue;
+  let explored = ref 0 in
+  let exception Found of violation in
+  try
+    while not (Queue.is_empty queue) do
+      let state, d, history = Queue.pop queue in
+      if d < depth then
+        List.iter
+          (fun v ->
+            incr explored;
+            if !explored > max_states then
+              failwith "Bmc.check: state budget exceeded";
+            restore sim state;
+            List.iter2 (fun n b -> Compiled.set_input sim n b) input_names v;
+            Compiled.settle sim;
+            let outs = Compiled.outputs sim in
+            (match List.assoc_opt property outs with
+            | Some true -> ()
+            | Some false ->
+              raise
+                (Found
+                   { depth = d; inputs = List.rev (v :: history); outputs = outs })
+            | None -> invalid_arg ("Bmc.check: unknown output " ^ property));
+            Compiled.tick sim;
+            let s' = snapshot sim in
+            if not (Hashtbl.mem seen s') then begin
+              Hashtbl.add seen s' ();
+              Queue.add (s', d + 1, v :: history) queue
+            end)
+          vectors
+    done;
+    Holds
+  with Found v -> Violated v
+
+(* Reachable state count via BFS from the power-up state, driving all
+   input combinations at every step.  For small sequential circuits. *)
+let reachable_states ?(limit = 100_000) netlist =
+  let sim = Compiled.create netlist in
+  let input_names = List.map fst netlist.Netlist.inputs in
+  let vectors = Hydra_core.Bit.vectors (List.length input_names) in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let start = snapshot sim in
+  Hashtbl.add seen start ();
+  Queue.add start queue;
+  let truncated = ref false in
+  while not (Queue.is_empty queue) do
+    let state = Queue.pop queue in
+    List.iter
+      (fun v ->
+        restore sim state;
+        List.iter2 (fun n b -> Compiled.set_input sim n b) input_names v;
+        Compiled.settle sim;
+        Compiled.tick sim;
+        let s' = snapshot sim in
+        if not (Hashtbl.mem seen s') then
+          if Hashtbl.length seen >= limit then truncated := true
+          else begin
+            Hashtbl.add seen s' ();
+            Queue.add s' queue
+          end)
+      vectors
+  done;
+  (Hashtbl.length seen, !truncated)
+
+(* Sequential equivalence up to [depth]: two netlists with identical input
+   port names produce identical output values on every input sequence of
+   length [depth].  Breadth-first over deduplicated product states, so a
+   reported difference is at the earliest possible depth. *)
+let equiv_sequential ?(max_states = 200_000) ~depth nl_a nl_b =
+  let sa = Compiled.create nl_a and sb = Compiled.create nl_b in
+  let names_a = List.map fst nl_a.Netlist.inputs in
+  let names_b = List.map fst nl_b.Netlist.inputs in
+  if List.sort compare names_a <> List.sort compare names_b then
+    invalid_arg "Bmc.equiv_sequential: different input ports";
+  let vectors = Hydra_core.Bit.vectors (List.length names_a) in
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let start = (snapshot sa, snapshot sb) in
+  Hashtbl.add seen start ();
+  Queue.add (start, 0, []) queue;
+  let explored = ref 0 in
+  let exception Diff of violation in
+  try
+    while not (Queue.is_empty queue) do
+      let (state_a, state_b), d, history = Queue.pop queue in
+      if d < depth then
+        List.iter
+          (fun v ->
+            incr explored;
+            if !explored > max_states then
+              failwith "Bmc.equiv_sequential: state budget exceeded";
+            restore sa state_a;
+            restore sb state_b;
+            List.iter2 (fun n b -> Compiled.set_input sa n b) names_a v;
+            List.iter2 (fun n b -> Compiled.set_input sb n b) names_a v;
+            Compiled.settle sa;
+            Compiled.settle sb;
+            let oa = List.sort compare (Compiled.outputs sa) in
+            let ob = List.sort compare (Compiled.outputs sb) in
+            if oa <> ob then
+              raise
+                (Diff
+                   { depth = d; inputs = List.rev (v :: history); outputs = oa });
+            Compiled.tick sa;
+            Compiled.tick sb;
+            let s' = (snapshot sa, snapshot sb) in
+            if not (Hashtbl.mem seen s') then begin
+              Hashtbl.add seen s' ();
+              Queue.add (s', d + 1, v :: history) queue
+            end)
+          vectors
+    done;
+    Holds
+  with Diff v -> Violated v

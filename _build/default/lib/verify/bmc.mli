@@ -1,0 +1,31 @@
+(** Bounded model checking and reachability over netlist state machines —
+    the whole circuit viewed as one synchronous state machine whose state
+    vector is the flip-flop contents (paper section 3). *)
+
+type violation = {
+  depth : int;
+  inputs : bool list list;  (** input rows leading to the violation *)
+  outputs : (string * bool) list;
+}
+
+type result = Holds | Violated of violation
+
+val check :
+  ?max_states:int -> property:string -> depth:int -> Hydra_netlist.Netlist.t -> result
+(** Drive every input sequence up to [depth] cycles (breadth-first over
+    deduplicated states, so violations are found at minimal depth) and
+    fail if the output named [property] is ever 0 after settling.
+    Exponential in the number of inputs. *)
+
+val reachable_states : ?limit:int -> Hydra_netlist.Netlist.t -> int * bool
+(** Reachable flip-flop states from power-up under all inputs; the flag
+    reports truncation at [limit]. *)
+
+val equiv_sequential :
+  ?max_states:int ->
+  depth:int ->
+  Hydra_netlist.Netlist.t ->
+  Hydra_netlist.Netlist.t ->
+  result
+(** Two netlists with the same input port names produce identical outputs
+    on every input sequence of length [depth]. *)

@@ -1,0 +1,128 @@
+(* Combinational equivalence checking.
+
+   Three methods, strongest first:
+   - [bdd_equiv]: symbolic — execute both circuits at a BDD semantics (one
+     more instance of the paper's "apply the specification to a different
+     signal type" idea) and compare canonical forms.  Complete.
+   - [exhaustive]: enumerate all input vectors at the Bit semantics.
+     Complete, exponential.
+   - [random]: sample vectors; a cheap falsifier. *)
+
+module Bit = Hydra_core.Bit
+
+(* A COMB instance whose signals are BDDs over a given manager: executing
+   a circuit at this instance computes its boolean function symbolically. *)
+module type BDD_COMB = sig
+  include Hydra_core.Signal_intf.COMB with type t = Bdd.t
+
+  val manager : Bdd.manager
+end
+
+let bdd_comb m : (module BDD_COMB) =
+  (module struct
+    type t = Bdd.t
+
+    let manager = m
+    let zero = Bdd.bfalse
+    let one = Bdd.btrue
+    let constant = Bdd.of_bool
+    let inv = Bdd.bdd_not m
+    let and2 = Bdd.bdd_and m
+    let or2 = Bdd.bdd_or m
+    let xor2 = Bdd.bdd_xor m
+    let label _ s = s
+  end)
+
+(* A circuit abstracted over its semantics — the form every Hydra circuit
+   naturally has.  The polymorphic field lets one circuit value be executed
+   at the Bit semantics (testing) and the BDD semantics (proof) alike. *)
+type circuit = {
+  apply :
+    'a.
+    (module Hydra_core.Signal_intf.COMB with type t = 'a) ->
+    'a list ->
+    'a list;
+}
+
+type counterexample = bool list
+
+type result = Equivalent | Inequivalent of counterexample
+
+(* Symbolic check of two [inputs]-input circuits (any number of outputs):
+   build both functions as BDDs and compare canonical forms. *)
+let bdd_equiv ~inputs c1 c2 =
+  let m = Bdd.manager () in
+  let (module C) = bdd_comb m in
+  let vars = List.init inputs (Bdd.var m) in
+  let fo = c1.apply (module C) vars and go = c2.apply (module C) vars in
+  if List.length fo <> List.length go then
+    invalid_arg "Equiv.bdd_equiv: output arities differ";
+  let diff =
+    List.fold_left2
+      (fun acc a b -> Bdd.bdd_or m acc (Bdd.bdd_xor m a b))
+      Bdd.bfalse fo go
+  in
+  match Bdd.any_sat diff with
+  | None -> Equivalent
+  | Some partial ->
+    let assign v =
+      match List.assoc_opt v partial with Some b -> b | None -> false
+    in
+    Inequivalent (List.init inputs assign)
+
+(* Symbolic functions of a circuit: output BDDs over fresh variables, plus
+   the manager (for further queries such as sat counts). *)
+let bdd_outputs ~inputs c =
+  let m = Bdd.manager () in
+  let (module C) = bdd_comb m in
+  let vars = List.init inputs (Bdd.var m) in
+  (m, c.apply (module C) vars)
+
+let exhaustive ~inputs c1 c2 =
+  let f = c1.apply (module Bit) and g = c2.apply (module Bit) in
+  let rec find = function
+    | [] -> Equivalent
+    | v :: rest -> if f v = g v then find rest else Inequivalent v
+  in
+  find (Bit.vectors inputs)
+
+(* Exhaustive check at the packed semantics: 62 assignments per circuit
+   evaluation — typically ~50x faster than {!exhaustive} for the same
+   complete guarantee. *)
+let packed_exhaustive ~inputs c1 c2 =
+  let module P = Hydra_core.Packed in
+  let passes = P.enumerate ~inputs in
+  let rec scan = function
+    | [] -> Equivalent
+    | (words, count) :: rest ->
+      let o1 = c1.apply (module P) words and o2 = c2.apply (module P) words in
+      if List.length o1 <> List.length o2 then
+        invalid_arg "Equiv.packed_exhaustive: output arities differ";
+      let mask = if count = P.lanes then P.lane_mask else (1 lsl count) - 1 in
+      let diff =
+        List.fold_left2
+          (fun acc a b -> acc lor (P.xor2 a b land mask))
+          0 o1 o2
+      in
+      if diff = 0 then scan rest
+      else begin
+        (* first differing lane is the counterexample *)
+        let rec first_lane l = if P.lane diff l then l else first_lane (l + 1) in
+        let lane = first_lane 0 in
+        Inequivalent (List.map (fun w -> P.lane w lane) words)
+      end
+  in
+  scan passes
+
+let random ?(trials = 1000) ~inputs c1 c2 =
+  let f = c1.apply (module Bit) and g = c2.apply (module Bit) in
+  let st = Random.State.make [| 0x5eed; inputs; trials |] in
+  let rec go n =
+    if n = 0 then Equivalent
+    else
+      let v = List.init inputs (fun _ -> Random.State.bool st) in
+      if f v = g v then go (n - 1) else Inequivalent v
+  in
+  go trials
+
+let is_equivalent = function Equivalent -> true | Inequivalent _ -> false

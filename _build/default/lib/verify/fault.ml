@@ -1,0 +1,116 @@
+(* Stuck-at fault simulation.
+
+   The classic manufacturing-test model: a fault forces one component's
+   output permanently to 0 or 1.  A test vector set *detects* a fault if
+   some vector makes a faulty circuit's outputs differ from the good
+   circuit's.  Coverage — the fraction of faults detected — measures the
+   quality of a test set, which is the practical purpose of the
+   simulation tooling the paper motivates in section 4.2.
+
+   Faults are injected by netlist rewriting: the faulty site's fanout is
+   redirected to a constant component, so every engine can run the faulty
+   circuit unchanged. *)
+
+module Netlist = Hydra_netlist.Netlist
+module Compiled = Hydra_engine.Compiled
+
+type fault = { site : int; stuck : bool }
+
+let fault_name nl { site; stuck } =
+  Printf.sprintf "%s@%d stuck-at-%d"
+    (Netlist.component_name nl.Netlist.components.(site))
+    site (Bool.to_int stuck)
+
+(* All faults on gate and flip-flop outputs. *)
+let all_faults nl =
+  let faults = ref [] in
+  Array.iteri
+    (fun i comp ->
+      match comp with
+      | Netlist.Invc | Netlist.And2c | Netlist.Or2c | Netlist.Xor2c
+      | Netlist.Dffc _ ->
+        faults := { site = i; stuck = true } :: { site = i; stuck = false } :: !faults
+      | Netlist.Inport _ | Netlist.Outport _ | Netlist.Constant _ -> ())
+    nl.Netlist.components;
+  List.rev !faults
+
+(* [inject nl fault]: a netlist where [fault.site]'s consumers read the
+   constant [fault.stuck] instead. *)
+let inject nl { site; stuck } =
+  let n = Netlist.size nl in
+  (* append one constant component at index n *)
+  let components = Array.append nl.Netlist.components [| Netlist.Constant stuck |] in
+  let names = Array.append nl.Netlist.names [| [] |] in
+  let fanin =
+    Array.append
+      (Array.map
+         (fun drivers ->
+           Array.map (fun d -> if d = site then n else d) drivers)
+         nl.Netlist.fanin)
+      [| [||] |]
+  in
+  { nl with Netlist.components; names; fanin }
+
+(* Run [vectors] (rows of input values, in input-port order) on a
+   combinational or sequential circuit for [cycles_per_vector] cycles each
+   and collect the output rows; used to compare good and faulty runs. *)
+let response nl ~vectors ~cycles_per_vector =
+  let sim = Compiled.create nl in
+  let names = List.map fst nl.Netlist.inputs in
+  List.map
+    (fun vector ->
+      List.iter2 (fun n b -> Compiled.set_input sim n b) names vector;
+      let rows = ref [] in
+      for _ = 1 to cycles_per_vector do
+        Compiled.settle sim;
+        rows := List.map snd (Compiled.outputs sim) :: !rows;
+        Compiled.tick sim
+      done;
+      List.rev !rows)
+    vectors
+
+type coverage = {
+  total : int;
+  detected : int;
+  undetected : fault list;
+}
+
+let ratio c = if c.total = 0 then 1.0 else float_of_int c.detected /. float_of_int c.total
+
+(* [coverage nl ~vectors]: fraction of stuck-at faults detected by the
+   vector set.  Sequential circuits get [cycles_per_vector] cycles of
+   observation per vector (state carries over within one fault's run). *)
+let coverage ?(cycles_per_vector = 1) nl ~vectors =
+  let good = response nl ~vectors ~cycles_per_vector in
+  let faults = all_faults nl in
+  let undetected = ref [] in
+  let detected = ref 0 in
+  List.iter
+    (fun f ->
+      let bad = response (inject nl f) ~vectors ~cycles_per_vector in
+      if bad <> good then incr detected else undetected := f :: !undetected)
+    faults;
+  { total = List.length faults; detected = !detected; undetected = List.rev !undetected }
+
+(* Greedy random test generation: add random vectors until coverage stops
+   improving or reaches [target]. *)
+let random_vectors ~seed ~inputs n =
+  let st = Random.State.make [| seed; inputs; n |] in
+  List.init n (fun _ -> List.init inputs (fun _ -> Random.State.bool st))
+
+let generate_tests ?(seed = 42) ?(target = 1.0) ?(batch = 16) ?(max_vectors = 512)
+    nl =
+  let inputs = List.length nl.Netlist.inputs in
+  let rec go vectors cov =
+    if ratio cov >= target || List.length vectors >= max_vectors then
+      (vectors, cov)
+    else begin
+      let fresh = random_vectors ~seed:(seed + List.length vectors) ~inputs batch in
+      let vectors' = vectors @ fresh in
+      let cov' = coverage nl ~vectors:vectors' in
+      (* a batch that detects nothing new ends the search *)
+      if cov'.detected = cov.detected then (vectors, cov) else go vectors' cov'
+    end
+  in
+  let initial = random_vectors ~seed ~inputs batch in
+  go initial (coverage nl ~vectors:initial)

@@ -1,0 +1,38 @@
+(** Stuck-at fault simulation: measure how well a test-vector set
+    distinguishes a faulty circuit from a good one — the manufacturing-
+    test side of the simulation tooling (paper section 4.2). *)
+
+type fault = { site : int; stuck : bool }
+
+val fault_name : Hydra_netlist.Netlist.t -> fault -> string
+
+val all_faults : Hydra_netlist.Netlist.t -> fault list
+(** Both stuck-at values on every gate and flip-flop output. *)
+
+val inject : Hydra_netlist.Netlist.t -> fault -> Hydra_netlist.Netlist.t
+(** Netlist rewriting: the site's consumers read a constant instead, so
+    any engine can run the faulty circuit. *)
+
+type coverage = { total : int; detected : int; undetected : fault list }
+
+val ratio : coverage -> float
+
+val coverage :
+  ?cycles_per_vector:int ->
+  Hydra_netlist.Netlist.t ->
+  vectors:bool list list ->
+  coverage
+(** Fraction of faults whose response to [vectors] (rows in input-port
+    order) differs from the good circuit's. *)
+
+val random_vectors : seed:int -> inputs:int -> int -> bool list list
+
+val generate_tests :
+  ?seed:int ->
+  ?target:float ->
+  ?batch:int ->
+  ?max_vectors:int ->
+  Hydra_netlist.Netlist.t ->
+  bool list list * coverage
+(** Greedy random test generation: grow the vector set until coverage
+    reaches [target] or a whole batch detects nothing new. *)

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Bitvec Bool Hydra_circuits Hydra_core List Patterns QCheck2 Util

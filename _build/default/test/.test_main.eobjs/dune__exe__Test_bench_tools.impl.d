@@ -1,0 +1,1 @@
+test/test_bench_tools.ml: Alcotest Bitvec Hydra_circuits Hydra_core Hydra_cpu Hydra_engine Hydra_netlist Hydra_verify List Patterns Printf QCheck2 String Util

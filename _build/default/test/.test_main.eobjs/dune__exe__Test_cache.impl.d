@@ -1,0 +1,1 @@
+test/test_cache.ml: Array Bitvec Hydra_circuits Hydra_core List Patterns QCheck2 Util

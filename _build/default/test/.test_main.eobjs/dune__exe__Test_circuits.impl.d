@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Bitvec Fun Hydra_circuits Hydra_core List QCheck2 Util

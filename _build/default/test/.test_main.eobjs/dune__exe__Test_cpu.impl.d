@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Bitvec Fun Hashtbl Hydra_core Hydra_cpu List Printf QCheck2 String Util

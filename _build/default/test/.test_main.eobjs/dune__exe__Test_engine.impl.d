@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bitvec Hydra_core Hydra_engine Hydra_netlist Hydra_parallel Lazy List Printf QCheck2 String Util

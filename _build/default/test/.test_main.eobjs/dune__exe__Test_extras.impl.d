@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Bitvec Fun Hashtbl Hydra_circuits Hydra_core Hydra_cpu Hydra_engine Hydra_netlist Hydra_verify List Patterns Printf QCheck2 Util

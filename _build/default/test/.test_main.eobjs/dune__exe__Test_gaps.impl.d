@@ -1,0 +1,1 @@
+test/test_gaps.ml: Alcotest Array Hashtbl Hydra_circuits Hydra_core Hydra_cpu Hydra_engine Hydra_netlist Hydra_verify List Printf String Util

@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Bitvec Fun Hydra_circuits Hydra_core List Printf QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Hashtbl Hydra_cpu List QCheck2 String Util

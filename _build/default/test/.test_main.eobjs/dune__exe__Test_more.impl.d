@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Bit Bitvec Filename Fun Hydra_circuits Hydra_core Hydra_engine Hydra_netlist Hydra_parallel Hydra_verify List Patterns Printf QCheck2 Sys Test_engine Util

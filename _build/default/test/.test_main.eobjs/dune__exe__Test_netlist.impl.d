@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Filename Hydra_circuits Hydra_core Hydra_engine Hydra_netlist List Printf String Sys Util

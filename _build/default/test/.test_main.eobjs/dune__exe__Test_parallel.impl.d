@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Atomic Hydra_parallel Util

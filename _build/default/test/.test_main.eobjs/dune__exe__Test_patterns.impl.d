@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest List Patterns QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_regs.ml: Alcotest Bitvec Hydra_circuits Hydra_core List Patterns Util

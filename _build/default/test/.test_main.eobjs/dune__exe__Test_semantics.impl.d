@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Bit Hydra_core Hydra_netlist List Util

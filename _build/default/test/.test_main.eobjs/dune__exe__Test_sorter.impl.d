@@ -1,0 +1,1 @@
+test/test_sorter.ml: Bitvec Hydra_circuits Hydra_core List QCheck2 Util

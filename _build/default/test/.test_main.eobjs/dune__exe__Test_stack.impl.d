@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Array Hydra_cpu List QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Bitvec Hydra_circuits Hydra_core Hydra_engine Hydra_netlist List Patterns Printf QCheck2 String Test_engine Util

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Bitvec Hydra_circuits Hydra_core Hydra_engine Hydra_netlist List Printf Util

@@ -1,0 +1,1 @@
+test/test_uart.ml: Bitvec Fun Hydra_circuits Hydra_core List QCheck2 Util

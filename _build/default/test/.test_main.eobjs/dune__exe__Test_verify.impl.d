@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Bit Hydra_circuits Hydra_core Hydra_netlist Hydra_verify List Patterns Printf QCheck2 Util

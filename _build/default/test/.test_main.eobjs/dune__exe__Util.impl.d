@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Hydra_core QCheck2 QCheck_alcotest

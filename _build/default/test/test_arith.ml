@@ -1,0 +1,195 @@
+(* Tests for adders, subtraction, comparison, shifts, the multiplier and
+   the ALU — all at the Bit semantics against integer references. *)
+
+open Util
+module A = Hydra_circuits.Arith.Make (Hydra_core.Bit)
+module Alu = Hydra_circuits.Alu.Make (Hydra_core.Bit)
+module P = Patterns
+
+let gen_op_pair width =
+  QCheck2.Gen.(pair (int_bound (mask width)) (int_bound (mask width)))
+
+let add_via adder ~width x y cin =
+  let xs = Bitvec.of_int ~width x and ys = Bitvec.of_int ~width y in
+  let cout, sums = adder cin (List.combine xs ys) in
+  (Bool.to_int cout lsl width) lor Bitvec.to_int sums
+
+let suite =
+  [
+    tc "half_add truth table" (fun () ->
+        check_bool "c 11" true (fst (A.half_add true true));
+        check_bool "s 11" false (snd (A.half_add true true));
+        check_bool "c 10" false (fst (A.half_add true false));
+        check_bool "s 10" true (snd (A.half_add true false)));
+    qc "full_add adds three bits" QCheck2.Gen.(triple bool bool bool)
+      (fun (x, y, c) ->
+        let cout, s = A.full_add (x, y) c in
+        (Bool.to_int cout * 2) + Bool.to_int s
+        = Bool.to_int x + Bool.to_int y + Bool.to_int c);
+    qc "ripple_add = integer addition (8 bits, with cin)"
+      QCheck2.Gen.(triple (int_bound 255) (int_bound 255) bool)
+      (fun (x, y, cin) ->
+        add_via A.ripple_add ~width:8 x y cin
+        = x + y + Bool.to_int cin);
+    tc "ripple_add width 1 and 0" (fun () ->
+        check_int "1-bit" 2 (add_via A.ripple_add ~width:1 1 1 false);
+        let cout, sums = A.ripple_add true [] in
+        check_bool "empty passes carry" true cout;
+        check_int "no sum bits" 0 (List.length sums));
+    (* E6: the paper's explicit rippleAdd4 equals the mscanr version. *)
+    qc "rippleAdd4 = mscanr ripple (paper section 5)"
+      QCheck2.Gen.(triple (int_bound 15) (int_bound 15) bool)
+      (fun (x, y, cin) ->
+        let xs = Bitvec.of_int ~width:4 x and ys = Bitvec.of_int ~width:4 y in
+        A.ripple_add4 cin (List.combine xs ys)
+        = A.ripple_add cin (List.combine xs ys));
+    tc "ripple_add4 wrong arity raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Arith.ripple_add4: need exactly 4 bit pairs")
+          (fun () -> ignore (A.ripple_add4 false [])));
+    (* E11: every carry-lookahead network equals ripple. *)
+    qc "cla sklansky = integer addition" (gen_op_pair 10) (fun (x, y) ->
+        add_via (A.cla_add ~network:P.Sklansky) ~width:10 x y false = x + y);
+    qc "cla brent-kung = integer addition" (gen_op_pair 10) (fun (x, y) ->
+        add_via (A.cla_add ~network:P.Brent_kung) ~width:10 x y true
+        = x + y + 1);
+    qc "cla kogge-stone = integer addition" (gen_op_pair 10) (fun (x, y) ->
+        add_via (A.cla_add ~network:P.Kogge_stone) ~width:10 x y false = x + y);
+    qc "cla serial = integer addition" (gen_op_pair 7) (fun (x, y) ->
+        add_via (A.cla_add ~network:P.Serial) ~width:7 x y false = x + y);
+    qc "addw wraps mod 2^w" (gen_op_pair 8) (fun (x, y) ->
+        eval2 ~width:8 A.addw x y = (x + y) land mask 8);
+    qc "subw = subtraction mod 2^w" (gen_op_pair 8) (fun (x, y) ->
+        eval2 ~width:8 A.subw x y = (x - y) land mask 8);
+    qc "incw adds one" (QCheck2.Gen.int_bound 255) (fun x ->
+        Bitvec.to_int (A.incw (Bitvec.of_int ~width:8 x)) = (x + 1) land 255);
+    qc "negw is two's complement negation" (QCheck2.Gen.int_bound 255)
+      (fun x ->
+        Bitvec.to_int (A.negw (Bitvec.of_int ~width:8 x)) = -x land 255);
+    qc "eqw" (gen_op_pair 6) (fun (x, y) ->
+        A.eqw (Bitvec.of_int ~width:6 x) (Bitvec.of_int ~width:6 y) = (x = y));
+    qc "lt_unsigned" (gen_op_pair 7) (fun (x, y) ->
+        A.lt_unsigned (Bitvec.of_int ~width:7 x) (Bitvec.of_int ~width:7 y)
+        = (x < y));
+    qc "gt_unsigned" (gen_op_pair 7) (fun (x, y) ->
+        A.gt_unsigned (Bitvec.of_int ~width:7 x) (Bitvec.of_int ~width:7 y)
+        = (x > y));
+    qc "lt_signed" QCheck2.Gen.(pair (int_range (-64) 63) (int_range (-64) 63))
+      (fun (x, y) ->
+        A.lt_signed (Bitvec.of_signed_int ~width:7 x)
+          (Bitvec.of_signed_int ~width:7 y)
+        = (x < y));
+    qc "gt_signed" QCheck2.Gen.(pair (int_range (-64) 63) (int_range (-64) 63))
+      (fun (x, y) ->
+        A.gt_signed (Bitvec.of_signed_int ~width:7 x)
+          (Bitvec.of_signed_int ~width:7 y)
+        = (x > y));
+    qc "add_sub overflow flag (signed)"
+      QCheck2.Gen.(triple (int_range (-128) 127) (int_range (-128) 127) bool)
+      (fun (x, y, sub) ->
+        let xs = Bitvec.of_signed_int ~width:8 x
+        and ys = Bitvec.of_signed_int ~width:8 y in
+        let _, ovfl, sums = A.add_sub sub xs ys in
+        let exact = if sub then x - y else x + y in
+        let wrapped = Bitvec.to_signed_int sums in
+        ovfl = (exact <> wrapped));
+    qc "shl_var shifts left" QCheck2.Gen.(pair (int_bound 255) (int_bound 7))
+      (fun (x, k) ->
+        let out =
+          A.shl_var (Bitvec.of_int ~width:3 k) (Bitvec.of_int ~width:8 x)
+        in
+        Bitvec.to_int out = (x lsl k) land 255);
+    qc "shr_var shifts right" QCheck2.Gen.(pair (int_bound 255) (int_bound 7))
+      (fun (x, k) ->
+        let out =
+          A.shr_var (Bitvec.of_int ~width:3 k) (Bitvec.of_int ~width:8 x)
+        in
+        Bitvec.to_int out = x lsr k);
+    qc "rol_var rotates" QCheck2.Gen.(pair (int_bound 255) (int_bound 7))
+      (fun (x, k) ->
+        let out =
+          A.rol_var (Bitvec.of_int ~width:3 k) (Bitvec.of_int ~width:8 x)
+        in
+        Bitvec.to_int out = ((x lsl k) lor (x lsr (8 - k))) land 255);
+    qc "multw = integer multiplication" (gen_op_pair 7) (fun (x, y) ->
+        let out =
+          A.multw (Bitvec.of_int ~width:7 x) (Bitvec.of_int ~width:7 y)
+        in
+        List.length out = 14 && Bitvec.to_int out = x * y);
+    (* ALU *)
+    qc "alu add" (gen_op_pair 8) (fun (x, y) ->
+        let _, r =
+          Alu.alu
+            (Bitvec.of_int ~width:4 (Alu.code_of_op "add"))
+            (Bitvec.of_int ~width:8 x) (Bitvec.of_int ~width:8 y)
+        in
+        Bitvec.to_int r = (x + y) land 255);
+    qc "alu sub" (gen_op_pair 8) (fun (x, y) ->
+        let _, r =
+          Alu.alu
+            (Bitvec.of_int ~width:4 (Alu.code_of_op "sub"))
+            (Bitvec.of_int ~width:8 x) (Bitvec.of_int ~width:8 y)
+        in
+        Bitvec.to_int r = (x - y) land 255);
+    qc "alu inc ignores y" (gen_op_pair 8) (fun (x, y) ->
+        let _, r =
+          Alu.alu
+            (Bitvec.of_int ~width:4 (Alu.code_of_op "inc"))
+            (Bitvec.of_int ~width:8 x) (Bitvec.of_int ~width:8 y)
+        in
+        Bitvec.to_int r = (x + 1) land 255);
+    qc "alu comparisons (signed)"
+      QCheck2.Gen.(pair (int_range (-128) 127) (int_range (-128) 127))
+      (fun (x, y) ->
+        let run op =
+          let _, r =
+            Alu.alu
+              (Bitvec.of_int ~width:4 (Alu.code_of_op op))
+              (Bitvec.of_signed_int ~width:8 x)
+              (Bitvec.of_signed_int ~width:8 y)
+          in
+          Bitvec.to_int r
+        in
+        run "cmplt" = Bool.to_int (x < y)
+        && run "cmpeq" = Bool.to_int (x = y)
+        && run "cmpgt" = Bool.to_int (x > y));
+    qc "alu overflow on add"
+      QCheck2.Gen.(pair (int_range (-128) 127) (int_range (-128) 127))
+      (fun (x, y) ->
+        let ovfl, r =
+          Alu.alu
+            (Bitvec.of_int ~width:4 (Alu.code_of_op "add"))
+            (Bitvec.of_signed_int ~width:8 x)
+            (Bitvec.of_signed_int ~width:8 y)
+        in
+        ovfl = (x + y <> Bitvec.to_signed_int r));
+    qc "alu logic ops" (gen_op_pair 8) (fun (x, y) ->
+        let run op =
+          let _, r =
+            Alu.alu
+              (Bitvec.of_int ~width:4 (Alu.code_of_op op))
+              (Bitvec.of_int ~width:8 x) (Bitvec.of_int ~width:8 y)
+          in
+          Bitvec.to_int r
+        in
+        run "and" = x land y && run "or" = x lor y && run "xor" = x lxor y);
+    qc "alu overflow is clear in logic and compare modes" (gen_op_pair 8)
+      (fun (x, y) ->
+        List.for_all
+          (fun op ->
+            let ovfl, _ =
+              Alu.alu
+                (Bitvec.of_int ~width:4 (Alu.code_of_op op))
+                (Bitvec.of_int ~width:8 x) (Bitvec.of_int ~width:8 y)
+            in
+            not ovfl)
+          [ "and"; "or"; "xor"; "cmplt"; "cmpeq"; "cmpgt" ]);
+    tc "alu bad op name raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Alu.code_of_op: frobnicate") (fun () ->
+            ignore (Alu.code_of_op "frobnicate")));
+    tc "alu wrong op width raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Alu.alu: operation code must have 4 bits")
+          (fun () -> ignore (Alu.alu [ true ] [ true ] [ true ])));
+  ]

@@ -1,0 +1,47 @@
+(* Tests for word/integer conversions. *)
+
+open Util
+
+let suite =
+  [
+    tc "of_int MSB first" (fun () ->
+        check_bool_list "6 in 4 bits" [ false; true; true; false ]
+          (Bitvec.of_int ~width:4 6));
+    tc "to_int" (fun () ->
+        check_int "0110" 6 (Bitvec.to_int [ false; true; true; false ]));
+    tc "roundtrip extremes" (fun () ->
+        check_int "0" 0 (Bitvec.to_int (Bitvec.of_int ~width:8 0));
+        check_int "255" 255 (Bitvec.to_int (Bitvec.of_int ~width:8 255)));
+    qc "to_int . of_int = id (mod 2^w)"
+      QCheck2.Gen.(pair (int_range 1 30) (int_bound 100000))
+      (fun (w, n) ->
+        Bitvec.to_int (Bitvec.of_int ~width:w (n land mask w)) = n land mask w);
+    tc "signed: -1 is all ones" (fun () ->
+        check_bool_list "-1" [ true; true; true; true ]
+          (Bitvec.of_signed_int ~width:4 (-1));
+        check_int "-1 back" (-1)
+          (Bitvec.to_signed_int [ true; true; true; true ]));
+    tc "signed: min int" (fun () ->
+        check_int "-8" (-8)
+          (Bitvec.to_signed_int (Bitvec.of_signed_int ~width:4 (-8))));
+    qc "signed roundtrip"
+      QCheck2.Gen.(int_range (-32768) 32767)
+      (fun n ->
+        Bitvec.to_signed_int (Bitvec.of_signed_int ~width:16 n) = n);
+    tc "field extracts nibbles" (fun () ->
+        let w = Bitvec.of_int ~width:16 0xABCD in
+        check_int "op" 0xA (Bitvec.to_int (Bitvec.field w 0 4));
+        check_int "d" 0xB (Bitvec.to_int (Bitvec.field w 4 4));
+        check_int "sa" 0xC (Bitvec.to_int (Bitvec.field w 8 4));
+        check_int "sb" 0xD (Bitvec.to_int (Bitvec.field w 12 4)));
+    tc "field out of range raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Bitvec.field: out of range") (fun () ->
+            ignore (Bitvec.field [ true; false ] 1 2)));
+    tc "to_string/of_string" (fun () ->
+        check_string "s" "0110" (Bitvec.to_string (Bitvec.of_int ~width:4 6));
+        check_bool_list "parse" [ true; false; true ] (Bitvec.of_string "101"));
+    tc "to_hex pads to nibbles" (fun () ->
+        check_string "abcd" "abcd" (Bitvec.to_hex (Bitvec.of_int ~width:16 0xabcd));
+        check_string "5-bit 17" "11" (Bitvec.to_hex (Bitvec.of_int ~width:5 17)));
+  ]

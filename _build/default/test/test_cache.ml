@@ -1,0 +1,127 @@
+(* Tests for the direct-mapped cache, including a randomized run against a
+   reference model. *)
+
+open Util
+module S = Hydra_core.Stream_sim
+module C = Hydra_circuits.Cache.Make (Hydra_core.Stream_sim)
+
+(* Drive the cache from scripted per-cycle operations.
+
+   op per cycle: [`Idle | `Read of addr | `Write of addr * v
+                 | `Refill of addr * v], with 4-bit tag, 2-bit index,
+   8-bit data. *)
+let run_ops ops =
+  S.reset ();
+  let abits = 6 and width = 8 in
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let get t = if t < n then arr.(t) else `Idle in
+  let bit f = S.input (fun t -> f (get t)) in
+  let word w f =
+    List.init w (fun i ->
+        S.input (fun t -> List.nth (Bitvec.of_int ~width:w (f (get t))) i))
+  in
+  let req = bit (function `Read _ | `Write _ -> true | _ -> false) in
+  let we = bit (function `Write _ -> true | _ -> false) in
+  let refill = bit (function `Refill _ -> true | _ -> false) in
+  let addr =
+    word abits (function `Read a | `Write (a, _) -> a | _ -> 0)
+  in
+  let wdata = word width (function `Write (_, v) -> v | _ -> 0) in
+  let refill_addr = word abits (function `Refill (a, _) -> a | _ -> 0) in
+  let refill_data = word width (function `Refill (_, v) -> v | _ -> 0) in
+  let p =
+    C.cache ~tag_bits:4 ~index_bits:2 ~width ~req ~we ~addr ~wdata ~refill
+      ~refill_addr ~refill_data
+  in
+  S.run ~cycles:n (p.C.hit :: p.C.rdata)
+  |> List.map (fun row ->
+         (List.hd row, Bitvec.to_int (List.tl row)))
+
+let suite =
+  [
+    tc "cold cache misses; refill makes it hit" (fun () ->
+        let rows =
+          run_ops
+            [ `Read 0x13; `Refill (0x13, 77); `Read 0x13; `Read 0x13 ]
+        in
+        check_bool "cold miss" false (fst (List.nth rows 0));
+        check_bool "hit after refill" true (fst (List.nth rows 2));
+        check_int "data" 77 (snd (List.nth rows 2)));
+    tc "conflict: same index, different tag evicts" (fun () ->
+        (* 0x13 and 0x23 share index 3 (low 2 bits of the 6-bit addr...
+           index = low 2 bits: 0x13 -> 3, 0x23 -> 3, different tags) *)
+        let rows =
+          run_ops
+            [ `Refill (0x13, 1); `Read 0x13; `Refill (0x23, 2); `Read 0x13;
+              `Read 0x23 ]
+        in
+        check_bool "hit own line" true (fst (List.nth rows 1));
+        check_bool "evicted" false (fst (List.nth rows 3));
+        check_bool "new tag hits" true (fst (List.nth rows 4));
+        check_int "new data" 2 (snd (List.nth rows 4)));
+    tc "write-allocate: a store claims the line" (fun () ->
+        let rows = run_ops [ `Write (0x2a, 9); `Read 0x2a ] in
+        check_bool "hit after store" true (fst (List.nth rows 1));
+        check_int "stored data" 9 (snd (List.nth rows 1)));
+    tc "distinct indices coexist" (fun () ->
+        let rows =
+          run_ops
+            [ `Refill (0x10, 5); `Refill (0x11, 6); `Read 0x10; `Read 0x11 ]
+        in
+        check_bool "line 0 hit" true (fst (List.nth rows 2));
+        check_int "line 0" 5 (snd (List.nth rows 2));
+        check_bool "line 1 hit" true (fst (List.nth rows 3));
+        check_int "line 1" 6 (snd (List.nth rows 3)));
+    qc ~count:25 "randomized ops match a reference model"
+      QCheck2.Gen.(
+        list_size (int_range 1 30)
+          (oneof
+             [
+               map (fun a -> `Read (a land 63)) (int_bound 63);
+               map2 (fun a v -> `Write (a land 63, v land 255)) (int_bound 63)
+                 (int_bound 255);
+               map2
+                 (fun a v -> `Refill (a land 63, v land 255))
+                 (int_bound 63) (int_bound 255);
+             ]))
+      (fun ops ->
+        let rows = run_ops ops in
+        (* reference: 4 lines of (tag, data) *)
+        let lines = Array.make 4 None in
+        let ok = ref true in
+        List.iteri
+          (fun t op ->
+            let hit, data = List.nth rows t in
+            (match op with
+            | `Read a | `Write (a, _) ->
+              let tag = a lsr 2 and idx = a land 3 in
+              let expect_hit =
+                match lines.(idx) with
+                | Some (tg, _) -> tg = tag
+                | None -> false
+              in
+              if hit <> expect_hit then ok := false;
+              if expect_hit then begin
+                match lines.(idx) with
+                | Some (_, v) -> if data <> v then ok := false
+                | None -> ()
+              end
+            | `Idle | `Refill _ -> ());
+            (* state update at the tick *)
+            match op with
+            | `Refill (a, v) -> lines.(a land 3) <- Some (a lsr 2, v)
+            | `Write (a, v) -> lines.(a land 3) <- Some (a lsr 2, v)
+            | `Read _ | `Idle -> ())
+          ops;
+        !ok);
+    tc "hit rate on a loop working set" (fun () ->
+        (* simulate a 4-address loop with refills on miss: after one warm
+           lap, everything hits *)
+        let addrs = [ 0x00; 0x05; 0x0a; 0x0f ] in
+        let warm = List.concat_map (fun a -> [ `Read a; `Refill (a, a) ]) addrs in
+        let laps = List.concat (List.init 3 (fun _ -> List.map (fun a -> `Read a) addrs)) in
+        let rows = run_ops (warm @ laps) in
+        let hot = Patterns.split_at (List.length warm) rows |> snd in
+        check_bool "all hot reads hit" true (List.for_all fst hot));
+  ]

@@ -1,0 +1,120 @@
+(* Tests for derived gates, multiplexers, demultiplexers, encoders. *)
+
+open Util
+module G = Hydra_circuits.Gates.Make (Hydra_core.Bit)
+module M = Hydra_circuits.Mux.Make (Hydra_core.Bit)
+module D = Hydra_core.Depth
+module GD = Hydra_circuits.Gates.Make (Hydra_core.Depth)
+
+let bools2 f = List.map (fun (a, b) -> f a b)
+let all2 = [ (false, false); (false, true); (true, false); (true, true) ]
+
+let suite =
+  [
+    tc "nand/nor/xnor truth tables" (fun () ->
+        check_bool_list "nand" [ true; true; true; false ] (bools2 G.nand2 all2);
+        check_bool_list "nor" [ true; false; false; false ] (bools2 G.nor2 all2);
+        check_bool_list "xnor" [ true; false; false; true ] (bools2 G.xnor2 all2));
+    tc "imply" (fun () ->
+        check_bool_list "imply" [ true; true; false; true ] (bools2 G.imply all2));
+    tc "and3/or3/xor3" (fun () ->
+        check_bool "and3" true (G.and3 true true true);
+        check_bool "and3 f" false (G.and3 true false true);
+        check_bool "or3" true (G.or3 false false true);
+        check_bool "xor3 odd" true (G.xor3 true true true);
+        check_bool "xor3 even" false (G.xor3 true true false));
+    tc "and4/or4" (fun () ->
+        check_bool "and4" true (G.and4 true true true true);
+        check_bool "and4 f" false (G.and4 true true true false);
+        check_bool "or4" true (G.or4 false false false true);
+        check_bool "or4 f" false (G.or4 false false false false));
+    qc "any1 = exists" (gen_word 9) (fun w -> G.any1 w = List.exists Fun.id w);
+    qc "all1 = forall" (gen_word 9) (fun w -> G.all1 w = List.for_all Fun.id w);
+    qc "parity = xor fold" (gen_word 9) (fun w ->
+        G.parity w = List.fold_left ( <> ) false w);
+    qc "is_zero" (gen_word 6) (fun w -> G.is_zero w = not (List.exists Fun.id w));
+    qc "invw involution" (gen_word 8) (fun w -> G.invw (G.invw w) = w);
+    tc "word reductions have log depth" (fun () ->
+        D.reset ();
+        let w = List.init 16 (fun _ -> D.input) in
+        check_int "orw depth 16" 4 (GD.orw w));
+    tc "wconst" (fun () ->
+        check_int "10 in 4 bits" 10 (Bitvec.to_int (G.wconst ~width:4 10)));
+    tc "gatew masks" (fun () ->
+        check_bool_list "gated off" [ false; false ]
+          (G.gatew false [ true; true ]);
+        check_bool_list "gated on" [ true; false ] (G.gatew true [ true; false ]));
+    tc "fanout" (fun () ->
+        check_bool_list "3x" [ true; true; true ] (G.fanout 3 true));
+    (* Multiplexers *)
+    tc "mux1 truth table (paper fig 2)" (fun () ->
+        (* output is x when c = 0, y when c = 1 *)
+        check_bool "c0 picks x" true (M.mux1 false true false);
+        check_bool "c1 picks y" false (M.mux1 true true false);
+        check_bool "c1 picks y'" true (M.mux1 true false true));
+    qc "mux1 = if" QCheck2.Gen.(triple bool bool bool) (fun (c, x, y) ->
+        M.mux1 c x y = if c then y else x);
+    qc "mux2 = 2-bit select"
+      QCheck2.Gen.(
+        pair (pair bool bool) (quad bool bool bool bool))
+      (fun ((c0, c1), (w, x, y, z)) ->
+        M.mux2 (c0, c1) w x y z
+        = match (c0, c1) with
+          | false, false -> w
+          | false, true -> x
+          | true, false -> y
+          | true, true -> z);
+    qc "muxw selects indexed element"
+      QCheck2.Gen.(pair (int_bound 7) (gen_word 8))
+      (fun (i, xs) ->
+        let cs = Bitvec.of_int ~width:3 i in
+        M.muxw cs xs = List.nth xs i);
+    tc "muxw width mismatch raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Mux.muxw: data width is not 2^(address width)")
+          (fun () -> ignore (M.muxw [] [ true; false ])));
+    qc "wmux1 selects word"
+      QCheck2.Gen.(triple bool (gen_word 5) (gen_word 5))
+      (fun (c, xs, ys) -> M.wmux1 c xs ys = if c then ys else xs);
+    qc "wmux2 selects one of four words"
+      QCheck2.Gen.(
+        pair (pair bool bool)
+          (quad (gen_word 3) (gen_word 3) (gen_word 3) (gen_word 3)))
+      (fun ((c0, c1), (w, x, y, z)) ->
+        M.wmux2 (c0, c1) w x y z
+        = match (c0, c1) with
+          | false, false -> w
+          | false, true -> x
+          | true, false -> y
+          | true, true -> z);
+    qc "demux1 routes" QCheck2.Gen.(pair bool bool) (fun (c, x) ->
+        M.demux1 c x = if c then (false, x) else (x, false));
+    qc "demuxw one-hot routing"
+      QCheck2.Gen.(pair (int_bound 7) bool)
+      (fun (i, x) ->
+        let outs = M.demuxw (Bitvec.of_int ~width:3 i) x in
+        List.length outs = 8
+        && List.for_all2
+             (fun j o -> if j = i then o = x else o = false)
+             (List.init 8 Fun.id) outs);
+    tc "demux4w needs 4 bits" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Mux.demux4w: need 4 address bits") (fun () ->
+            ignore (M.demux4w [ true ] true)));
+    tc "demux4w: 16 outputs, paper usage" (fun () ->
+        let outs = M.demux4w (Bitvec.of_int ~width:4 1) true in
+        check_int "len" 16 (List.length outs);
+        check_bool "p!!1" true (List.nth outs 1);
+        check_bool "p!!0" false (List.nth outs 0));
+    qc "decode is one-hot of address" (QCheck2.Gen.int_bound 15) (fun i ->
+        let outs = M.decode (Bitvec.of_int ~width:4 i) in
+        List.nth outs i && List.length (List.filter Fun.id outs) = 1);
+    qc "encode inverts decode" (QCheck2.Gen.int_bound 15) (fun i ->
+        let code = M.encode (M.decode (Bitvec.of_int ~width:4 i)) in
+        Bitvec.to_int code = i);
+    qc "priority_encode finds first set bit" (gen_word 8) (fun w ->
+        let valid, idx = M.priority_encode w in
+        match List.find_index Fun.id w with
+        | None -> valid = false
+        | Some first -> valid && Bitvec.to_int idx = first);
+  ]

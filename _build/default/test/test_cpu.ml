@@ -1,0 +1,354 @@
+(* Tests for the control algorithm, synthesized control circuit, datapath
+   and the complete gate-level processor, co-simulated against the golden
+   ISA model (experiment E8). *)
+
+open Util
+module Isa = Hydra_cpu.Isa
+module Asm = Hydra_cpu.Asm
+module Golden = Hydra_cpu.Golden
+module Control = Hydra_cpu.Control
+module Driver = Hydra_cpu.Driver
+module S = Hydra_core.Stream_sim
+module CC = Hydra_cpu.Control_circuit.Make (Hydra_core.Stream_sim)
+
+(* run the control circuit alone with scripted ir_op/cond streams *)
+let run_control ~cycles ~start ~ir_op ~cond =
+  S.reset ();
+  let start = S.of_list start in
+  let cond = S.of_list cond in
+  let ir_op_sig =
+    List.init 4 (fun bit ->
+        S.input (fun t ->
+            let op = match List.nth_opt ir_op t with Some v -> v | None -> 0 in
+            List.nth (Bitvec.of_int ~width:4 op) bit))
+  in
+  let outs = CC.synthesize Control.algorithm ~start ~ir_op:ir_op_sig ~cond in
+  List.init cycles (fun t ->
+      ignore (S.run_cycle [ outs.CC.halted ] t);
+      match List.find_opt (fun (_, s) -> S.at s t) outs.CC.states with
+      | Some (n, _) -> n
+      | None -> "-")
+
+(* golden-vs-circuit co-simulation on a program *)
+let cosim ?(mem_bits = 6) src =
+  let program = Asm.assemble src in
+  let circuit = Driver.run_structural ~mem_bits ~collect_trace:false program in
+  let g = Golden.create ~mem_words:(1 lsl mem_bits) () in
+  Golden.load_program g program;
+  let golden_events = Golden.run g in
+  (circuit, g, golden_events)
+
+let check_events (circuit : Driver.result) golden_events =
+  let show = function
+    | Golden.Reg_write { reg; value } -> Printf.sprintf "R%d:=%04x" reg value
+    | Golden.Mem_write { addr; value } -> Printf.sprintf "M%04x:=%04x" addr value
+    | Golden.Jump_taken { target } -> Printf.sprintf "J%04x" target
+    | Golden.Halted -> "HALT"
+  in
+  Alcotest.(check (list string))
+    "event streams agree"
+    (List.map show golden_events)
+    (List.map show circuit.Driver.events)
+
+let suite =
+  [
+    tc "algorithm pretty-print mentions the paper's states" (fun () ->
+        let s = Control.to_string Control.algorithm in
+        List.iter
+          (fun needle ->
+            let nl = String.length needle in
+            let rec go i =
+              i + nl <= String.length s
+              && (String.sub s i nl = needle || go (i + 1))
+            in
+            check_bool needle true (go 0))
+          [ "st_instr_fet"; "st_load0"; "st_load1"; "st_load2";
+            "ctl_ma_pc"; "ctl_alu_abcd=1100"; "ir := mem[pc], pc++" ]);
+    tc "algorithm covers every opcode" (fun () ->
+        List.iter
+          (fun i ->
+            let op = Isa.opcode_of_int i in
+            check_bool
+              (Printf.sprintf "opcode %d has a sequence" i)
+              true
+              (List.mem_assoc op Control.algorithm.Control.sequences))
+          (List.init 16 Fun.id));
+    (* control circuit: token movement (paper section 6.3) *)
+    tc "control: one-hot token walks fetch->dispatch->add->fetch" (fun () ->
+        let states =
+          run_control ~cycles:7
+            ~start:[ true; false; false; false; false; false; false ]
+            ~ir_op:[ 0; 0; 0; 0; 0; 0; 0 ]
+            ~cond:[ false; false; false; false; false; false; false ]
+        in
+        Alcotest.(check (list string))
+          "walk"
+          [ "-"; "st_instr_fet"; "st_dispatch"; "st_add"; "st_instr_fet";
+            "st_dispatch"; "st_add" ]
+          states);
+    tc "control: load takes three execution states" (fun () ->
+        let states =
+          run_control ~cycles:6
+            ~start:[ true ]
+            ~ir_op:[ 0; 0; 1; 1; 1; 1 ]
+            ~cond:[ false ]
+        in
+        Alcotest.(check (list string))
+          "walk"
+          [ "-"; "st_instr_fet"; "st_dispatch"; "st_load0"; "st_load1";
+            "st_load2" ]
+          states);
+    tc "control: halt state self-loops" (fun () ->
+        let states =
+          run_control ~cycles:6
+            ~start:[ true ]
+            ~ir_op:[ 5; 5; 5; 5; 5; 5 ]
+            ~cond:[ false ]
+        in
+        Alcotest.(check (list string))
+          "walk"
+          [ "-"; "st_instr_fet"; "st_dispatch"; "st_halt"; "st_halt"; "st_halt" ]
+          states);
+    tc "control: jumpf falls to jumpf1 only when cond=0" (fun () ->
+        let walk cond_v =
+          run_control ~cycles:5
+            ~start:[ true ]
+            ~ir_op:[ 10; 10; 10; 10; 10 ]
+            ~cond:[ cond_v; cond_v; cond_v; cond_v; cond_v ]
+        in
+        Alcotest.(check (list string))
+          "cond=0 takes jump"
+          [ "-"; "st_instr_fet"; "st_dispatch"; "st_jumpf0"; "st_jumpf1" ]
+          (walk false);
+        Alcotest.(check (list string))
+          "cond=1 skips"
+          [ "-"; "st_instr_fet"; "st_dispatch"; "st_jumpf0"; "st_instr_fet" ]
+          (walk true));
+    tc "control: exactly one token at all times" (fun () ->
+        S.reset ();
+        let start = S.of_list [ true ] in
+        let cond = S.of_list [ false; true; false; true ] in
+        let ir_op =
+          List.init 4 (fun bit ->
+              S.input (fun t ->
+                  List.nth (Bitvec.of_int ~width:4 (t mod 13)) bit))
+        in
+        let outs = CC.synthesize Control.algorithm ~start ~ir_op ~cond in
+        for t = 1 to 30 do
+          ignore (S.run_cycle [ outs.CC.halted ] t);
+          let live =
+            List.length
+              (List.filter (fun (_, s) -> S.at s t) outs.CC.states)
+          in
+          check_int (Printf.sprintf "cycle %d" t) 1 live
+        done);
+    (* full system, golden co-simulation *)
+    tc "cpu: ldval/add/halt" (fun () ->
+        let circuit, g, events =
+          cosim "ldval R1,5[R0]\nldval R2,7[R0]\nadd R3,R1,R2\nhalt\n"
+        in
+        check_events circuit events;
+        check_bool "halted" true circuit.Driver.halted;
+        check_int "r3 via events" 12 (Driver.final_registers circuit).(3);
+        check_int "golden agrees" (Golden.reg g 3)
+          (Driver.final_registers circuit).(3));
+    tc "cpu: cycle count matches golden prediction" (fun () ->
+        let circuit, g, _ =
+          cosim "ldval R1,5[R0]\nadd R2,R1,R1\nhalt\n"
+        in
+        check_int "cycles" g.Golden.cycles circuit.Driver.cycles);
+    tc "cpu: load and store roundtrip (paper's Load sequence)" (fun () ->
+        let src =
+          "load R1,x[R0]\ninc R2,R1\nstore R2,y[R0]\nhalt\nx: data 41\ny: data 0\n"
+        in
+        let circuit, _, events = cosim src in
+        check_events circuit events;
+        let program = Asm.assemble src in
+        let mem = Driver.final_memory ~size:64 circuit ~program in
+        let y = Hashtbl.find (Asm.labels_of src) "y" in
+        check_int "mem[y]=42" 42 mem.(y));
+    tc "cpu: indexed addressing uses reg[sa] + disp" (fun () ->
+        let src =
+          "ldval R1,1[R0]\nload R2,table[R1]\nhalt\n\
+           table: data 10\ndata 20\ndata 30\n"
+        in
+        let circuit, g, events = cosim src in
+        check_events circuit events;
+        check_int "r2" 20 (Golden.reg g 2));
+    tc "cpu: comparisons" (fun () ->
+        let src =
+          "ldval R1,-3[R0]\nldval R2,4[R0]\ncmplt R3,R1,R2\ncmpgt R4,R1,R2\n\
+           cmpeq R5,R1,R1\nhalt\n"
+        in
+        let circuit, g, events = cosim src in
+        check_events circuit events;
+        check_int "lt" 1 (Golden.reg g 3);
+        check_int "gt" 0 (Golden.reg g 4);
+        check_int "eq" 1 (Golden.reg g 5));
+    tc "cpu: loop sums 1..5 (jump/jumpt)" (fun () ->
+        let src =
+          "  ldval R1,0[R0]\n\
+          \  ldval R2,5[R0]\n\
+           loop: cmpeq R3,R2,R0\n\
+          \  jumpt R3,done[R0]\n\
+          \  add R1,R1,R2\n\
+          \  ldval R4,1[R0]\n\
+          \  sub R2,R2,R4\n\
+          \  jump loop[R0]\n\
+           done: halt\n"
+        in
+        let circuit, g, events = cosim src in
+        check_events circuit events;
+        check_int "sum 15" 15 (Golden.reg g 1);
+        check_int "cycles match" g.Golden.cycles circuit.Driver.cycles);
+    tc "cpu: jumpf both directions" (fun () ->
+        let src =
+          "jumpf R0,t[R0]\nldval R1,99[R0]\nt: ldval R2,1[R0]\n\
+           jumpf R2,u[R0]\nldval R3,7[R0]\nu: halt\n"
+        in
+        let circuit, g, events = cosim src in
+        check_events circuit events;
+        check_int "r1 skipped" 0 (Golden.reg g 1);
+        check_int "r3 executed" 7 (Golden.reg g 3));
+    tc "cpu: behavioural memory agrees with structural" (fun () ->
+        let src =
+          "load R1,x[R0]\ninc R2,R1\nstore R2,x[R0]\nload R3,x[R0]\nhalt\n\
+           x: data 5\n"
+        in
+        let program = Asm.assemble src in
+        let a = Driver.run_structural ~mem_bits:6 ~collect_trace:false program in
+        let b =
+          Driver.run_behavioural ~mem_words:64 ~collect_trace:false program
+        in
+        check_bool "both halt" true (a.Driver.halted && b.Driver.halted);
+        check_int "same cycles" a.Driver.cycles b.Driver.cycles;
+        Alcotest.(check (list string))
+          "same events"
+          (List.map
+             (function
+               | Golden.Reg_write { reg; value } ->
+                 Printf.sprintf "R%d:=%d" reg value
+               | Golden.Mem_write { addr; value } ->
+                 Printf.sprintf "M%d:=%d" addr value
+               | Golden.Jump_taken { target } -> Printf.sprintf "J%d" target
+               | Golden.Halted -> "H")
+             a.Driver.events)
+          (List.map
+             (function
+               | Golden.Reg_write { reg; value } ->
+                 Printf.sprintf "R%d:=%d" reg value
+               | Golden.Mem_write { addr; value } ->
+                 Printf.sprintf "M%d:=%d" addr value
+               | Golden.Jump_taken { target } -> Printf.sprintf "J%d" target
+               | Golden.Halted -> "H")
+             b.Driver.events));
+    tc "cpu: trace formatting is printable" (fun () ->
+        let circuit, _, _ = cosim "ldval R1,1[R0]\nhalt\n" in
+        ignore circuit;
+        let circuit2 =
+          Driver.run_structural ~mem_bits:6
+            (Asm.assemble "ldval R1,1[R0]\nhalt\n")
+        in
+        check_bool "has trace" true (List.length circuit2.Driver.trace > 0);
+        List.iter
+          (fun e -> check_bool "line" true (String.length (Driver.trace_fmt e) > 0))
+          circuit2.Driver.trace);
+    tc "cpu: logic instructions (and/or/xor) at gate level" (fun () ->
+        let src =
+          "ldval R1,0xcafe[R0]\nldval R2,0x0ff0[R0]\nand R3,R1,R2\n\
+           or R4,R1,R2\nxor R5,R1,R2\nnop\nhalt\n"
+        in
+        let circuit, g, events = cosim src in
+        check_events circuit events;
+        check_int "and" (0xcafe land 0x0ff0) (Golden.reg g 3);
+        check_int "or" (0xcafe lor 0x0ff0) (Golden.reg g 4);
+        check_int "xor" (0xcafe lxor 0x0ff0) (Golden.reg g 5);
+        check_int "cycles match" g.Golden.cycles circuit.Driver.cycles);
+    tc "cpu: fibonacci via memory cells" (fun () ->
+        (* fib(10) = 55, computed iteratively in registers *)
+        let src =
+          "  ldval R1,0[R0]       ; a = 0\n\
+          \  ldval R2,1[R0]       ; b = 1\n\
+          \  ldval R3,10[R0]      ; i = 10\n\
+           loop: cmpeq R4,R3,R0\n\
+          \  jumpt R4,done[R0]\n\
+          \  add R5,R1,R2         ; t = a + b\n\
+          \  add R1,R2,R0         ; a = b\n\
+          \  add R2,R5,R0         ; b = t\n\
+          \  ldval R6,1[R0]\n\
+          \  sub R3,R3,R6\n\
+          \  jump loop[R0]\n\
+           done: halt\n"
+        in
+        let circuit, g, events = cosim src in
+        check_events circuit events;
+        check_int "fib(10)" 55 (Golden.reg g 1);
+        check_int "cycles" g.Golden.cycles circuit.Driver.cycles);
+    tc "cpu: memcpy loop with indexed load and store" (fun () ->
+        let src =
+          "  ldval R1,0[R0]       ; i = 0\n\
+          \  ldval R2,3[R0]       ; n = 3\n\
+           loop: cmpeq R3,R1,R2\n\
+          \  jumpt R3,done[R0]\n\
+          \  load R4,src[R1]\n\
+          \  store R4,dst[R1]\n\
+          \  inc R1,R1\n\
+          \  jump loop[R0]\n\
+           done: halt\n\
+           src: data 11\n\
+          \  data 22\n\
+          \  data 33\n\
+           dst: data 0\n\
+          \  data 0\n\
+          \  data 0\n"
+        in
+        let circuit, _, events = cosim src in
+        check_events circuit events;
+        let program = Asm.assemble src in
+        let mem = Driver.final_memory ~size:64 circuit ~program in
+        let dst = Hashtbl.find (Asm.labels_of src) "dst" in
+        check_int_list "copied"
+          [ 11; 22; 33 ]
+          [ mem.(dst); mem.(dst + 1); mem.(dst + 2) ]);
+    (* randomized co-simulation: straight-line programs *)
+    qc ~count:25 "random straight-line programs match golden"
+      QCheck2.Gen.(
+        list_size (int_range 1 12)
+          (oneof
+             [
+               map3 (fun d sa sb -> Isa.Rrr (Isa.Add, d, sa, sb))
+                 (int_range 1 7) (int_range 0 7) (int_range 0 7);
+               map3 (fun d sa sb -> Isa.Rrr (Isa.Sub, d, sa, sb))
+                 (int_range 1 7) (int_range 0 7) (int_range 0 7);
+               map3 (fun d sa sb -> Isa.Rrr (Isa.Cmplt, d, sa, sb))
+                 (int_range 1 7) (int_range 0 7) (int_range 0 7);
+               map2 (fun d sa -> Isa.Rrr (Isa.Inc, d, sa, 0))
+                 (int_range 1 7) (int_range 0 7);
+               map2 (fun d v -> Isa.Rx (Isa.Ldval, d, 0, v))
+                 (int_range 1 7) (int_bound 500);
+               map3 (fun d sa sb -> Isa.Rrr (Isa.Land, d, sa, sb))
+                 (int_range 1 7) (int_range 0 7) (int_range 0 7);
+               map3 (fun d sa sb -> Isa.Rrr (Isa.Lxor, d, sa, sb))
+                 (int_range 1 7) (int_range 0 7) (int_range 0 7);
+               map2 (fun d a -> Isa.Rx (Isa.Load, d, 0, 56 + a))
+                 (int_range 1 7) (int_bound 7);
+               map2 (fun d a -> Isa.Rx (Isa.Store, d, 0, 56 + a))
+                 (int_range 1 7) (int_bound 7);
+             ]))
+      (fun instrs ->
+        let program =
+          Isa.encode_program (instrs @ [ Isa.Rrr (Isa.Halt, 0, 0, 0) ])
+        in
+        if List.length program > 56 then true
+        else begin
+          let circuit =
+            Driver.run_structural ~mem_bits:6 ~collect_trace:false program
+          in
+          let g = Golden.create ~mem_words:64 () in
+          Golden.load_program g program;
+          let golden_events = Golden.run g in
+          circuit.Driver.halted
+          && circuit.Driver.events = golden_events
+          && circuit.Driver.cycles = g.Golden.cycles
+        end);
+  ]

@@ -1,0 +1,188 @@
+(* Tests for instruction encoding/decoding, the assembler and the golden
+   model. *)
+
+open Util
+module Isa = Hydra_cpu.Isa
+module Asm = Hydra_cpu.Asm
+module Golden = Hydra_cpu.Golden
+
+let suite =
+  [
+    tc "encode RRR fields" (fun () ->
+        check_int_list "add R1,R2,R3" [ 0x0123 ]
+          (Isa.encode (Isa.Rrr (Isa.Add, 1, 2, 3))));
+    tc "encode RX two words" (fun () ->
+        check_int_list "load R4,10[R2]" [ 0x1420; 10 ]
+          (Isa.encode (Isa.Rx (Isa.Load, 4, 2, 10))));
+    tc "load has opcode 1 (paper)" (fun () ->
+        check_int "opcode" 1 (Isa.int_of_opcode Isa.Load));
+    tc "negative displacement wraps to 16 bits" (fun () ->
+        check_int_list "disp" [ 0x9010; 0xffff ]
+          (Isa.encode (Isa.Rx (Isa.Jump, 0, 1, -1))));
+    tc "register out of range rejected" (fun () ->
+        match Isa.encode (Isa.Rrr (Isa.Add, 16, 0, 0)) with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    qc "decode inverts encode (RRR)"
+      QCheck2.Gen.(
+        quad
+          (oneofl [ Isa.Add; Isa.Sub; Isa.Cmplt; Isa.Cmpeq; Isa.Cmpgt; Isa.Inc ])
+          (int_bound 15) (int_bound 15) (int_bound 15))
+      (fun (op, d, sa, sb) ->
+        let words = Isa.encode (Isa.Rrr (op, d, sa, sb)) in
+        let arr = Array.of_list words in
+        let instr, len = Isa.decode ~fetch:(fun a -> arr.(a)) 0 in
+        len = 1 && instr = Isa.Rrr (op, d, sa, sb));
+    qc "decode inverts encode (RX)"
+      QCheck2.Gen.(
+        quad
+          (oneofl [ Isa.Load; Isa.Store; Isa.Ldval; Isa.Jump; Isa.Jumpf; Isa.Jumpt ])
+          (int_bound 15) (int_bound 15) (int_bound 0xffff))
+      (fun (op, d, sa, disp) ->
+        let words = Isa.encode (Isa.Rx (op, d, sa, disp)) in
+        let arr = Array.of_list words in
+        let instr, len = Isa.decode ~fetch:(fun a -> arr.(a)) 0 in
+        len = 2 && instr = Isa.Rx (op, d, sa, disp));
+    tc "opcodes 13-15 decode as the logic instructions" (fun () ->
+        List.iter
+          (fun (code, op) ->
+            let instr, len = Isa.decode ~fetch:(fun _ -> code lsl 12) 0 in
+            check_int "len" 1 len;
+            match instr with
+            | Isa.Rrr (o, _, _, _) when o = op -> ()
+            | _ -> Alcotest.fail "wrong decode")
+          [ (13, Isa.Land); (14, Isa.Lor); (15, Isa.Lxor) ]);
+    tc "nop assembles to and R0,R0,R0" (fun () ->
+        check_int_list "nop" [ 0xd000 ] (Asm.assemble "nop\n"));
+    tc "logic ops assemble and round-trip" (fun () ->
+        let words = Asm.assemble "and R1,R2,R3\nor R4,R5,R6\nxor R7,R8,R9\n" in
+        check_int_list "encodings" [ 0xd123; 0xe456; 0xf789 ] words);
+    (* assembler *)
+    tc "assemble basic program" (fun () ->
+        let words =
+          Asm.assemble "  add R1,R2,R3\n  halt\n"
+        in
+        check_int_list "words" [ 0x0123; 0x5000 ] words);
+    tc "assemble labels and data" (fun () ->
+        let words =
+          Asm.assemble
+            "start: load R1,x[R0]\n  halt\nx: data 42\n"
+        in
+        (* load=2 words, halt=1, so x is at address 3 *)
+        check_int_list "words" [ 0x1100; 3; 0x5000; 42 ] words);
+    tc "assemble jump with label" (fun () ->
+        let words = Asm.assemble "loop: jump loop[R0]\n" in
+        check_int_list "words" [ 0x9000; 0 ] words);
+    tc "assemble comments and blank lines" (fun () ->
+        let words = Asm.assemble "; header\n\n  nop ; trailing\n" in
+        check_int_list "words" [ 0xd000 ] words);
+    tc "assemble negative data" (fun () ->
+        check_int_list "words" [ 0xffff ] (Asm.assemble "data -1\n"));
+    tc "assemble hex operand" (fun () ->
+        check_int_list "words" [ 0x2a ] (Asm.assemble "data 0x2a\n"));
+    tc "duplicate label rejected" (fun () ->
+        match Asm.assemble "a: nop\na: nop\n" with
+        | _ -> Alcotest.fail "expected Error"
+        | exception Asm.Error { line = 2; _ } -> ());
+    tc "undefined label rejected" (fun () ->
+        match Asm.assemble "jump nowhere[R0]\n" with
+        | _ -> Alcotest.fail "expected Error"
+        | exception Asm.Error _ -> ());
+    tc "bad register rejected" (fun () ->
+        match Asm.assemble "add R1,R99,R3\n" with
+        | _ -> Alcotest.fail "expected Error"
+        | exception Asm.Error _ -> ());
+    tc "unknown mnemonic rejected" (fun () ->
+        match Asm.assemble "frob R1\n" with
+        | _ -> Alcotest.fail "expected Error"
+        | exception Asm.Error _ -> ());
+    tc "disassemble round trip" (fun () ->
+        let src = "  add R1,R2,R3\n  load R4,7[R5]\n  halt\n" in
+        let dis = Asm.disassemble (Asm.assemble src) in
+        let contains needle =
+          let h = dis and nl = String.length needle in
+          let rec go i =
+            i + nl <= String.length h
+            && (String.sub h i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        check_bool "add" true (contains "add   R1,R2,R3");
+        check_bool "load" true (contains "load  R4,7[R5]");
+        check_bool "halt" true (contains "halt"));
+    (* golden model *)
+    tc "golden: add/sub/inc" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g
+          (Asm.assemble
+             "ldval R1,5[R0]\nldval R2,7[R0]\nadd R3,R1,R2\nsub R4,R2,R1\n\
+              inc R5,R3\nhalt\n");
+        ignore (Golden.run g);
+        check_int "r3" 12 (Golden.reg g 3);
+        check_int "r4" 2 (Golden.reg g 4);
+        check_int "r5" 13 (Golden.reg g 5));
+    tc "golden: comparisons are signed" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g
+          (Asm.assemble
+             "ldval R1,-1[R0]\nldval R2,1[R0]\ncmplt R3,R1,R2\n\
+              cmpgt R4,R1,R2\ncmpeq R5,R1,R1\nhalt\n");
+        ignore (Golden.run g);
+        check_int "-1 < 1" 1 (Golden.reg g 3);
+        check_int "-1 > 1" 0 (Golden.reg g 4);
+        check_int "-1 = -1" 1 (Golden.reg g 5));
+    tc "golden: load/store" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g
+          (Asm.assemble
+             "load R1,x[R0]\ninc R1,R1\nstore R1,y[R0]\nhalt\n\
+              x: data 41\ny: data 0\n");
+        ignore (Golden.run g);
+        let labels = Asm.labels_of "load R1,x[R0]\ninc R1,R1\nstore R1,y[R0]\nhalt\nx: data 41\ny: data 0\n" in
+        let y = Hashtbl.find labels "y" in
+        check_int "mem[y]" 42 (Golden.read_mem g y));
+    tc "golden: jumps and loop" (fun () ->
+        (* sum 1..5 with a loop *)
+        let src =
+          "  ldval R1,0[R0]      ; sum\n\
+          \  ldval R2,5[R0]      ; i = 5\n\
+           loop: cmpeq R3,R2,R0\n\
+          \  jumpt R3,done[R0]\n\
+          \  add R1,R1,R2\n\
+          \  ldval R4,1[R0]\n\
+          \  sub R2,R2,R4\n\
+          \  jump loop[R0]\n\
+           done: halt\n"
+        in
+        let g = Golden.create () in
+        Golden.load_program g (Asm.assemble src);
+        ignore (Golden.run g);
+        check_int "sum" 15 (Golden.reg g 1);
+        check_bool "halted" true g.Golden.halted);
+    tc "golden: jumpf taken when zero" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g
+          (Asm.assemble
+             "jumpf R0,skip[R0]\nldval R1,99[R0]\nskip: halt\n");
+        ignore (Golden.run g);
+        check_int "r1 untouched" 0 (Golden.reg g 1));
+    tc "golden: wraparound arithmetic" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g
+          (Asm.assemble
+             "ldval R1,0xffff[R0]\ninc R2,R1\nhalt\n");
+        ignore (Golden.run g);
+        check_int "wrap" 0 (Golden.reg g 2));
+    tc "golden: event stream records writes" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g (Asm.assemble "ldval R1,3[R0]\nhalt\n");
+        let events = Golden.run g in
+        check_bool "reg write present" true
+          (List.exists
+             (function
+               | Golden.Reg_write { reg = 1; value = 3 } -> true
+               | _ -> false)
+             events);
+        check_bool "halt present" true
+          (List.exists (function Golden.Halted -> true | _ -> false) events));
+  ]

@@ -1,0 +1,29 @@
+(* Test runner: one Alcotest suite per subsystem. *)
+
+let () =
+  Alcotest.run "hydra"
+    [
+      ("patterns", Test_patterns.suite);
+      ("bitvec", Test_bitvec.suite);
+      ("semantics", Test_semantics.suite);
+      ("circuits", Test_circuits.suite);
+      ("arith", Test_arith.suite);
+      ("regs", Test_regs.suite);
+      ("netlist", Test_netlist.suite);
+      ("parallel", Test_parallel.suite);
+      ("engine", Test_engine.suite);
+      ("isa", Test_isa.suite);
+      ("cpu", Test_cpu.suite);
+      ("verify", Test_verify.suite);
+      ("sorter", Test_sorter.suite);
+      ("extras", Test_extras.suite);
+      ("synth", Test_synth.suite);
+      ("uart", Test_uart.suite);
+      ("stack", Test_stack.suite);
+      ("bench_tools", Test_bench_tools.suite);
+      ("interconnect", Test_interconnect.suite);
+      ("more", Test_more.suite);
+      ("gaps", Test_gaps.suite);
+      ("transform", Test_transform.suite);
+      ("cache", Test_cache.suite);
+    ]

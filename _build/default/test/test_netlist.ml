@@ -1,0 +1,170 @@
+(* Tests for netlist extraction, the paper's 4-tuple format (section 4.4),
+   levelization and the fabrication formats. *)
+
+open Util
+module G = Hydra_core.Graph
+module N = Hydra_netlist.Netlist
+module L = Hydra_netlist.Levelize
+module F = Hydra_netlist.Formats
+module CG = Hydra_circuits.Gates.Make (Hydra_core.Graph)
+module CR = Hydra_circuits.Regs.Make (Hydra_core.Graph)
+module CA = Hydra_circuits.Arith.Make (Hydra_core.Graph)
+
+(* The section 4.4 example: x = and2 (inv a) b. *)
+let fig1_netlist () =
+  let a = G.input "a" and b = G.input "b" in
+  N.of_graph ~outputs:[ ("x", G.and2 (G.inv a) b) ]
+
+let ripple_netlist n =
+  let xs = List.init n (fun i -> G.input (Printf.sprintf "x%d" i)) in
+  let ys = List.init n (fun i -> G.input (Printf.sprintf "y%d" i)) in
+  let cout, sums = CA.ripple_add G.zero (List.combine xs ys) in
+  N.of_graph
+    ~outputs:
+      (("cout", cout)
+      :: List.mapi (fun i s -> (Printf.sprintf "s%d" i, s)) sums)
+
+let suite =
+  [
+    tc "fig1: component inventory" (fun () ->
+        let nl = fig1_netlist () in
+        let s = N.stats nl in
+        check_int "gates" 2 s.N.gates;
+        check_int "inputs" 2 s.N.inports;
+        check_int "outputs" 1 s.N.outports;
+        check_int "dffs" 0 s.N.dffs);
+    tc "fig1: paper 4-tuple format (E4)" (fun () ->
+        let str = F.to_paper_string (fig1_netlist ()) in
+        (* ids: 0,1 = inports a b; 2 = outport x; 3,4 = inv, and2 —
+           exactly the paper's numbering *)
+        let expected =
+          "([(0, InPort \"a\"), (1, InPort \"b\")],\n\
+          \ [(2, OutPort \"x\")],\n\
+          \ [(3, Inv), (4, And2)],\n\
+          \ [((0,0), [(3,0)]), ((1,0), [(4,1)]), ((3,1), [(4,0)]), ((4,2), [(2,0)])])"
+        in
+        check_string "tuple" expected str);
+    tc "sharing: one node for a reused subcircuit" (fun () ->
+        let a = G.input "a" in
+        let i = G.inv a in
+        let nl = N.of_graph ~outputs:[ ("x", G.and2 i i) ] in
+        check_int "gates" 2 (N.stats nl).N.gates);
+    tc "feedback: reg1 netlist is a cycle with one dff" (fun () ->
+        let ld = G.input "ld" and x = G.input "x" in
+        let nl = N.of_graph ~outputs:[ ("s", CR.reg1 ld x) ] in
+        let s = N.stats nl in
+        check_int "dffs" 1 s.N.dffs;
+        (* mux1 = inv + 2 and + or *)
+        check_int "gates" 4 s.N.gates);
+    tc "levelize: fig1 critical path = 2" (fun () ->
+        check_int "cp" 2 (L.critical_path (fig1_netlist ())));
+    tc "levelize: matches Depth semantics on ripple adder" (fun () ->
+        let n = 8 in
+        let module DA = Hydra_circuits.Arith.Make (Hydra_core.Depth) in
+        Hydra_core.Depth.reset ();
+        let ins = List.init n (fun _ -> (Hydra_core.Depth.input, Hydra_core.Depth.input)) in
+        let cout, sums = DA.ripple_add Hydra_core.Depth.zero ins in
+        let r = Hydra_core.Depth.report (cout :: sums) in
+        check_int "same critical path" r.Hydra_core.Depth.critical_path
+          (L.critical_path (ripple_netlist n)));
+    tc "levelize: dff breaks cycles" (fun () ->
+        let ld = G.input "ld" and x = G.input "x" in
+        let nl = N.of_graph ~outputs:[ ("s", CR.reg1 ld x) ] in
+        let t = L.check nl in
+        check_bool "no comb cycle" true (t.L.cyclic = []));
+    tc "levelize: combinational cycle detected" (fun () ->
+        let out = G.feedback (fun s -> G.and2 s (G.input "a")) in
+        let nl = N.of_graph ~outputs:[ ("x", out) ] in
+        let t = L.compute nl in
+        check_bool "cycle found" true (t.L.cyclic <> []);
+        match L.check nl with
+        | _ -> Alcotest.fail "expected Combinational_cycle"
+        | exception L.Combinational_cycle _ -> ());
+    tc "levelize: by_level covers all gates once" (fun () ->
+        let nl = ripple_netlist 6 in
+        let t = L.check nl in
+        let counted = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.L.by_level in
+        check_int "gate+outport count" ((N.stats nl).N.gates + (N.stats nl).N.outports) counted);
+    tc "fanout is inverse of fanin" (fun () ->
+        let nl = ripple_netlist 4 in
+        let fo = N.fanout nl in
+        let ok = ref true in
+        Array.iteri
+          (fun sink drivers ->
+            Array.iteri
+              (fun port drv ->
+                if not (List.mem (sink, port) fo.(drv)) then ok := false)
+              drivers)
+          nl.N.fanin;
+        check_bool "consistent" true !ok);
+    tc "dot output mentions every component" (fun () ->
+        let nl = fig1_netlist () in
+        let dot = F.to_dot nl in
+        check_bool "digraph" true (String.length dot > 0);
+        let count_nodes =
+          List.length
+            (String.split_on_char '\n' dot
+            |> List.filter (fun l -> String.length l > 3 && String.sub l 2 1 = "n"))
+        in
+        check_bool "some nodes" true (count_nodes >= N.size nl));
+    tc "verilog: combinational module structure" (fun () ->
+        let v = F.to_verilog ~name:"fig1" (fig1_netlist ()) in
+        check_bool "module line" true
+          (String.length v > 0
+          && String.sub v 0 11 = "module fig1");
+        check_bool "no clk for comb" true
+          (not (String.split_on_char ',' v |> List.exists (fun s -> String.trim s = "input clk"))));
+    tc "verilog: sequential module has clk and reg" (fun () ->
+        let ld = G.input "ld" and x = G.input "x" in
+        let nl = N.of_graph ~outputs:[ ("s", CR.reg1 ld x) ] in
+        let v = F.to_verilog ~name:"reg1" nl in
+        let contains hay needle =
+          let nl_ = String.length needle and hl = String.length hay in
+          let rec go i = i + nl_ <= hl && (String.sub hay i nl_ = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "clk port" true (contains v "input clk");
+        check_bool "always block" true (contains v "always @(posedge clk)"));
+    tc "serialize: round trip of fig1" (fun () ->
+        let nl = fig1_netlist () in
+        let nl' = Hydra_netlist.Serial.of_string (Hydra_netlist.Serial.to_string nl) in
+        check_bool "components" true (nl'.N.components = nl.N.components);
+        check_bool "fanin" true (nl'.N.fanin = nl.N.fanin);
+        check_bool "ports" true
+          (nl'.N.inputs = nl.N.inputs && nl'.N.outputs = nl.N.outputs));
+    tc "serialize: sequential circuit with labels round-trips" (fun () ->
+        let ld = G.input "ld" and x = G.input "x" in
+        let s = G.label "state" (CR.reg1 ld x) in
+        let nl = N.of_graph ~outputs:[ ("s", s) ] in
+        let nl' = Hydra_netlist.Serial.of_string (Hydra_netlist.Serial.to_string nl) in
+        check_bool "names preserved" true (nl'.N.names = nl.N.names);
+        check_bool "dffs preserved" true ((N.stats nl').N.dffs = 1);
+        (* behaviour identical *)
+        let run nl =
+          Hydra_engine.Compiled.run
+            (Hydra_engine.Compiled.create nl)
+            ~inputs:[ ("ld", [ true; false ]); ("x", [ true; false ]) ]
+            ~cycles:2
+        in
+        check_bool "same behaviour" true (run nl = run nl'));
+    tc "serialize: parse errors are reported" (fun () ->
+        (match Hydra_netlist.Serial.of_string "garbage\n" with
+        | _ -> Alcotest.fail "expected Parse_error"
+        | exception Hydra_netlist.Serial.Parse_error _ -> ());
+        match
+          Hydra_netlist.Serial.of_string
+            "hydra-netlist 1\ncomponent 0 frob\nend\n"
+        with
+        | _ -> Alcotest.fail "expected Parse_error"
+        | exception Hydra_netlist.Serial.Parse_error _ -> ());
+    tc "serialize: file round trip" (fun () ->
+        let nl = ripple_netlist 4 in
+        let path = Filename.temp_file "hydra" ".netlist" in
+        Hydra_netlist.Serial.to_file nl path;
+        let nl' = Hydra_netlist.Serial.of_file path in
+        Sys.remove path;
+        check_bool "equal" true (nl'.N.components = nl.N.components));
+    tc "stats string" (fun () ->
+        let s = F.stats_string (fig1_netlist ()) in
+        check_bool "nonempty" true (String.length s > 0));
+  ]

@@ -1,0 +1,66 @@
+(* Tests for the domain pool. *)
+
+open Util
+module Pool = Hydra_parallel.Pool
+
+let suite =
+  [
+    tc "parallel_for covers every index exactly once" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        let n = 10_000 in
+        let hits = Array.make n 0 in
+        Pool.parallel_for pool 0 n (fun i -> hits.(i) <- hits.(i) + 1);
+        Pool.shutdown pool;
+        check_bool "all once" true (Array.for_all (fun h -> h = 1) hits));
+    tc "parallel_for with offset range" (fun () ->
+        let pool = Pool.create ~domains:3 () in
+        let hits = Array.make 100 0 in
+        Pool.parallel_for pool 50 100 (fun i -> hits.(i) <- 1);
+        Pool.shutdown pool;
+        check_int "first half untouched" 0
+          (Array.fold_left ( + ) 0 (Array.sub hits 0 50));
+        check_int "second half done" 50
+          (Array.fold_left ( + ) 0 (Array.sub hits 50 50)));
+    tc "parallel_for empty range" (fun () ->
+        let pool = Pool.create ~domains:2 () in
+        Pool.parallel_for pool 5 5 (fun _ -> Alcotest.fail "must not run");
+        Pool.parallel_for pool 5 3 (fun _ -> Alcotest.fail "must not run");
+        Pool.shutdown pool);
+    tc "single-domain pool runs inline" (fun () ->
+        let pool = Pool.create ~domains:1 () in
+        check_int "size" 1 (Pool.size pool);
+        let sum = ref 0 in
+        Pool.parallel_for pool 0 100 (fun i -> sum := !sum + i);
+        Pool.shutdown pool;
+        check_int "sum" 4950 !sum);
+    tc "parallel_sum" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        let s = Pool.parallel_sum pool 0 1000 (fun i -> i) in
+        Pool.shutdown pool;
+        check_int "gauss" 499500 s);
+    tc "reusable across many jobs" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        for _ = 1 to 50 do
+          let acc = Array.make 512 0 in
+          Pool.parallel_for pool 0 512 (fun i -> acc.(i) <- i * 2);
+          assert (acc.(511) = 1022)
+        done;
+        Pool.shutdown pool);
+    tc "exceptions propagate to caller" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        (match
+           Pool.parallel_for pool 0 1000 (fun i ->
+               if i = 777 then failwith "boom")
+         with
+        | () -> Alcotest.fail "expected exception"
+        | exception Failure msg -> check_string "msg" "boom" msg);
+        (* pool still usable after an exception *)
+        let ok = ref 0 in
+        Pool.parallel_for pool 0 100 (fun _ -> ignore (Atomic.make 0));
+        Pool.parallel_for pool 0 100 (fun _ -> incr ok);
+        Pool.shutdown pool);
+    tc "many domains requested is clamped sanely" (fun () ->
+        let pool = Pool.create ~domains:0 () in
+        check_int "at least 1" 1 (Pool.size pool);
+        Pool.shutdown pool);
+  ]

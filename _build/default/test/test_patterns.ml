@@ -1,0 +1,133 @@
+(* Tests for the design-pattern combinators (paper section 5). *)
+
+open Util
+module P = Patterns
+
+(* Reference implementations *)
+let ref_scanl op = function
+  | [] -> []
+  | x :: xs ->
+    List.rev
+      (List.fold_left (fun acc y -> op (List.hd acc) y :: acc) [ x ] xs)
+
+let suite =
+  [
+    tc "split_at basic" (fun () ->
+        let a, b = P.split_at 2 [ 1; 2; 3; 4; 5 ] in
+        check_int_list "take" [ 1; 2 ] a;
+        check_int_list "drop" [ 3; 4; 5 ] b);
+    tc "split_at zero" (fun () ->
+        let a, b = P.split_at 0 [ 1 ] in
+        check_int_list "take" [] a;
+        check_int_list "drop" [ 1 ] b);
+    tc "split_at too far raises" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Patterns.split_at")
+          (fun () -> ignore (P.split_at 3 [ 1; 2 ])));
+    tc "halve" (fun () ->
+        let a, b = P.halve [ 1; 2; 3; 4 ] in
+        check_int_list "lo" [ 1; 2 ] a;
+        check_int_list "hi" [ 3; 4 ] b);
+    tc "halve odd raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Patterns.halve: odd length") (fun () ->
+            ignore (P.halve [ 1 ])));
+    tc "pairup/unpair roundtrip" (fun () ->
+        let xs = [ 1; 2; 3; 4; 5; 6 ] in
+        check_int_list "roundtrip" xs (P.unpair (P.pairup xs)));
+    tc "riffle" (fun () ->
+        check_int_list "riffle" [ 1; 3; 2; 4 ] (P.riffle [ 1; 2; 3; 4 ]));
+    tc "unriffle inverts riffle" (fun () ->
+        let xs = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+        check_int_list "inv" xs (P.unriffle (P.riffle xs)));
+    tc "riffle inverts unriffle" (fun () ->
+        let xs = [ 0; 1; 2; 3; 4; 5 ] in
+        check_int_list "inv" xs (P.riffle (P.unriffle xs)));
+    tc "chunks" (fun () ->
+        Alcotest.(check (list (list int)))
+          "chunks" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+          (P.chunks 2 [ 1; 2; 3; 4; 5 ]));
+    tc "last" (fun () -> check_int "last" 3 (P.last [ 1; 2; 3 ]));
+    tc "iterate_n" (fun () ->
+        check_int "3x succ" 8 (P.iterate_n 3 succ 5);
+        check_int "0x" 5 (P.iterate_n 0 succ 5));
+    tc "transpose" (fun () ->
+        Alcotest.(check (list (list int)))
+          "t" [ [ 1; 3 ]; [ 2; 4 ] ]
+          (P.transpose [ [ 1; 2 ]; [ 3; 4 ] ]));
+    (* mscanr: paper spec — carry enters at the right. *)
+    tc "mscanr empty" (fun () ->
+        let a, ys = P.mscanr (fun _ _ -> assert false) 42 [] in
+        check_int "carry" 42 a;
+        check_int_list "outs" [] ys);
+    tc "mscanr sums right-to-left" (fun () ->
+        (* cell: carry' = x + carry, output = carry seen by the cell *)
+        let cell x c = (x + c, c) in
+        let a, ys = P.mscanr cell 0 [ 1; 2; 3 ] in
+        check_int "carry out" 6 a;
+        (* rightmost cell sees 0, middle sees 3, leftmost sees 5 *)
+        check_int_list "outs" [ 5; 3; 0 ] ys);
+    tc "mscanl sums left-to-right" (fun () ->
+        let cell x c = (x + c, c) in
+        let a, ys = P.mscanl cell 0 [ 1; 2; 3 ] in
+        check_int "carry out" 6 a;
+        check_int_list "outs" [ 0; 1; 3 ] ys);
+    tc "ascanl is inclusive left scan" (fun () ->
+        check_int_list "scan" [ 1; 3; 6 ] (P.ascanl ( + ) 0 [ 1; 2; 3 ]));
+    tc "ascanr is inclusive right scan" (fun () ->
+        check_int_list "scan" [ 6; 5; 3 ] (P.ascanr ( + ) 0 [ 1; 2; 3 ]));
+    tc "tree_fold sums" (fun () ->
+        check_int "sum" 28 (P.tree_fold ( + ) [ 1; 2; 3; 4; 5; 6; 7 ]));
+    tc "tree_fold singleton" (fun () ->
+        check_int "one" 9 (P.tree_fold ( + ) [ 9 ]));
+    tc "tree_fold empty raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Patterns.tree_fold: empty word") (fun () ->
+            ignore (P.tree_fold ( + ) [])));
+    qc "tree_fold = fold for associative op"
+      QCheck2.Gen.(list_size (int_range 1 40) small_nat)
+      (fun xs -> P.tree_fold ( + ) xs = List.fold_left ( + ) 0 xs);
+    (* All prefix networks agree with the serial reference scan. *)
+    qc "sklansky = serial scan"
+      QCheck2.Gen.(list small_nat)
+      (fun xs -> P.scan_sklansky ( + ) xs = ref_scanl ( + ) xs);
+    qc "brent-kung = serial scan"
+      QCheck2.Gen.(list small_nat)
+      (fun xs -> P.scan_brent_kung ( + ) xs = ref_scanl ( + ) xs);
+    qc "kogge-stone = serial scan"
+      QCheck2.Gen.(list small_nat)
+      (fun xs -> P.scan_kogge_stone ( + ) xs = ref_scanl ( + ) xs);
+    qc "scan_serial = reference"
+      QCheck2.Gen.(list small_nat)
+      (fun xs -> P.scan_serial ( + ) xs = ref_scanl ( + ) xs);
+    (* Non-commutative associative operator: string concatenation catches
+       argument-order mistakes commutative ops would hide. *)
+    qc "prefix networks respect order (string concat)"
+      QCheck2.Gen.(list_size (int_range 0 33) (string_size ~gen:printable (return 1)))
+      (fun xs ->
+        List.for_all
+          (fun net -> P.scan net ( ^ ) xs = ref_scanl ( ^ ) xs)
+          P.all_prefix_networks);
+    tc "butterfly identity cells" (fun () ->
+        let xs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        check_int_list "id" xs (P.butterfly (fun p -> p) xs));
+    tc "banyan identity cells" (fun () ->
+        let xs = [ 1; 2; 3; 4 ] in
+        check_int_list "id" xs (P.banyan (fun p -> p) xs));
+    tc "butterfly swap cells reverse halves recursively" (fun () ->
+        (* swapping every pair sends element i to index i lxor (n-1) *)
+        let xs = [ 0; 1; 2; 3 ] in
+        check_int_list "swap" [ 3; 2; 1; 0 ]
+          (P.butterfly (fun (a, b) -> (b, a)) xs));
+    tc "mesh 2x2 adder cells" (fun () ->
+        (* cell: h' = h + v, v' = v (horizontal accumulates column inputs) *)
+        let f h v = (h + v, v) in
+        let hs, vs = P.mesh f [ 10; 20 ] [ 1; 2 ] in
+        check_int_list "right edge" [ 13; 23 ] hs;
+        check_int_list "bottom edge" [ 1; 2 ] vs);
+    tc "mesh threads vertically" (fun () ->
+        (* cell: v' = v + h, h' = h *)
+        let f h v = (h, v + h) in
+        let hs, vs = P.mesh f [ 1; 2 ] [ 0; 0 ] in
+        check_int_list "right edge" [ 1; 2 ] hs;
+        check_int_list "bottom edge" [ 3; 3 ] vs);
+  ]

@@ -1,0 +1,184 @@
+(* Tests for sequential circuits: registers, counters, shift registers,
+   the recursive register file (paper section 5) and structural RAM. *)
+
+open Util
+module S = Hydra_core.Stream_sim
+module R = Hydra_circuits.Regs.Make (Hydra_core.Stream_sim)
+
+(* Simulate a circuit whose inputs are words given per cycle as ints. *)
+let simulate_words ~widths ~rows ~cycles circuit =
+  S.reset ();
+  let nins = List.length widths in
+  let get_input i t =
+    if t < List.length rows then List.nth (List.nth rows t) i else 0
+  in
+  let word_inputs =
+    List.mapi
+      (fun i w ->
+        List.init w (fun bit ->
+            S.input (fun t ->
+                List.nth (Bitvec.of_int ~width:w (get_input i t)) bit)))
+      widths
+  in
+  ignore nins;
+  let outs = circuit word_inputs in
+  let rows_out = S.run ~cycles outs in
+  rows_out
+
+let suite =
+  [
+    tc "reg1: load and hold (paper 4.1)" (fun () ->
+        let rows =
+          S.simulate
+            ~inputs:[ [ true; false; false; true ]; [ true; true; false; false ] ]
+            (fun ins ->
+              match ins with
+              | [ ld; x ] -> [ R.reg1 ld x ]
+              | _ -> assert false)
+        in
+        check_rows "trace" [ [ false ]; [ true ]; [ true ]; [ true ] ] rows);
+    tc "reg1_init powers up set" (fun () ->
+        let rows =
+          S.simulate ~inputs:[ [ false; false ]; [ false; false ] ]
+            (fun ins ->
+              match ins with
+              | [ ld; x ] -> [ R.reg1_init true ld x ]
+              | _ -> assert false)
+        in
+        check_rows "trace" [ [ true ]; [ true ] ] rows);
+    tc "reg word: loads a 4-bit value" (fun () ->
+        let rows =
+          simulate_words ~widths:[ 1; 4 ]
+            ~rows:[ [ 1; 9 ]; [ 0; 5 ]; [ 1; 5 ]; [ 0; 0 ] ]
+            ~cycles:4
+            (fun ins ->
+              match ins with
+              | [ [ ld ]; x ] -> R.reg ld x
+              | _ -> assert false)
+        in
+        check_int_list "values" [ 0; 9; 9; 5 ]
+          (List.map Bitvec.to_int rows));
+    tc "counter counts enabled cycles" (fun () ->
+        S.reset ();
+        let en = S.of_list [ true; true; false; true; true ] in
+        let outs = R.counter 3 en in
+        let rows = S.run ~cycles:6 outs in
+        check_int_list "count" [ 0; 1; 2; 2; 3; 4 ]
+          (List.map Bitvec.to_int rows));
+    tc "counter wraps" (fun () ->
+        S.reset ();
+        let outs = R.counter 2 S.one in
+        let rows = S.run ~cycles:6 outs in
+        check_int_list "count" [ 0; 1; 2; 3; 0; 1 ]
+          (List.map Bitvec.to_int rows));
+    tc "counter_clear resets" (fun () ->
+        S.reset ();
+        let clr = S.of_list [ false; false; true; false ] in
+        let outs = R.counter_clear 3 S.one clr in
+        let rows = S.run ~cycles:5 outs in
+        check_int_list "count" [ 0; 1; 2; 0; 1 ]
+          (List.map Bitvec.to_int rows));
+    tc "shift_reg shifts left with serial input" (fun () ->
+        S.reset ();
+        let ld = S.of_list [ true; false; false; false ] in
+        let xs = List.map S.constant (Bitvec.of_int ~width:4 0b1001) in
+        let sin = S.of_list [ false; true; false; false ] in
+        let outs = R.shift_reg 4 ld xs sin in
+        let rows = S.run ~cycles:4 outs in
+        check_int_list "trace" [ 0b0000; 0b1001; 0b0011; 0b0110 ]
+          (List.map Bitvec.to_int rows));
+    (* E7: the register file recursion. *)
+    tc "regfile1: writes then reads back (k=2)" (fun () ->
+        S.reset ();
+        (* cycle 0: write 1 to reg 2; cycle 1: write 1 to reg 3;
+           read ports: sa=2 throughout, sb=3 throughout *)
+        let ld = S.of_list [ true; true; false ] in
+        let d_stream =
+          List.init 2 (fun bit ->
+              S.input (fun t ->
+                  let d = if t = 0 then 2 else 3 in
+                  List.nth (Bitvec.of_int ~width:2 d) bit))
+        in
+        let sa = List.map S.constant (Bitvec.of_int ~width:2 2) in
+        let sb = List.map S.constant (Bitvec.of_int ~width:2 3) in
+        let x = S.of_list [ true; true; false ] in
+        let a, b = R.regfile1 2 ld d_stream sa sb x in
+        let rows = S.run ~cycles:3 [ a; b ] in
+        check_rows "a,b"
+          [ [ false; false ]; [ true; false ]; [ true; true ] ]
+          rows);
+    tc "regfile1 k=0 is a register" (fun () ->
+        S.reset ();
+        let ld = S.of_list [ true; false ] in
+        let x = S.of_list [ true; false ] in
+        let a, b = R.regfile1 0 ld [] [] [] x in
+        let rows = S.run ~cycles:2 [ a; b ] in
+        check_rows "both ports" [ [ false; false ]; [ true; true ] ] rows);
+    tc "regfile1 bad address width raises" (fun () ->
+        S.reset ();
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Regs.regfile1: address widths must equal k")
+          (fun () -> ignore (R.regfile1 1 S.one [] [] [] S.one)));
+    tc "regfile word: 4 regs of 4 bits, dual read" (fun () ->
+        (* write 9 to r1, then 5 to r2, then read r1 (sa) and r2 (sb) *)
+        let rows =
+          simulate_words
+            ~widths:[ 1; 2; 2; 2; 4 ]
+            ~rows:
+              [
+                [ 1; 1; 1; 2; 9 ];
+                [ 1; 2; 1; 2; 5 ];
+                [ 0; 0; 1; 2; 0 ];
+              ]
+            ~cycles:3
+            (fun ins ->
+              match ins with
+              | [ [ ld ]; d; sa; sb; x ] ->
+                let a, b = R.regfile 2 ld d sa sb x in
+                a @ b
+              | _ -> assert false)
+        in
+        let split r = Patterns.split_at 4 r in
+        let vals =
+          List.map
+            (fun r ->
+              let a, b = split r in
+              (Bitvec.to_int a, Bitvec.to_int b))
+            rows
+        in
+        Alcotest.(check (list (pair int int)))
+          "a,b per cycle"
+          [ (0, 0); (9, 0); (9, 5) ]
+          vals);
+    tc "ram1: write and read cells (k=2)" (fun () ->
+        S.reset ();
+        (* write 1 at addr 1 (cycle 0), then read addr 1, then addr 0 *)
+        let we = S.of_list [ true; false; false ] in
+        let addr =
+          List.init 2 (fun bit ->
+              S.input (fun t ->
+                  let a = if t <= 1 then 1 else 0 in
+                  List.nth (Bitvec.of_int ~width:2 a) bit))
+        in
+        let x = S.of_list [ true; false; false ] in
+        let out = R.ram1 2 we addr x in
+        let rows = S.run ~cycles:3 [ out ] in
+        check_rows "read" [ [ false ]; [ true ]; [ false ] ] rows);
+    tc "ram word: stores words at addresses" (fun () ->
+        let rows =
+          simulate_words
+            ~widths:[ 1; 2; 4 ]
+            ~rows:[ [ 1; 3; 12 ]; [ 1; 0; 7 ]; [ 0; 3; 0 ]; [ 0; 0; 0 ] ]
+            ~cycles:4
+            (fun ins ->
+              match ins with
+              | [ [ we ]; addr; x ] -> R.ram 2 we addr x
+              | _ -> assert false)
+        in
+        check_int_list "reads" [ 0; 0; 12; 7 ] (List.map Bitvec.to_int rows));
+    tc "ram1 bad address width raises" (fun () ->
+        S.reset ();
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Regs.ram1: address width must equal k") (fun () ->
+            ignore (R.ram1 2 S.one [] S.one)));
+  ]

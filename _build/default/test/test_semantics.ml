@@ -1,0 +1,189 @@
+(* Tests for the four signal semantics: Bit, Stream_sim, Depth, Graph —
+   including the paper's Figure 1 circuit and the reg1 feedback example. *)
+
+open Util
+module S = Hydra_core.Stream_sim
+module D = Hydra_core.Depth
+module G = Hydra_core.Graph
+module N = Hydra_netlist.Netlist
+
+(* The paper's Figure 1: out = and2 (inv a) b, written once as a functor
+   and executed at several semantics. *)
+module Fig1 (X : Hydra_core.Signal_intf.COMB) = struct
+  let circuit a b = X.and2 (X.inv a) b
+end
+
+let suite =
+  [
+    (* Bit semantics *)
+    tc "bit gates" (fun () ->
+        check_bool "and" false (Bit.and2 true false);
+        check_bool "or" true (Bit.or2 true false);
+        check_bool "xor" true (Bit.xor2 true false);
+        check_bool "inv" false (Bit.inv true);
+        check_bool "const" true (Bit.constant true);
+        check_bool "label transparent" true (Bit.label "x" true));
+    tc "fig1 truth table (Bit)" (fun () ->
+        let module F = Fig1 (Bit) in
+        (* out = ~a & b *)
+        check_bool "00" false (F.circuit false false);
+        check_bool "01" true (F.circuit false true);
+        check_bool "10" false (F.circuit true false);
+        check_bool "11" false (F.circuit true true));
+    tc "Bit.vectors order" (fun () ->
+        check_rows "2-bit"
+          [ [ false; false ]; [ false; true ]; [ true; false ]; [ true; true ] ]
+          (Bit.vectors 2));
+    tc "Bit.truth_table rows" (fun () ->
+        let tt = Bit.truth_table ~inputs:1 (fun v -> [ Bit.inv (List.hd v) ]) in
+        check_rows "outs" [ [ true ]; [ false ] ] (List.map snd tt));
+    (* Stream simulation *)
+    tc "stream: combinational mapping" (fun () ->
+        let rows =
+          S.simulate
+            ~inputs:[ [ true; false; true ]; [ true; true; false ] ]
+            (fun ins ->
+              match ins with
+              | [ a; b ] -> [ S.and2 a b; S.xor2 a b ]
+              | _ -> assert false)
+        in
+        check_rows "and,xor"
+          [ [ true; false ]; [ false; true ]; [ false; true ] ]
+          rows);
+    tc "stream: dff delays one cycle with power-up 0" (fun () ->
+        let rows =
+          S.simulate
+            ~inputs:[ [ true; true; false; true ] ]
+            (fun ins -> [ S.dff (List.hd ins) ])
+        in
+        check_rows "delayed" [ [ false ]; [ true ]; [ true ]; [ false ] ] rows);
+    tc "stream: dff_init powers up 1" (fun () ->
+        let rows =
+          S.simulate ~inputs:[ [ false; false ] ] (fun ins ->
+              [ S.dff_init true (List.hd ins) ])
+        in
+        check_rows "init" [ [ true ]; [ false ] ] rows);
+    tc "stream: feedback reg1-style loop is well founded" (fun () ->
+        (* s = dff (mux ld s x): the paper's reg1, inlined *)
+        let rows =
+          S.simulate
+            ~inputs:
+              [ [ true; false; false; true; false ];
+                [ true; true; false; false; false ] ]
+            (fun ins ->
+              match ins with
+              | [ ld; x ] ->
+                [ S.feedback (fun s ->
+                      S.dff
+                        (S.or2 (S.and2 (S.inv ld) s) (S.and2 ld x))) ]
+              | _ -> assert false)
+        in
+        (* cycle0: out 0 (power-up). ld=1,x=1 -> state 1.
+           cycle1: out 1. ld=0 -> hold. cycle2: out 1. hold.
+           cycle3: out 1. ld=1,x=0 -> 0. cycle4: out 0. *)
+        check_rows "reg trace"
+          [ [ false ]; [ true ]; [ true ]; [ true ]; [ false ] ]
+          rows);
+    tc "stream: combinational cycle raises" (fun () ->
+        S.reset ();
+        let loop = S.feedback (fun s -> S.and2 s S.one) in
+        match S.at loop 0 with
+        | _ -> Alcotest.fail "expected Combinational_cycle"
+        | exception S.Combinational_cycle _ -> ());
+    tc "stream: feedback_list two coupled registers" (fun () ->
+        (* swap circuit: (a', b') = (dff b, dff a), a starts 0, b via init 1 *)
+        S.reset ();
+        let outs =
+          S.feedback_list 2 (fun s ->
+              match s with
+              | [ a; b ] -> [ S.dff_init true b; S.dff a ]
+              | _ -> assert false)
+        in
+        let rows = S.run ~cycles:4 outs in
+        check_rows "swap"
+          [ [ true; false ]; [ false; true ]; [ true; false ]; [ false; true ] ]
+          rows);
+    tc "stream: demand-driven access out of order" (fun () ->
+        S.reset ();
+        let x = S.of_list [ true; false; true; false; true ] in
+        let d = S.dff x in
+        check_bool "at 3" true (S.at d 3);
+        check_bool "at 1" true (S.at d 1);
+        check_bool "at 0" false (S.at d 0);
+        check_bool "at 4" false (S.at d 4));
+    tc "stream: of_list pads with default" (fun () ->
+        S.reset ();
+        let x = S.of_list ~default:true [ false ] in
+        check_bool "c0" false (S.at x 0);
+        check_bool "c5" true (S.at x 5));
+    tc "stream: label names a signal" (fun () ->
+        S.reset ();
+        let s = S.label "mysig" (S.and2 S.one S.one) in
+        check_bool "works" true (S.at s 0));
+    (* Depth semantics *)
+    tc "depth: gates add one" (fun () ->
+        D.reset ();
+        let out = D.and2 (D.inv D.input) D.input in
+        check_int "fig1 depth" 2 out;
+        let r = D.report [ out ] in
+        check_int "critical" 2 r.D.critical_path;
+        check_int "gates" 2 r.D.gates);
+    tc "depth: constants and labels are free" (fun () ->
+        D.reset ();
+        check_int "const" 0 D.zero;
+        check_int "label" 5 (D.label "x" 5));
+    tc "depth: dff input depth dominates critical path" (fun () ->
+        D.reset ();
+        let deep = D.and2 (D.and2 D.input D.input) D.input in
+        let q = D.dff deep in
+        let r = D.report [ q ] in
+        check_int "out depth 0" 0 q;
+        check_int "critical includes dff input" 2 r.D.critical_path;
+        check_int "dff count" 1 r.D.dff_count);
+    tc "depth: analyze helper" (fun () ->
+        let r =
+          D.analyze ~inputs:2 (fun ins ->
+              match ins with
+              | [ a; b ] -> [ D.and2 (D.inv a) b ]
+              | _ -> assert false)
+        in
+        check_int "critical" 2 r.D.critical_path);
+    (* Graph semantics *)
+    tc "graph: fig1 structure" (fun () ->
+        let a = G.input "a" and b = G.input "b" in
+        let module F = Fig1 (G) in
+        let out = F.circuit a b in
+        match (G.resolve out).G.def with
+        | G.And2 (l, r) ->
+          (match ((G.resolve l).G.def, (G.resolve r).G.def) with
+           | G.Inv i, G.Input nb ->
+             check_string "b" "b" nb;
+             (match (G.resolve i).G.def with
+              | G.Input na -> check_string "a" "a" na
+              | _ -> Alcotest.fail "inv child not input")
+           | _ -> Alcotest.fail "unexpected children")
+        | _ -> Alcotest.fail "root not and2");
+    tc "graph: sharing is preserved" (fun () ->
+        let a = G.input "a" in
+        let shared = G.inv a in
+        let out = G.and2 shared shared in
+        match G.children out with
+        | [ l; r ] -> check_bool "same node" true (G.id l = G.id r)
+        | _ -> Alcotest.fail "arity");
+    tc "graph: feedback creates cycle, resolve terminates" (fun () ->
+        let out = G.feedback (fun s -> G.dff (G.inv s)) in
+        (* out = dff node; its child is the inv; the inv's child is out *)
+        match G.children out with
+        | [ invn ] -> (
+            match G.children invn with
+            | [ back ] -> check_bool "cycle closed" true (G.id back = G.id out)
+            | _ -> Alcotest.fail "inv arity")
+        | _ -> Alcotest.fail "dff arity");
+    tc "graph: label recorded" (fun () ->
+        let s = G.label "wire7" (G.inv (G.input "a")) in
+        check_bool "named" true (G.name s = Some "wire7"));
+    tc "graph: unresolved feedback fails cleanly" (fun () ->
+        Alcotest.check_raises "unresolved"
+          (Failure "Graph.resolve: unresolved feedback loop") (fun () ->
+            ignore (G.feedback (fun s -> ignore (G.resolve s); s))));
+  ]

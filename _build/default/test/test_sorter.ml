@@ -1,0 +1,55 @@
+(* Tests for the bitonic sorting network (pattern showcase, E15). *)
+
+open Util
+module Sorter = Hydra_circuits.Sorter.Make (Hydra_core.Bit)
+module SorterD = Hydra_circuits.Sorter.Make (Hydra_core.Depth)
+module D = Hydra_core.Depth
+
+let sort_ints ~width ints =
+  let words = List.map (Bitvec.of_int ~width) ints in
+  List.map Bitvec.to_int (Sorter.sort words)
+
+let gen_pow2_list =
+  QCheck2.Gen.(
+    oneofl [ 1; 2; 4; 8; 16 ] >>= fun n ->
+    list_size (return n) (int_bound 255))
+
+let suite =
+  [
+    tc "compare_exchange orders a pair" (fun () ->
+        let wa = Bitvec.of_int ~width:4 9 and wb = Bitvec.of_int ~width:4 3 in
+        let lo, hi = Sorter.compare_exchange ~descending:false (wa, wb) in
+        check_int "lo" 3 (Bitvec.to_int lo);
+        check_int "hi" 9 (Bitvec.to_int hi);
+        let hi', lo' = Sorter.compare_exchange ~descending:true (wa, wb) in
+        check_int "desc hi first" 9 (Bitvec.to_int hi');
+        check_int "desc lo second" 3 (Bitvec.to_int lo'));
+    tc "sort a known list" (fun () ->
+        check_int_list "sorted" [ 1; 2; 3; 5; 7; 8; 9; 12 ]
+          (sort_ints ~width:4 [ 7; 2; 9; 1; 12; 3; 8; 5 ]));
+    tc "sort with duplicates" (fun () ->
+        check_int_list "sorted" [ 3; 3; 5; 5 ] (sort_ints ~width:4 [ 5; 3; 5; 3 ]));
+    tc "singleton and pair" (fun () ->
+        check_int_list "one" [ 9 ] (sort_ints ~width:4 [ 9 ]);
+        check_int_list "two" [ 1; 2 ] (sort_ints ~width:4 [ 2; 1 ]));
+    qc ~count:100 "sorts like List.sort (power-of-two sizes)" gen_pow2_list
+      (fun ints ->
+        sort_ints ~width:8 ints = List.sort compare ints);
+    qc "output is a permutation of the input" gen_pow2_list (fun ints ->
+        List.sort compare (sort_ints ~width:8 ints) = List.sort compare ints);
+    tc "minw/maxw" (fun () ->
+        let words = List.map (Bitvec.of_int ~width:6) [ 17; 4; 23; 9 ] in
+        check_int "min" 4 (Bitvec.to_int (Sorter.minw words));
+        check_int "max" 23 (Bitvec.to_int (Sorter.maxw words)));
+    tc "network depth grows as O(log^2 n)" (fun () ->
+        let depth n =
+          D.reset ();
+          let words = List.init n (fun _ -> List.init 8 (fun _ -> D.input)) in
+          let outs = SorterD.sort words in
+          (D.report (List.concat outs)).D.critical_path
+        in
+        let d4 = depth 4 and d16 = depth 16 and d64 = depth 64 in
+        check_bool "increasing" true (d4 < d16 && d16 < d64);
+        (* log^2 growth: d64/d16 should be well under the 4x of linear *)
+        check_bool "subquadratic growth" true (d64 * 10 < d16 * 4 * 10));
+  ]

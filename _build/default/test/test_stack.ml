@@ -1,0 +1,162 @@
+(* Tests for the stack machine — the second complete processor — including
+   gate-level vs golden-model co-simulation. *)
+
+open Util
+module SM = Hydra_cpu.Stack_machine
+module Driver = Hydra_cpu.Stack_machine.Driver
+module Golden = Hydra_cpu.Stack_machine.Golden
+
+let cosim ?(mem_bits = 6) program =
+  let circuit = Driver.run ~mem_bits program in
+  let g = Golden.create ~mem_words:(1 lsl mem_bits) () in
+  Golden.load_program g (SM.encode_program program);
+  Golden.run g;
+  (circuit, g)
+
+let check_match name (circuit : Driver.result) (g : Golden.t) =
+  check_bool (name ^ ": halted") true (circuit.Driver.halted && g.Golden.halted);
+  check_int (name ^ ": cycles") g.Golden.cycles circuit.Driver.cycles;
+  Alcotest.(check (option int)) (name ^ ": top of stack")
+    (Golden.top g) circuit.Driver.top;
+  Alcotest.(check (list (pair int int)))
+    (name ^ ": memory writes")
+    (List.rev g.Golden.mem_writes)
+    circuit.Driver.mem_writes
+
+let suite =
+  [
+    tc "encode/decode round trip" (fun () ->
+        List.iter
+          (fun op -> check_bool "rt" true (SM.decode (SM.encode op) = op))
+          [ SM.Spush 42; SM.Sload; SM.Sstore; SM.Sadd; SM.Ssub; SM.Sdup;
+            SM.Sdrop; SM.Sswap; SM.Sjump 7; SM.Sjz 9; SM.Shalt; SM.Snop ]);
+    tc "golden: arithmetic" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g
+          (SM.encode_program [ SM.Spush 30; SM.Spush 12; SM.Sadd; SM.Shalt ]);
+        Golden.run g;
+        Alcotest.(check (option int)) "top" (Some 42) (Golden.top g));
+    tc "golden: underflow detected" (fun () ->
+        let g = Golden.create () in
+        Golden.load_program g (SM.encode_program [ SM.Sadd; SM.Shalt ]);
+        match Golden.run g with
+        | _ -> Alcotest.fail "expected underflow failure"
+        | exception Failure _ -> ());
+    (* gate-level co-simulation *)
+    tc "sm: push/add/halt" (fun () ->
+        let c, g = cosim [ SM.Spush 30; SM.Spush 12; SM.Sadd; SM.Shalt ] in
+        check_match "add" c g;
+        Alcotest.(check (option int)) "42" (Some 42) c.Driver.top);
+    tc "sm: sub and swap" (fun () ->
+        let c, g =
+          cosim [ SM.Spush 10; SM.Spush 3; SM.Sswap; SM.Ssub; SM.Shalt ]
+        in
+        (* swap -> 3,10 on stack; sub -> 3 - 10 = -7 mod 2^16 *)
+        check_match "subswap" c g;
+        Alcotest.(check (option int)) "wrap" (Some ((3 - 10) land 0xffff))
+          c.Driver.top);
+    tc "sm: dup and drop" (fun () ->
+        let c, g =
+          cosim [ SM.Spush 7; SM.Sdup; SM.Sadd; SM.Spush 9; SM.Sdrop; SM.Shalt ]
+        in
+        check_match "dupdrop" c g;
+        Alcotest.(check (option int)) "14" (Some 14) c.Driver.top);
+    tc "sm: load and store" (fun () ->
+        (* mem[40] := 123; push mem[40] *)
+        let c, g =
+          cosim
+            [ SM.Spush 123; SM.Spush 40; SM.Sstore; SM.Spush 40; SM.Sload;
+              SM.Shalt ]
+        in
+        check_match "loadstore" c g;
+        Alcotest.(check (option int)) "123" (Some 123) c.Driver.top;
+        Alcotest.(check (list (pair int int))) "write" [ (40, 123) ]
+          c.Driver.mem_writes);
+    tc "sm: jump skips code" (fun () ->
+        let c, g =
+          cosim [ SM.Spush 1; SM.Sjump 4; SM.Spush 99; SM.Sadd; SM.Shalt ]
+        in
+        check_match "jump" c g;
+        Alcotest.(check (option int)) "1" (Some 1) c.Driver.top);
+    tc "sm: jz taken and not taken" (fun () ->
+        let taken, gt =
+          cosim [ SM.Spush 0; SM.Sjz 3; SM.Snop; SM.Shalt ]
+        in
+        check_match "taken" taken gt;
+        let not_taken, gnt =
+          cosim [ SM.Spush 5; SM.Sjz 3; SM.Shalt; SM.Snop ]
+        in
+        check_match "not taken" not_taken gnt);
+    tc "sm: countdown loop sums 5..1" (fun () ->
+        (* total (kept in memory at 60) += i for i = 5 down to 1 *)
+        let program =
+          [
+            SM.Spush 0; SM.Spush 60; SM.Sstore;  (* mem[60] := 0 *)
+            SM.Spush 5;                          (* i *)
+            (* loop at pc 4 *)
+            SM.Sdup; SM.Sjz 15;                  (* if i = 0 -> 15 *)
+            SM.Sdup;                             (* i i *)
+            SM.Spush 60; SM.Sload;               (* i i total *)
+            SM.Sadd;                             (* i (i+total) *)
+            SM.Spush 60; SM.Sstore;              (* i ; mem[60] += i *)
+            SM.Spush 1; SM.Ssub;                 (* i-1 *)
+            SM.Sjump 4;
+            SM.Shalt;                            (* 15 *)
+          ]
+        in
+        let c, g = cosim program in
+        check_match "loop" c g;
+        check_int "sum in memory" 15 g.Golden.mem.(60);
+        (* circuit agrees: last write to 60 is 15 *)
+        let last60 =
+          List.fold_left
+            (fun acc (a, v) -> if a = 60 then Some v else acc)
+            None c.Driver.mem_writes
+        in
+        Alcotest.(check (option int)) "circuit sum" (Some 15) last60);
+    qc ~count:25 "random straight-line stack programs match golden"
+      QCheck2.Gen.(
+        list_size (int_range 1 10)
+          (frequency
+             [
+               (4, map (fun i -> SM.Spush i) (int_bound 100));
+               (2, return SM.Sadd);
+               (1, return SM.Ssub);
+               (1, return SM.Sdup);
+               (1, return SM.Sdrop);
+               (1, return SM.Sswap);
+               (1, return SM.Snop);
+             ]))
+      (fun ops ->
+        (* keep only prefixes that never underflow/overflow a depth-8 stack *)
+        let safe =
+          let depth = ref 0 in
+          let keep = ref [] in
+          (try
+             List.iter
+               (fun op ->
+                 let need, delta =
+                   match op with
+                   | SM.Spush _ -> (0, 1)
+                   | SM.Sadd | SM.Ssub -> (2, -1)
+                   | SM.Sdup -> (1, 1)
+                   | SM.Sdrop -> (1, -1)
+                   | SM.Sswap -> (2, 0)
+                   | _ -> (0, 0)
+                 in
+                 if !depth < need || !depth + delta > 8 then raise Exit;
+                 depth := !depth + delta;
+                 keep := op :: !keep)
+               ops
+           with Exit -> ());
+          List.rev !keep
+        in
+        let program = safe @ [ SM.Shalt ] in
+        if List.length program > 60 then true
+        else begin
+          let c, g = cosim program in
+          c.Driver.halted && g.Golden.halted
+          && c.Driver.cycles = g.Golden.cycles
+          && c.Driver.top = Golden.top g
+        end);
+  ]

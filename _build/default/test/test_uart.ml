@@ -1,0 +1,122 @@
+(* Tests for the UART: transmitter waveform, receiver decoding, and
+   TX -> RX loopback. *)
+
+open Util
+module S = Hydra_core.Stream_sim
+module U = Hydra_circuits.Uart.Make (Hydra_core.Stream_sim)
+
+(* Expected frame on the wire for byte [b]: start 0, 8 data bits LSB
+   first, stop 1, each lasting [divisor] cycles. *)
+let frame_wave ~divisor b =
+  let bits =
+    [ false ]
+    @ List.init 8 (fun i -> (b lsr i) land 1 = 1)
+    @ [ true ]
+  in
+  List.concat_map (fun bit -> List.init divisor (fun _ -> bit)) bits
+
+let run_tx ~divisor ~cycles b =
+  S.reset ();
+  let send = S.of_list [ true ] in
+  let data = List.map S.constant (Bitvec.of_int ~width:8 b) in
+  let t = U.tx ~divisor send data in
+  S.run ~cycles [ t.U.line; t.U.tx_busy ]
+
+let suite =
+  [
+    tc "tx: idle line is high" (fun () ->
+        S.reset ();
+        let t = U.tx ~divisor:2 S.zero (List.init 8 (fun _ -> S.zero)) in
+        let rows = S.run ~cycles:5 [ t.U.line; t.U.tx_busy ] in
+        check_rows "idle"
+          (List.init 5 (fun _ -> [ true; false ]))
+          rows);
+    tc "tx: waveform of byte 0x5a at divisor 1" (fun () ->
+        let rows = run_tx ~divisor:1 ~cycles:13 0x5a in
+        let line = List.map List.hd rows in
+        (* cycle 0 idle; frame starts at cycle 1 *)
+        check_bool_list "wave"
+          ([ true ] @ frame_wave ~divisor:1 0x5a @ [ true; true ])
+          line);
+    tc "tx: waveform of byte 0xa3 at divisor 3" (fun () ->
+        let rows = run_tx ~divisor:3 ~cycles:(1 + 30 + 3) 0xa3 in
+        let line = List.map List.hd rows in
+        check_bool_list "wave"
+          ([ true ] @ frame_wave ~divisor:3 0xa3 @ [ true; true; true ])
+          line);
+    tc "tx: busy for exactly 10 * divisor cycles" (fun () ->
+        let rows = run_tx ~divisor:2 ~cycles:25 0xff in
+        let busy = List.map (fun r -> List.nth r 1) rows in
+        let busy_cycles = List.length (List.filter Fun.id busy) in
+        check_int "busy span" 20 busy_cycles);
+    tc "rx: decodes a scripted frame" (fun () ->
+        S.reset ();
+        let wave = [ true; true ] @ frame_wave ~divisor:2 0xc4 @ [ true; true; true; true ] in
+        let line = S.of_list ~default:true wave in
+        let r = U.rx ~divisor:2 line in
+        let rows = S.run ~cycles:(List.length wave) (r.U.valid :: r.U.data) in
+        (* find the valid pulse, read the byte there *)
+        let hits =
+          List.filter_map
+            (fun row ->
+              if List.hd row then Some (Bitvec.to_int (List.tl row)) else None)
+            rows
+        in
+        check_int_list "one byte" [ 0xc4 ] hits);
+    tc "loopback: tx wired to rx recovers the byte" (fun () ->
+        S.reset ();
+        let send = S.of_list [ true ] in
+        let data = List.map S.constant (Bitvec.of_int ~width:8 0x7e) in
+        let t = U.tx ~divisor:2 send data in
+        let r = U.rx ~divisor:2 t.U.line in
+        let rows = S.run ~cycles:30 (r.U.valid :: r.U.data) in
+        let hits =
+          List.filter_map
+            (fun row ->
+              if List.hd row then Some (Bitvec.to_int (List.tl row)) else None)
+            rows
+        in
+        check_int_list "byte" [ 0x7e ] hits);
+    qc ~count:40 "loopback round-trips random bytes at random divisors"
+      QCheck2.Gen.(pair (int_bound 255) (int_range 1 4))
+      (fun (b, divisor) ->
+        S.reset ();
+        let send = S.of_list [ true ] in
+        let data = List.map S.constant (Bitvec.of_int ~width:8 b) in
+        let t = U.tx ~divisor send data in
+        let r = U.rx ~divisor t.U.line in
+        let cycles = (10 * divisor) + divisor + 6 in
+        let rows = S.run ~cycles (r.U.valid :: r.U.data) in
+        let hits =
+          List.filter_map
+            (fun row ->
+              if List.hd row then Some (Bitvec.to_int (List.tl row)) else None)
+            rows
+        in
+        hits = [ b ]);
+    tc "loopback: two bytes back to back" (fun () ->
+        S.reset ();
+        let divisor = 2 in
+        (* send pulses at cycle 0 and again right after tx frees *)
+        let send = S.input (fun t -> t = 0 || t = 21) in
+        let byte t = if t <= 20 then 0x31 else 0x9d in
+        let data =
+          List.init 8 (fun bit ->
+              S.input (fun t -> List.nth (Bitvec.of_int ~width:8 (byte t)) bit))
+        in
+        let t = U.tx ~divisor send data in
+        let r = U.rx ~divisor t.U.line in
+        let rows = S.run ~cycles:55 (r.U.valid :: r.U.data) in
+        let hits =
+          List.filter_map
+            (fun row ->
+              if List.hd row then Some (Bitvec.to_int (List.tl row)) else None)
+            rows
+        in
+        check_int_list "both bytes" [ 0x31; 0x9d ] hits);
+    tc "rx: noise-free idle produces no valid pulses" (fun () ->
+        S.reset ();
+        let r = U.rx ~divisor:2 S.one in
+        let rows = S.run ~cycles:20 [ r.U.valid ] in
+        check_bool "silent" true (List.for_all (fun r -> r = [ false ]) rows));
+  ]

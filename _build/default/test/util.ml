@@ -1,0 +1,32 @@
+(* Shared helpers for the test suites. *)
+
+module Bit = Hydra_core.Bit
+module Bitvec = Hydra_core.Bitvec
+module Patterns = Hydra_core.Patterns
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool_list = Alcotest.(check (list bool))
+let check_int_list = Alcotest.(check (list int))
+let check_rows = Alcotest.(check (list (list bool)))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let qc ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Generators *)
+let gen_width = QCheck2.Gen.int_range 1 12
+let gen_word width = QCheck2.Gen.list_size (QCheck2.Gen.return width) QCheck2.Gen.bool
+
+let gen_sized_word =
+  QCheck2.Gen.(gen_width >>= fun w -> pair (return w) (gen_word w))
+
+(* Evaluate a Bit-semantics word circuit on integer operands. *)
+let eval2 ~width f x y =
+  let xs = Bitvec.of_int ~width x and ys = Bitvec.of_int ~width y in
+  Bitvec.to_int (f xs ys)
+
+let mask width = (1 lsl width) - 1
