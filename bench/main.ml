@@ -16,6 +16,7 @@ module N = Hydra_netlist.Netlist
 module L = Hydra_netlist.Levelize
 module F = Hydra_netlist.Formats
 module Compiled = Hydra_engine.Compiled
+module Wide = Hydra_engine.Compiled_wide
 module Interp = Hydra_engine.Interp
 module Parallel_sim = Hydra_engine.Parallel_sim
 module Event = Hydra_engine.Event
@@ -25,6 +26,47 @@ module Bdd = Hydra_verify.Bdd
 
 let section id title = Printf.printf "\n=== %s: %s ===\n%!" id title
 let row fmt = Printf.printf fmt
+
+(* Machine-readable results: timing sections push (section, metric,
+   value, unit) rows here; [--json path] writes them out so successive
+   PRs can track the perf trajectory (see BENCH_results.json). *)
+let results : (string * string * float * string) list ref = ref []
+
+let record ~section:sec ~name ~value ~unit_ =
+  results := (sec, name, value, unit_) :: !results
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  match open_out path with
+  | exception Sys_error msg ->
+      Printf.eprintf "error: cannot write %s (%s)\n" path msg;
+      exit 1
+  | oc ->
+  Printf.fprintf oc "{\n  \"results\": [\n";
+  let rows = List.rev !results in
+  List.iteri
+    (fun i (sec, name, value, unit_) ->
+      Printf.fprintf oc
+        "    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n"
+        (json_escape sec) (json_escape name) value (json_escape unit_)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d result row(s) to %s\n" (List.length rows) path
 
 (* Wall-clock timing helper: run [f] repeatedly for at least [min_time]
    seconds, return seconds per run. *)
@@ -475,6 +517,8 @@ let e12 () =
     time_per_run (fun () -> ignore (Compiled.run compiled ~inputs ~cycles))
   in
   let per name t =
+    record ~section:"E12" ~name ~value:(float_of_int cycles /. t)
+      ~unit_:"cycles/s";
     row "  %-28s %10.1f us per %d cycles (%8.0f cycles/s)\n" name (t *. 1e6)
       cycles
       (float_of_int cycles /. t)
@@ -734,28 +778,258 @@ let e19 () =
     st.N.total st.N.gates st.N.dffs (L.critical_path nl);
   row "  (control synthesized by the same delay-element compiler as the RISC)\n"
 
-let () =
-  let t0 = Unix.gettimeofday () in
+(* E20 ------------------------------------------------------------------ *)
+
+(* A 64-bit Wallace-tree multiplier with registered outputs: a deep, wide
+   combinational cone feeding dffs — the representative "big sequential
+   circuit" for engine throughput. *)
+let wallace_netlist n =
+  let module W = Hydra_circuits.Wallace.Make (G) in
+  let xs = List.init n (fun i -> G.input (Printf.sprintf "x%d" i)) in
+  let ys = List.init n (fun i -> G.input (Printf.sprintf "y%d" i)) in
+  let prod = W.multw xs ys in
+  let regd = List.map G.dff prod in
+  N.of_graph
+    ~outputs:(List.mapi (fun i s -> (Printf.sprintf "p%d" i, s)) regd)
+
+(* The full section-6 RISC system netlist (gate-level RAM included), as in
+   E8. *)
+let cpu_netlist () =
+  let module SysG = Hydra_cpu.System.Make (G) in
+  let word n = List.init 16 (fun i -> G.input (Printf.sprintf "%s%d" n i)) in
+  let outs =
+    SysG.system ~mem_bits:6
+      {
+        SysG.start = G.input "start";
+        dma = G.input "dma";
+        dma_a = word "da";
+        dma_d = word "dd";
+      }
+  in
+  N.of_graph
+    ~outputs:
+      (("halted", outs.SysG.halted)
+      :: List.mapi (fun i s -> (Printf.sprintf "pc%d" i, s)) outs.SysG.dp.SysG.D.pc)
+
+(* Measure one engine's throughput in gate evaluations per second: for
+   the wide engine each pass of the gate arrays evaluates every gate in
+   62 lanes at once, so its per-pass work counts 62x. *)
+let e20 ?(min_time = 0.2) () =
+  section "E20"
+    "word-parallel wide engine: gate-evals/sec, scalar vs wide vs pool";
+  row "  (%d lanes per word; `bench: scalar Compiled vs Compiled_wide vs \
+       Parallel_sim`)\n"
+    Wide.lanes;
+  let bench_circuit cname nl ~cycles =
+    let st = N.stats nl in
+    let gates = float_of_int st.N.gates in
+    row "  %s: %d gates, %d dffs, critical path %d\n" cname st.N.gates
+      st.N.dffs (L.critical_path nl);
+    let per_run = gates *. float_of_int cycles in
+    let entry name evals_per_sec baseline =
+      record ~section:"E20"
+        ~name:(Printf.sprintf "%s %s" cname name)
+        ~value:evals_per_sec ~unit_:"gate-evals/s";
+      row "  %-28s %12.3g gate-evals/s  (%6.2fx)\n" name evals_per_sec
+        (evals_per_sec /. baseline);
+      evals_per_sec
+    in
+    let scalar = Compiled.create nl in
+    let t_scalar =
+      time_per_run ~min_time (fun () ->
+          Compiled.reset scalar;
+          for _ = 1 to cycles do
+            Compiled.step scalar
+          done)
+    in
+    let base = entry "compiled (scalar)" (per_run /. t_scalar) (per_run /. t_scalar) in
+    let scalar_opt = Compiled.create ~optimize:true nl in
+    let t_opt =
+      time_per_run ~min_time (fun () ->
+          Compiled.reset scalar_opt;
+          for _ = 1 to cycles do
+            Compiled.step scalar_opt
+          done)
+    in
+    (* optimized engine does less work per cycle; evals/sec still counts
+       the *original* gates — it measures effective circuit throughput *)
+    ignore (entry "compiled ~optimize" (per_run /. t_opt) base);
+    let wide = Wide.create nl in
+    let t_wide =
+      time_per_run ~min_time (fun () ->
+          Wide.reset wide;
+          for _ = 1 to cycles do
+            Wide.step wide
+          done)
+    in
+    let wide_rate = per_run *. float_of_int Wide.lanes /. t_wide in
+    ignore (entry "compiled_wide (62 lanes)" wide_rate base);
+    let wide_opt = Wide.create ~optimize:true nl in
+    let t_wide_opt =
+      time_per_run ~min_time (fun () ->
+          Wide.reset wide_opt;
+          for _ = 1 to cycles do
+            Wide.step wide_opt
+          done)
+    in
+    ignore
+      (entry "compiled_wide ~optimize"
+         (per_run *. float_of_int Wide.lanes /. t_wide_opt)
+         base);
+    let pool = Pool.create () in
+    let psim = Parallel_sim.create ~pool nl in
+    let t_par =
+      time_per_run ~min_time (fun () ->
+          Parallel_sim.reset psim;
+          for _ = 1 to cycles do
+            Parallel_sim.step psim
+          done)
+    in
+    ignore
+      (entry
+         (Printf.sprintf "parallel_sim (%d domains)" (Pool.size pool))
+         (per_run /. t_par) base);
+    (* batch-level parallelism on top of lane packing: independent
+       stimulus batches across the pool, each on its own replica *)
+    let nbatches = 4 * Pool.size pool in
+    let batches = Array.make nbatches [] in
+    let t_batched =
+      time_per_run ~min_time (fun () ->
+          ignore (Wide.run_batches ~pool wide ~batches ~cycles))
+    in
+    ignore
+      (entry
+         (Printf.sprintf "wide x %d batches (pool)" nbatches)
+         (per_run
+         *. float_of_int Wide.lanes
+         *. float_of_int nbatches
+         /. t_batched)
+         base);
+    Pool.shutdown pool;
+    row "  wide vs scalar speedup: %.1fx (acceptance floor: 10x)\n"
+      (wide_rate /. base)
+  in
+  bench_circuit "wallace64" (wallace_netlist 64) ~cycles:5;
+  bench_circuit "cpu" (cpu_netlist ()) ~cycles:20
+
+(* Smoke mode ----------------------------------------------------------- *)
+
+(* A ~2 s subset run from `dune runtest` (alias bench-smoke): asserts the
+   wide engine agrees with the scalar one on a real circuit, then takes a
+   single quick throughput sample so gross engine regressions surface in
+   tier-1. *)
+let smoke () =
+  print_endline "bench smoke: wide-engine agreement + quick throughput";
+  let nl = wallace_netlist 16 in
+  (* correctness: 62 random multiplications per pass, wide vs scalar *)
+  (match Equiv.wide_random_netlists ~passes:2 ~cycles:4 nl nl with
+  | Equiv.Seq_equivalent -> ()
+  | Equiv.Seq_mismatch _ -> failwith "smoke: self-equivalence failed");
+  (match Equiv.wide_random_netlists ~passes:2 ~cycles:4 nl
+           (Hydra_netlist.Optimize.optimize nl)
+   with
+  | Equiv.Seq_equivalent -> print_endline "  optimize-equivalence: ok"
+  | Equiv.Seq_mismatch { output; cycle; _ } ->
+    failwith
+      (Printf.sprintf "smoke: optimized netlist diverges at %s, cycle %d"
+         output cycle));
+  let scalar = Compiled.create nl and wide = Wide.create nl in
+  let st = Random.State.make [| 0xbeef |] in
+  let input_names = List.map fst nl.N.inputs in
+  for _cycle = 1 to 16 do
+    let packed_inputs =
+      List.map (fun name -> (name, Hydra_core.Packed.random_word st)) input_names
+    in
+    List.iter (fun (n, w) -> Wide.set_input wide n w) packed_inputs;
+    (* lane 7 of the wide run vs a scalar run *)
+    List.iter
+      (fun (n, w) -> Compiled.set_input scalar n (Hydra_core.Packed.lane w 7))
+      packed_inputs;
+    Wide.settle wide;
+    Compiled.settle scalar;
+    List.iter
+      (fun (name, _) ->
+        if Wide.output_lane wide name 7 <> Compiled.output scalar name then
+          failwith ("smoke: lane mismatch on " ^ name))
+      nl.N.outputs;
+    Wide.tick wide;
+    Compiled.tick scalar
+  done;
+  print_endline "  scalar/wide lane agreement: ok";
+  let cycles = 5 in
+  let t_scalar =
+    time_per_run ~min_time:0.05 (fun () ->
+        Compiled.reset scalar;
+        for _ = 1 to cycles do
+          Compiled.step scalar
+        done)
+  in
+  let t_wide =
+    time_per_run ~min_time:0.05 (fun () ->
+        Wide.reset wide;
+        for _ = 1 to cycles do
+          Wide.step wide
+        done)
+  in
+  Printf.printf "  throughput sample: wide/scalar = %.1fx per gate-eval\n"
+    (t_scalar /. t_wide *. float_of_int Wide.lanes);
+  print_endline "bench smoke: PASS"
+
+(* Driver --------------------------------------------------------------- *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", (fun () -> e20 ()));
+  ]
+
+let usage () =
   print_endline
-    "Hydra reproduction benchmarks (see DESIGN.md experiment index)";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
-  e18 ();
-  e19 ();
-  Printf.printf "\nAll sections completed in %.1f s\n"
-    (Unix.gettimeofday () -. t0)
+    "usage: main.exe [--smoke] [--json PATH] [--only E12,E20] [--list]";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = ref None and only = ref None and smoke_mode = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke_mode := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse rest
+    | "--only" :: names :: rest ->
+      only := Some (String.split_on_char ',' names);
+      parse rest
+    | "--list" :: _ ->
+      List.iter (fun (id, _) -> print_endline id) sections;
+      exit 0
+    | _ -> usage ()
+  in
+  parse args;
+  if !smoke_mode then smoke ()
+  else begin
+    let chosen =
+      match !only with
+      | None -> sections
+      | Some ids ->
+        List.iter
+          (fun id ->
+            if not (List.mem_assoc id sections) then begin
+              Printf.eprintf "unknown section %s\n" id;
+              usage ()
+            end)
+          ids;
+        List.filter (fun (id, _) -> List.mem id ids) sections
+    in
+    let t0 = Unix.gettimeofday () in
+    print_endline
+      "Hydra reproduction benchmarks (see DESIGN.md experiment index)";
+    List.iter (fun (_, f) -> f ()) chosen;
+    Printf.printf "\nAll sections completed in %.1f s\n"
+      (Unix.gettimeofday () -. t0)
+  end;
+  match !json with None -> () | Some path -> write_json path

@@ -32,7 +32,13 @@ type t = {
 let v t i = Bytes.unsafe_get t.values i <> '\000'
 let setv t i b = Bytes.unsafe_set t.values i (if b then '\001' else '\000')
 
-let create netlist =
+(* [?optimize] runs the {!Hydra_netlist.Optimize} pre-pass (constant
+   folding, dedup, dead elimination) before compilation: fewer components
+   to evaluate per cycle, identical port-level behaviour. *)
+let create ?(optimize = false) netlist =
+  let netlist =
+    if optimize then Hydra_netlist.Optimize.optimize netlist else netlist
+  in
   let levels = Levelize.check netlist in
   let n = Netlist.size netlist in
   let ops = Array.make n Op_const in

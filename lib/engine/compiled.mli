@@ -4,9 +4,11 @@
 
 type t
 
-val create : Hydra_netlist.Netlist.t -> t
+val create : ?optimize:bool -> Hydra_netlist.Netlist.t -> t
 (** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
-    circuit. *)
+    circuit.  [~optimize:true] (default false) runs the
+    {!Hydra_netlist.Optimize} pre-pass before compilation — identical
+    port-level behaviour, fewer components per cycle. *)
 
 val reset : t -> unit
 (** Restore power-up values. *)

@@ -1,0 +1,346 @@
+(* Word-parallel (62-lane) levelized compiled simulator.
+
+   Every net holds a machine word carrying [Packed.lanes] = 62 independent
+   simulation lanes, so one pass over the gate arrays advances 62 test
+   vectors / stimulus streams at once: gates become [land]/[lor]/[lxor]/
+   [lnot] on whole words and the dff latch phase copies words.  This
+   generalizes the combinational {!Hydra_core.Packed} semantics to
+   sequential circuits — the full section-5/6 processors run 62 programs
+   per pass.
+
+   Two further throughput levers over the scalar {!Compiled} engine:
+
+   - The per-gate variant dispatch of [Compiled.eval_component] is
+     replaced by pre-split per-op index arrays: at compile time each
+     levelized rank is split into one flat (dst, src) array per gate
+     kind, and [settle] runs one tight branch-free loop per kind per
+     rank.  The inner loops contain no matches and no polymorphism — just
+     unsafe int-array reads, a logical op, and a write.
+
+   - Independent lane-batches chunk over {!Hydra_parallel.Pool}
+     ({!run_vectors} / {!run_batches}): each domain simulates its own
+     {!replicate} of the engine (sharing the immutable compiled arrays,
+     owning its value state), so batch-level parallelism composes with
+     lane-level packing and there are no barriers inside a batch — unlike
+     {!Parallel_sim}'s per-level barriers, which only pay off on very
+     wide ranks. *)
+
+module Netlist = Hydra_netlist.Netlist
+module Levelize = Hydra_netlist.Levelize
+module Packed = Hydra_core.Packed
+module Pool = Hydra_parallel.Pool
+
+let lanes = Packed.lanes
+let lane_mask = Packed.lane_mask
+
+(* One levelized rank, pre-split by gate kind into flat index arrays:
+   [x_dst.(k)] is evaluated from [x_src*.(k)] for every [k], in any order
+   (all sources settled at strictly lower ranks). *)
+type kernel = {
+  inv_dst : int array;
+  inv_src : int array;
+  and_dst : int array;
+  and_s0 : int array;
+  and_s1 : int array;
+  or_dst : int array;
+  or_s0 : int array;
+  or_s1 : int array;
+  xor_dst : int array;
+  xor_s0 : int array;
+  xor_s1 : int array;
+  out_dst : int array;  (* outports: plain word copies *)
+  out_src : int array;
+}
+
+type t = {
+  netlist : Netlist.t;  (* the netlist actually compiled (post-optimize) *)
+  levels : Levelize.t;
+  kernels : kernel array;
+  consts : (int * int) array;  (* component index, broadcast word *)
+  dffs : int array;
+  dff_src : int array;  (* driver of each dff, indexed like dffs *)
+  dff_init : int array;  (* broadcast power-up words *)
+  values : int array;
+  dff_next : int array;
+  input_index : (string, int) Hashtbl.t;
+  output_index : (string, int) Hashtbl.t;
+  mutable cycle : int;
+}
+
+let build_kernel (nl : Netlist.t) rank =
+  let invs = ref [] and ands = ref [] and ors = ref [] and xors = ref []
+  and outs = ref [] in
+  Array.iter
+    (fun i ->
+      let fi = nl.Netlist.fanin.(i) in
+      match nl.Netlist.components.(i) with
+      | Netlist.Invc -> invs := (i, fi.(0)) :: !invs
+      | Netlist.And2c -> ands := (i, fi.(0), fi.(1)) :: !ands
+      | Netlist.Or2c -> ors := (i, fi.(0), fi.(1)) :: !ors
+      | Netlist.Xor2c -> xors := (i, fi.(0), fi.(1)) :: !xors
+      | Netlist.Outport _ -> outs := (i, fi.(0)) :: !outs
+      | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> ())
+    rank;
+  let arr1 l = Array.of_list (List.rev_map fst l)
+  and arr2 l = Array.of_list (List.rev_map snd l) in
+  let a3 sel l = Array.of_list (List.rev_map sel l) in
+  {
+    inv_dst = arr1 !invs;
+    inv_src = arr2 !invs;
+    and_dst = a3 (fun (i, _, _) -> i) !ands;
+    and_s0 = a3 (fun (_, a, _) -> a) !ands;
+    and_s1 = a3 (fun (_, _, b) -> b) !ands;
+    or_dst = a3 (fun (i, _, _) -> i) !ors;
+    or_s0 = a3 (fun (_, a, _) -> a) !ors;
+    or_s1 = a3 (fun (_, _, b) -> b) !ors;
+    xor_dst = a3 (fun (i, _, _) -> i) !xors;
+    xor_s0 = a3 (fun (_, a, _) -> a) !xors;
+    xor_s1 = a3 (fun (_, _, b) -> b) !xors;
+    out_dst = arr1 !outs;
+    out_src = arr2 !outs;
+  }
+
+let apply_initial t =
+  Array.iter (fun (i, w) -> Array.unsafe_set t.values i w) t.consts;
+  Array.iteri
+    (fun j i -> Array.unsafe_set t.values i t.dff_init.(j))
+    t.dffs
+
+let create ?(optimize = false) netlist =
+  let netlist =
+    if optimize then Hydra_netlist.Optimize.optimize netlist else netlist
+  in
+  let levels = Levelize.check netlist in
+  let n = Netlist.size netlist in
+  let kernels = Array.map (build_kernel netlist) levels.Levelize.by_level in
+  let consts = ref [] and dffs = ref [] in
+  Array.iteri
+    (fun i comp ->
+      match comp with
+      | Netlist.Constant b -> consts := (i, Packed.broadcast b) :: !consts
+      | Netlist.Dffc _ -> dffs := i :: !dffs
+      | _ -> ())
+    netlist.Netlist.components;
+  let dffs = Array.of_list (List.rev !dffs) in
+  let dff_src = Array.map (fun i -> netlist.Netlist.fanin.(i).(0)) dffs in
+  let dff_init =
+    Array.map
+      (fun i ->
+        match netlist.Netlist.components.(i) with
+        | Netlist.Dffc b -> Packed.broadcast b
+        | _ -> assert false)
+      dffs
+  in
+  let input_index = Hashtbl.create 16 and output_index = Hashtbl.create 16 in
+  List.iter (fun (s, i) -> Hashtbl.replace input_index s i) netlist.Netlist.inputs;
+  List.iter (fun (s, i) -> Hashtbl.replace output_index s i) netlist.Netlist.outputs;
+  let t =
+    {
+      netlist;
+      levels;
+      kernels;
+      consts = Array.of_list (List.rev !consts);
+      dffs;
+      dff_src;
+      dff_init;
+      values = Array.make n 0;
+      dff_next = Array.make (Array.length dffs) 0;
+      input_index;
+      output_index;
+      cycle = 0;
+    }
+  in
+  apply_initial t;
+  t
+
+(* A fresh engine over the same compiled circuit: shares every immutable
+   compiled array, owns its own value state.  Safe to run in another
+   domain concurrently with the original. *)
+let replicate t =
+  let r =
+    {
+      t with
+      values = Array.make (Array.length t.values) 0;
+      dff_next = Array.make (Array.length t.dff_next) 0;
+      cycle = 0;
+    }
+  in
+  apply_initial r;
+  r
+
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) 0;
+  apply_initial t;
+  t.cycle <- 0
+
+let set_input t name w =
+  match Hashtbl.find_opt t.input_index name with
+  | Some i -> t.values.(i) <- w land lane_mask
+  | None -> invalid_arg ("Compiled_wide.set_input: unknown input " ^ name)
+
+let set_input_bool t name b = set_input t name (Packed.broadcast b)
+
+let set_input_lane t name lane b =
+  match Hashtbl.find_opt t.input_index name with
+  | Some i -> t.values.(i) <- Packed.set_lane t.values.(i) lane b
+  | None -> invalid_arg ("Compiled_wide.set_input_lane: unknown input " ^ name)
+
+(* The hot path: one branch-free loop per gate kind per rank. *)
+let settle t =
+  let values = t.values in
+  let kernels = t.kernels in
+  for lvl = 0 to Array.length kernels - 1 do
+    let k = Array.unsafe_get kernels lvl in
+    let dst = k.inv_dst and src = k.inv_src in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (lnot (Array.unsafe_get values (Array.unsafe_get src j)) land lane_mask)
+    done;
+    let dst = k.and_dst and s0 = k.and_s0 and s1 = k.and_s1 in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (Array.unsafe_get values (Array.unsafe_get s0 j)
+        land Array.unsafe_get values (Array.unsafe_get s1 j))
+    done;
+    let dst = k.or_dst and s0 = k.or_s0 and s1 = k.or_s1 in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (Array.unsafe_get values (Array.unsafe_get s0 j)
+        lor Array.unsafe_get values (Array.unsafe_get s1 j))
+    done;
+    let dst = k.xor_dst and s0 = k.xor_s0 and s1 = k.xor_s1 in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (Array.unsafe_get values (Array.unsafe_get s0 j)
+        lxor Array.unsafe_get values (Array.unsafe_get s1 j))
+    done;
+    let dst = k.out_dst and src = k.out_src in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (Array.unsafe_get values (Array.unsafe_get src j))
+    done
+  done
+
+let tick t =
+  let values = t.values and next = t.dff_next in
+  let dffs = t.dffs and src = t.dff_src in
+  for j = 0 to Array.length dffs - 1 do
+    Array.unsafe_set next j
+      (Array.unsafe_get values (Array.unsafe_get src j))
+  done;
+  for j = 0 to Array.length dffs - 1 do
+    Array.unsafe_set values (Array.unsafe_get dffs j) (Array.unsafe_get next j)
+  done;
+  t.cycle <- t.cycle + 1
+
+let step t =
+  settle t;
+  tick t
+
+let output t name =
+  match Hashtbl.find_opt t.output_index name with
+  | Some i -> t.values.(i)
+  | None -> invalid_arg ("Compiled_wide.output: unknown output " ^ name)
+
+let output_lane t name lane = Packed.lane (output t name) lane
+let outputs t = List.map (fun (s, i) -> (s, t.values.(i))) t.netlist.Netlist.outputs
+let peek t i = t.values.(i)
+let cycle t = t.cycle
+let netlist t = t.netlist
+let critical_path t = t.levels.Levelize.critical_path
+
+(* Whole packed simulation, the word analogue of [Compiled.run]: every
+   input stream is a packed word per cycle (shorter streams padded with
+   0), output rows are packed words. *)
+let run_packed t ~inputs ~cycles =
+  reset t;
+  let rows = ref [] in
+  for c = 0 to cycles - 1 do
+    List.iter
+      (fun (name, vals) ->
+        let value = match List.nth_opt vals c with Some w -> w | None -> 0 in
+        set_input t name value)
+      inputs;
+    settle t;
+    rows := outputs t :: !rows;
+    tick t
+  done;
+  List.rev !rows
+
+(* Batched combinational testbench: vector [k] (one bool per declared
+   input, in port-list order) rides in lane [k mod 62] of pass [k / 62];
+   each pass is reset / set inputs / settle / read outputs.  Passes are
+   independent, so with a pool they chunk across domains, each on its own
+   replica. *)
+let run_vectors ?pool t vectors =
+  let nvec = Array.length vectors in
+  let in_ports = Array.of_list t.netlist.Netlist.inputs in
+  let out_ports = Array.of_list t.netlist.Netlist.outputs in
+  let nin = Array.length in_ports and nout = Array.length out_ports in
+  Array.iter
+    (fun v ->
+      if Array.length v <> nin then
+        invalid_arg "Compiled_wide.run_vectors: vector arity mismatch")
+    vectors;
+  let results = Array.make nvec [||] in
+  let npasses = (nvec + lanes - 1) / lanes in
+  let run_pass sim p =
+    let base = p * lanes in
+    let count = min lanes (nvec - base) in
+    reset sim;
+    for j = 0 to nin - 1 do
+      let w = ref 0 in
+      for l = 0 to count - 1 do
+        if vectors.(base + l).(j) then w := !w lor (1 lsl l)
+      done;
+      sim.values.(snd in_ports.(j)) <- !w
+    done;
+    settle sim;
+    let out_words = Array.map (fun (_, i) -> sim.values.(i)) out_ports in
+    for l = 0 to count - 1 do
+      results.(base + l) <-
+        Array.init nout (fun j -> Packed.lane out_words.(j) l)
+    done
+  in
+  (match pool with
+  | Some pool when npasses > 1 && Pool.size pool > 1 ->
+    (* ~4 chunks per domain for load balance; each chunk gets a replica *)
+    let nchunks = min npasses (4 * Pool.size pool) in
+    Pool.parallel_for ~chunk:1 pool 0 nchunks (fun c ->
+        let sim = replicate t in
+        let lo = c * npasses / nchunks and hi = (c + 1) * npasses / nchunks in
+        for p = lo to hi - 1 do
+          run_pass sim p
+        done)
+  | _ ->
+    for p = 0 to npasses - 1 do
+      run_pass t p
+    done);
+  results
+
+(* Independent sequential lane-batches over the pool: each batch is a
+   full packed stimulus set (cf. [run_packed]); batches run concurrently,
+   one replica per chunk, no barriers inside a batch. *)
+let run_batches ?pool t ~batches ~cycles =
+  let n = Array.length batches in
+  let results = Array.make n [] in
+  let run_one sim b = results.(b) <- run_packed sim ~inputs:batches.(b) ~cycles in
+  (match pool with
+  | Some pool when n > 1 && Pool.size pool > 1 ->
+    let nchunks = min n (4 * Pool.size pool) in
+    Pool.parallel_for ~chunk:1 pool 0 nchunks (fun c ->
+        let sim = replicate t in
+        let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+        for b = lo to hi - 1 do
+          run_one sim b
+        done)
+  | _ ->
+    for b = 0 to n - 1 do
+      run_one t b
+    done);
+  results

@@ -1,0 +1,86 @@
+(** Word-parallel (62-lane) levelized compiled simulator: every net holds
+    a machine word of {!lanes} independent simulation lanes, so one pass
+    over the gate arrays advances 62 stimulus streams at once — the
+    sequential generalization of {!Hydra_core.Packed}.  The inner loop is
+    branch-free: each levelized rank is pre-split into per-gate-kind
+    index arrays at compile time. *)
+
+type t
+
+val lanes : int
+(** 62, see {!Hydra_core.Packed.lanes}. *)
+
+val lane_mask : int
+
+val create : ?optimize:bool -> Hydra_netlist.Netlist.t -> t
+(** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
+    circuit.  [~optimize:true] (default false) runs the
+    {!Hydra_netlist.Optimize} pre-pass before compilation. *)
+
+val replicate : t -> t
+(** A fresh engine over the same compiled circuit: shares the immutable
+    compiled arrays, owns its own value state (at power-up).  Safe to run
+    concurrently with the original in another domain. *)
+
+val reset : t -> unit
+(** Restore power-up values in every lane. *)
+
+val set_input : t -> string -> int -> unit
+(** Set an input's packed word (lane [l] = bit [l]; masked to
+    {!lane_mask}). *)
+
+val set_input_bool : t -> string -> bool -> unit
+(** Broadcast one value to every lane. *)
+
+val set_input_lane : t -> string -> int -> bool -> unit
+(** Set one lane of an input, leaving the others unchanged. *)
+
+val settle : t -> unit
+(** Evaluate the combinational logic for the current cycle (all lanes). *)
+
+val tick : t -> unit
+(** Latch every dff from its settled input (word copies) and advance the
+    clock. *)
+
+val step : t -> unit
+(** [settle] then [tick]. *)
+
+val output : t -> string -> int
+(** An output's packed word. *)
+
+val output_lane : t -> string -> int -> bool
+val outputs : t -> (string * int) list
+val peek : t -> int -> int
+(** Current packed word of a component (post-optimize index). *)
+
+val cycle : t -> int
+val critical_path : t -> int
+
+val netlist : t -> Hydra_netlist.Netlist.t
+(** The netlist actually compiled — the optimized one under
+    [~optimize:true]. *)
+
+val run_packed :
+  t -> inputs:(string * int list) list -> cycles:int -> (string * int) list list
+(** Whole packed simulation, the word analogue of {!Compiled.run}: per
+    input, one packed word per cycle (shorter streams padded with 0);
+    returns one packed output row per cycle. *)
+
+val run_vectors :
+  ?pool:Hydra_parallel.Pool.t -> t -> bool array array -> bool array array
+(** Batched combinational testbench: row [k] of the argument is one test
+    vector (one bool per declared input, in port-list order); row [k] of
+    the result is the settled outputs (port-list order).  Vectors are
+    packed 62 per pass; with [?pool], passes chunk across domains, each
+    chunk simulating its own {!replicate} — no barriers inside a chunk. *)
+
+val run_batches :
+  ?pool:Hydra_parallel.Pool.t ->
+  t ->
+  batches:(string * int list) list array ->
+  cycles:int ->
+  (string * int) list list array
+(** Independent sequential lane-batches: element [b] of the result is
+    [run_packed] of [batches.(b)].  With [?pool], batches chunk across
+    domains (one replica per chunk) — batch-level parallelism composing
+    with lane-level packing. *)

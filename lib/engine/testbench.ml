@@ -148,6 +148,121 @@ let run ?(engine = `Compiled) ~cycles ~stimuli ~expectations netlist =
       List.map (fun n -> (n, List.rev (Hashtbl.find traces n))) out_names;
   }
 
+(* Batched test benches on the wide engine: up to 62 independent cases
+   (each its own stimuli + expectations over the same netlist) ride in
+   the lanes of one Compiled_wide simulation, so N cases cost ceil(N/62)
+   sequential runs.  Cases may drive different ports; a port no case
+   drives in some lane simply stays 0 there, exactly as in a scalar
+   run. *)
+let run_batched ?pool ~cycles ~cases netlist =
+  let module W = Compiled_wide in
+  let ncases = Array.length cases in
+  let out_names = List.map fst netlist.Netlist.outputs in
+  let reports = Array.make ncases { cycles_run = 0; failures = []; observed = [] } in
+  let base_sim = W.create netlist in
+  let nchunks = (ncases + W.lanes - 1) / W.lanes in
+  let run_chunk sim chunk =
+    let base = chunk * W.lanes in
+    let count = min W.lanes (ncases - base) in
+    W.reset sim;
+    let traces = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace traces n []) out_names;
+    let failures = Array.make count [] in
+    for t = 0 to cycles - 1 do
+      for l = 0 to count - 1 do
+        let stimuli, _ = cases.(base + l) in
+        List.iter
+          (fun stim ->
+            List.iter2
+              (fun port v -> W.set_input_lane sim port l v)
+              (bit_port_names stim) (value_at stim t))
+          stimuli
+      done;
+      W.settle sim;
+      let outs = W.outputs sim in
+      List.iter
+        (fun (n, w) -> Hashtbl.replace traces n (w :: Hashtbl.find traces n))
+        outs;
+      for l = 0 to count - 1 do
+        let _, expectations = cases.(base + l) in
+        let fail f = failures.(l) <- f :: failures.(l) in
+        List.iter
+          (fun exp ->
+            match exp with
+            | Expect_bit { cycle; port; value } when cycle = t -> (
+                match List.assoc_opt port outs with
+                | Some w ->
+                  let got = Hydra_core.Packed.lane w l in
+                  if got <> value then
+                    fail
+                      {
+                        at_cycle = t;
+                        what = port;
+                        expected = string_of_bool value;
+                        got = string_of_bool got;
+                      }
+                | None ->
+                  fail
+                    { at_cycle = t; what = port; expected = "port"; got = "missing" })
+            | Expect_word { cycle; prefix; width; value } when cycle = t -> (
+                let bits =
+                  List.init width (fun i ->
+                      List.assoc_opt (Printf.sprintf "%s%d" prefix i) outs)
+                in
+                if List.exists Option.is_none bits then
+                  fail
+                    {
+                      at_cycle = t;
+                      what = prefix;
+                      expected = "word ports";
+                      got = "missing";
+                    }
+                else
+                  let got =
+                    Hydra_core.Bitvec.to_int
+                      (List.map
+                         (fun w -> Hydra_core.Packed.lane (Option.get w) l)
+                         bits)
+                  in
+                  if got <> value then
+                    fail
+                      {
+                        at_cycle = t;
+                        what = prefix;
+                        expected = string_of_int value;
+                        got = string_of_int got;
+                      })
+            | Expect_bit _ | Expect_word _ -> ())
+          expectations
+      done;
+      W.tick sim
+    done;
+    for l = 0 to count - 1 do
+      reports.(base + l) <-
+        {
+          cycles_run = cycles;
+          failures = List.rev failures.(l);
+          observed =
+            List.map
+              (fun n ->
+                ( n,
+                  List.rev_map
+                    (fun w -> Hydra_core.Packed.lane w l)
+                    (Hashtbl.find traces n) ))
+              out_names;
+        }
+    done
+  in
+  (match pool with
+  | Some pool when nchunks > 1 && Hydra_parallel.Pool.size pool > 1 ->
+    Hydra_parallel.Pool.parallel_for ~chunk:1 pool 0 nchunks (fun c ->
+        run_chunk (W.replicate base_sim) c)
+  | _ ->
+    for c = 0 to nchunks - 1 do
+      run_chunk base_sim c
+    done);
+  reports
+
 let report_string r =
   if passed r then Printf.sprintf "PASS (%d cycles)" r.cycles_run
   else begin

@@ -40,9 +40,43 @@ val exhaustive : inputs:int -> circuit -> circuit -> result
 val packed_exhaustive : inputs:int -> circuit -> circuit -> result
 (** Complete enumeration at the {!Hydra_core.Packed} semantics: 62
     assignments per evaluation.  Same guarantee as {!exhaustive}, much
-    faster.  [inputs] ≤ 24. *)
+    faster.  [inputs] ≤ 30 (the pass stream is lazy, so early
+    counterexamples never materialize the rest). *)
 
 val random : ?trials:int -> inputs:int -> circuit -> circuit -> result
 (** Deterministic pseudo-random sampling: a cheap falsifier. *)
+
+val packed_random : ?trials:int -> inputs:int -> circuit -> circuit -> result
+(** {!random} at the {!Hydra_core.Packed} semantics: 62 vectors per
+    circuit evaluation, so [trials] vectors cost ceil(trials/62)
+    passes. *)
+
+(** {1 Sequential netlist equivalence on the wide engine} *)
+
+type seq_result =
+  | Seq_equivalent
+  | Seq_mismatch of {
+      output : string;
+      cycle : int;
+      inputs : (string * bool list) list;
+          (** the failing lane's per-input stimulus streams, cycle 0
+              through the failing cycle *)
+    }
+
+val wide_random_netlists :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  Hydra_netlist.Netlist.t ->
+  Hydra_netlist.Netlist.t ->
+  seq_result
+(** Random sequential equivalence of two netlists with the same port
+    names, on {!Hydra_engine.Compiled_wide}: each of [passes] (default 8)
+    passes drives 62 random stimulus streams for [cycles] (default 32)
+    cycles into both circuits and compares every output word every cycle
+    — dffs included, ~60x fewer simulator passes than lane-at-a-time
+    sampling.  The workhorse check for optimized-vs-original netlists. *)
+
+val seq_equivalent : seq_result -> bool
 
 val is_equivalent : result -> bool

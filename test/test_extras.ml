@@ -142,7 +142,7 @@ let suite =
     tc "packed: enumerate covers all vectors exactly once" (fun () ->
         let passes = Packed.enumerate ~inputs:7 in
         let seen = Hashtbl.create 128 in
-        List.iter
+        Seq.iter
           (fun (words, count) ->
             for l = 0 to count - 1 do
               let v = List.map (fun w -> Packed.lane w l) words in
@@ -154,7 +154,7 @@ let suite =
     tc "packed: exhaustive adder check in 2^16/62 passes" (fun () ->
         let module AP = Hydra_circuits.Arith.Make (Hydra_core.Packed) in
         let w = 8 in
-        List.iter
+        Seq.iter
           (fun (words, count) ->
             let xs, ys = Patterns.split_at w words in
             let _, sums = AP.ripple_add Packed.zero (List.combine xs ys) in

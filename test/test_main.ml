@@ -12,6 +12,7 @@ let () =
       ("netlist", Test_netlist.suite);
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
+      ("wide", Test_wide.suite);
       ("isa", Test_isa.suite);
       ("cpu", Test_cpu.suite);
       ("verify", Test_verify.suite);
