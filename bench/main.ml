@@ -1,6 +1,6 @@
 (* Benchmark and reproduction harness.
 
-   One section per experiment in DESIGN.md's index (E1..E19): the paper is
+   One section per experiment in DESIGN.md's index (E1..E21): the paper is
    an overview without numeric tables, so the reproducible artifacts are
    its figures, inline code/outputs and quantitative claims.  Each section
    regenerates one of them; timing sections use Bechamel (OLS over the
@@ -28,12 +28,16 @@ let section id title = Printf.printf "\n=== %s: %s ===\n%!" id title
 let row fmt = Printf.printf fmt
 
 (* Machine-readable results: timing sections push (section, metric,
-   value, unit) rows here; [--json path] writes them out so successive
-   PRs can track the perf trajectory (see BENCH_results.json). *)
-let results : (string * string * float * string) list ref = ref []
+   value, unit) rows here — parallel/wide rows also carry the domain
+   count and lane width so the trajectory is comparable across hosts;
+   [--json path] writes them out so successive PRs can track the perf
+   trajectory (see BENCH_results.json). *)
+let results :
+    (string * string * float * string * int option * int option) list ref =
+  ref []
 
-let record ~section:sec ~name ~value ~unit_ =
-  results := (sec, name, value, unit_) :: !results
+let record ?domains ?lanes ~section:sec ~name ~value ~unit_ () =
+  results := (sec, name, value, unit_, domains, lanes) :: !results
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -58,10 +62,15 @@ let write_json path =
   Printf.fprintf oc "{\n  \"results\": [\n";
   let rows = List.rev !results in
   List.iteri
-    (fun i (sec, name, value, unit_) ->
+    (fun i (sec, name, value, unit_, domains, lanes) ->
+      let opt key = function
+        | None -> ""
+        | Some v -> Printf.sprintf ", \"%s\": %d" key v
+      in
       Printf.fprintf oc
-        "    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n"
+        "    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"%s%s}%s\n"
         (json_escape sec) (json_escape name) value (json_escape unit_)
+        (opt "domains" domains) (opt "lanes" lanes)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -419,7 +428,13 @@ let e10 () =
   in
   row "  %-28s %8.2f ms per %d cycles  (1.00x)\n" "sequential compiled"
     (t_seq *. 1000.0) cycles;
-  let domain_counts = if cores = 1 then [ 2 ] else [ 2; 4; cores ] in
+  record ~section:"E10" ~name:"sequential compiled"
+    ~value:(float_of_int cycles /. t_seq)
+    ~unit_:"cycles/s" ~domains:1 ();
+  (* always include the host's recommended domain count in the sweep *)
+  let domain_counts =
+    List.sort_uniq compare (if cores = 1 then [ 2 ] else [ 2; 4; cores ])
+  in
   List.iter
     (fun domains ->
       let pool = Pool.create ~domains () in
@@ -432,6 +447,10 @@ let e10 () =
             done)
       in
       Pool.shutdown pool;
+      record ~section:"E10"
+        ~name:(Printf.sprintf "fork-join pool %d domains" domains)
+        ~value:(float_of_int cycles /. t_par)
+        ~unit_:"cycles/s" ~domains ();
       row "  %-28s %8.2f ms per %d cycles  (%.2fx)\n"
         (Printf.sprintf "fork-join pool (%d domains)" domains)
         (t_par *. 1000.0) cycles (t_seq /. t_par))
@@ -447,6 +466,10 @@ let e10 () =
             done)
       in
       Hydra_engine.Spmd.shutdown ssim;
+      record ~section:"E10"
+        ~name:(Printf.sprintf "SPMD spin-barrier %d domains" domains)
+        ~value:(float_of_int cycles /. t_spmd)
+        ~unit_:"cycles/s" ~domains ();
       row "  %-28s %8.2f ms per %d cycles  (%.2fx)\n"
         (Printf.sprintf "SPMD spin-barrier (%d dom.)" domains)
         (t_spmd *. 1000.0) cycles (t_seq /. t_spmd))
@@ -518,7 +541,7 @@ let e12 () =
   in
   let per name t =
     record ~section:"E12" ~name ~value:(float_of_int cycles /. t)
-      ~unit_:"cycles/s";
+      ~unit_:"cycles/s" ();
     row "  %-28s %10.1f us per %d cycles (%8.0f cycles/s)\n" name (t *. 1e6)
       cycles
       (float_of_int cycles /. t)
@@ -826,10 +849,10 @@ let e20 ?(min_time = 0.2) () =
     row "  %s: %d gates, %d dffs, critical path %d\n" cname st.N.gates
       st.N.dffs (L.critical_path nl);
     let per_run = gates *. float_of_int cycles in
-    let entry name evals_per_sec baseline =
-      record ~section:"E20"
+    let entry ?domains ?lanes name evals_per_sec baseline =
+      record ?domains ?lanes ~section:"E20"
         ~name:(Printf.sprintf "%s %s" cname name)
-        ~value:evals_per_sec ~unit_:"gate-evals/s";
+        ~value:evals_per_sec ~unit_:"gate-evals/s" ();
       row "  %-28s %12.3g gate-evals/s  (%6.2fx)\n" name evals_per_sec
         (evals_per_sec /. baseline);
       evals_per_sec
@@ -863,7 +886,7 @@ let e20 ?(min_time = 0.2) () =
           done)
     in
     let wide_rate = per_run *. float_of_int Wide.lanes /. t_wide in
-    ignore (entry "compiled_wide (62 lanes)" wide_rate base);
+    ignore (entry ~lanes:Wide.lanes "compiled_wide (62 lanes)" wide_rate base);
     let wide_opt = Wide.create ~optimize:true nl in
     let t_wide_opt =
       time_per_run ~min_time (fun () ->
@@ -873,10 +896,12 @@ let e20 ?(min_time = 0.2) () =
           done)
     in
     ignore
-      (entry "compiled_wide ~optimize"
+      (entry ~lanes:Wide.lanes "compiled_wide ~optimize"
          (per_run *. float_of_int Wide.lanes /. t_wide_opt)
          base);
-    let pool = Pool.create () in
+    (* parallel_sim runs at the host's full recommended parallelism *)
+    let rec_domains = Domain.recommended_domain_count () in
+    let pool = Pool.create ~domains:rec_domains () in
     let psim = Parallel_sim.create ~pool nl in
     let t_par =
       time_per_run ~min_time (fun () ->
@@ -886,31 +911,130 @@ let e20 ?(min_time = 0.2) () =
           done)
     in
     ignore
-      (entry
-         (Printf.sprintf "parallel_sim (%d domains)" (Pool.size pool))
+      (entry ~domains:rec_domains
+         (Printf.sprintf "parallel_sim (%d domains)" rec_domains)
          (per_run /. t_par) base);
-    (* batch-level parallelism on top of lane packing: independent
-       stimulus batches across the pool, each on its own replica *)
-    let nbatches = 4 * Pool.size pool in
-    let batches = Array.make nbatches [] in
+    (* batch-level parallelism on top of lane packing: the sharded
+       engine's persistent per-domain replicas stepping raw cycles — no
+       per-batch replica allocation and no per-cycle output
+       materialization, so a 1-domain run matches the single wide
+       instance instead of trailing it *)
+    let module Sharded = Hydra_engine.Sharded in
+    let sh = Sharded.create ~pool nl in
+    let nbatches = 4 * Sharded.domains sh in
     let t_batched =
       time_per_run ~min_time (fun () ->
-          ignore (Wide.run_batches ~pool wide ~batches ~cycles))
+          ignore (Sharded.step_batches sh ~batches:nbatches ~cycles))
     in
     ignore
-      (entry
-         (Printf.sprintf "wide x %d batches (pool)" nbatches)
+      (entry ~domains:(Sharded.domains sh) ~lanes:Wide.lanes
+         (Printf.sprintf "wide x %d batches (sharded)" nbatches)
          (per_run
          *. float_of_int Wide.lanes
          *. float_of_int nbatches
          /. t_batched)
          base);
+    Sharded.shutdown sh;
     Pool.shutdown pool;
     row "  wide vs scalar speedup: %.1fx (acceptance floor: 10x)\n"
       (wide_rate /. base)
   in
   bench_circuit "wallace64" (wallace_netlist 64) ~cycles:5;
   bench_circuit "cpu" (cpu_netlist ()) ~cycles:20
+
+(* E21 ------------------------------------------------------------------ *)
+
+(* The sharded engine's scaling curve: 62 lanes x N domains, batch-level
+   sharding with persistent replicas (no per-cycle or per-level
+   barriers).  Total work is held constant across domain counts, so the
+   curve isolates scheduling cost/gain. *)
+let e21 ?(min_time = 0.2) () =
+  section "E21" "domain-sharded wide engine: scaling curve (62 lanes x domains)";
+  let module Sharded = Hydra_engine.Sharded in
+  let rec_domains = Domain.recommended_domain_count () in
+  row "  host parallelism: %d core(s) (Domain.recommended_domain_count)%s\n"
+    rec_domains
+    (if rec_domains = 1 then
+       " — extra domains can only add scheduling overhead on this host"
+     else "");
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  (* wallace64: raw stepping throughput over a fixed set of lane-batches *)
+  let nl = wallace_netlist 64 in
+  let st = N.stats nl in
+  let cycles = 5 and batches = 8 in
+  let per_run =
+    float_of_int st.N.gates
+    *. float_of_int cycles
+    *. float_of_int Wide.lanes
+    *. float_of_int batches
+  in
+  row "  wallace64: %d gates; %d batches x %d cycles x %d lanes per run\n"
+    st.N.gates batches cycles Wide.lanes;
+  (* like-for-like baseline: one engine running the same fresh-state
+     batches inline (reset + [cycles] steps each), no scheduler *)
+  let wide = Wide.create nl in
+  let t_single =
+    time_per_run ~min_time (fun () ->
+        for _ = 1 to batches do
+          Wide.reset wide;
+          for _ = 1 to cycles do
+            Wide.step wide
+          done
+        done)
+  in
+  let base_rate = per_run /. t_single in
+  record ~section:"E21" ~name:"wallace64 wide single instance"
+    ~value:base_rate ~unit_:"gate-evals/s" ~domains:1 ~lanes:Wide.lanes ();
+  row "  %-34s %12.3g gate-evals/s  (1.00x)\n" "wide single instance" base_rate;
+  List.iter
+    (fun d ->
+      let sh = Sharded.create ~domains:d nl in
+      let t =
+        time_per_run ~min_time (fun () ->
+            ignore (Sharded.step_batches sh ~batches ~cycles))
+      in
+      Sharded.shutdown sh;
+      let rate = per_run /. t in
+      record ~section:"E21"
+        ~name:(Printf.sprintf "wallace64 sharded %d domains" d)
+        ~value:rate ~unit_:"gate-evals/s" ~domains:d ~lanes:Wide.lanes ();
+      row "  %-34s %12.3g gate-evals/s  (%5.2fx)\n"
+        (Printf.sprintf "sharded (%d domains)" d)
+        rate (rate /. base_rate))
+    domain_counts;
+  (* the CPU system: many machine-language programs at once *)
+  let module Asm = Hydra_cpu.Asm in
+  let module Driver = Hydra_cpu.Driver in
+  let program = Asm.assemble sum_loop_src in
+  let n_addr = List.length program - 2 in
+  let nprogs = 2 * Wide.lanes in
+  let programs =
+    Array.init nprogs (fun k ->
+        List.mapi (fun i w -> if i = n_addr then 1 + (k mod 10) else w) program)
+  in
+  let sys_nl = Driver.system_netlist ~mem_bits:6 () in
+  row "  cpu system: %d sum-loop programs, %d per wide pass\n" nprogs
+    Wide.lanes;
+  List.iter
+    (fun d ->
+      let sh = Sharded.create ~domains:d sys_nl in
+      let results = ref [||] in
+      let t =
+        time_per_run ~min_time (fun () ->
+            results := Driver.run_many ~sharded:sh ~max_cycles:1000 programs)
+      in
+      Sharded.shutdown sh;
+      let all_halted =
+        Array.for_all (fun r -> r.Driver.halted) !results
+      in
+      let rate = float_of_int nprogs /. t in
+      record ~section:"E21"
+        ~name:(Printf.sprintf "cpu run_many %d domains" d)
+        ~value:rate ~unit_:"programs/s" ~domains:d ~lanes:Wide.lanes ();
+      row "  %-34s %10.1f programs/s  (all halted: %b)\n"
+        (Printf.sprintf "cpu run_many (%d domains)" d)
+        rate all_halted)
+    domain_counts
 
 (* Smoke mode ----------------------------------------------------------- *)
 
@@ -956,6 +1080,27 @@ let smoke () =
     Compiled.tick scalar
   done;
   print_endline "  scalar/wide lane agreement: ok";
+  (* sharded engine: batches over 2 domains must equal sequential
+     run_packed of the same batches on one wide engine *)
+  let module Sharded = Hydra_engine.Sharded in
+  let batch k =
+    let st = Random.State.make [| 0xca5e; k |] in
+    List.map
+      (fun name ->
+        (name, List.init 4 (fun _ -> Hydra_core.Packed.random_word st)))
+      input_names
+  in
+  let batches = Array.init 5 batch in
+  let sh = Sharded.create ~domains:2 nl in
+  let got = Sharded.run_batches sh ~batches ~cycles:4 in
+  Sharded.shutdown sh;
+  let reference = Wide.create nl in
+  Array.iteri
+    (fun b inputs ->
+      if got.(b) <> Wide.run_packed reference ~inputs ~cycles:4 then
+        failwith (Printf.sprintf "smoke: sharded batch %d diverges" b))
+    batches;
+  print_endline "  sharded/wide batch agreement: ok";
   let cycles = 5 in
   let t_scalar =
     time_per_run ~min_time:0.05 (fun () ->
@@ -973,6 +1118,12 @@ let smoke () =
   in
   Printf.printf "  throughput sample: wide/scalar = %.1fx per gate-eval\n"
     (t_scalar /. t_wide *. float_of_int Wide.lanes);
+  record ~section:"smoke" ~name:"wide/scalar speedup per gate-eval"
+    ~value:(t_scalar /. t_wide *. float_of_int Wide.lanes)
+    ~unit_:"x" ~lanes:Wide.lanes ();
+  record ~section:"smoke" ~name:"host recommended domains"
+    ~value:(float_of_int (Domain.recommended_domain_count ()))
+    ~unit_:"domains" ();
   print_endline "bench smoke: PASS"
 
 (* Driver --------------------------------------------------------------- *)
@@ -983,6 +1134,7 @@ let sections : (string * (unit -> unit)) list =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", (fun () -> e20 ()));
+    ("E21", (fun () -> e21 ()));
   ]
 
 let usage () =

@@ -212,3 +212,115 @@ let final_registers result =
       | Golden.Mem_write _ | Golden.Jump_taken _ | Golden.Halted -> ())
     result.events;
   regs
+
+(* Multi-program mode: run many machine-language programs at once on the
+   gate-level system netlist, 62 programs per wide pass, passes sharded
+   across domains ({!Hydra_engine.Sharded}).  Each lane gets the exact
+   input schedule [run_structural] would generate for its program — DMA
+   load at addresses 0.., a start pulse at t = program length, then free
+   running — so lanes with different program lengths start (and halt)
+   independently. *)
+
+let system_netlist ?(mem_bits = 6) () =
+  let module G = Hydra_core.Graph in
+  let module SysG = System.Make (G) in
+  let word n =
+    List.init Isa.word_size (fun i -> G.input (Printf.sprintf "%s%d" n i))
+  in
+  let start = G.input "start" and dma = G.input "dma" in
+  let da = word "da" and dd = word "dd" in
+  let outs = SysG.system ~mem_bits { SysG.start; dma; dma_a = da; dma_d = dd } in
+  Hydra_netlist.Netlist.extract
+    ~inputs:([ start; dma ] @ da @ dd)
+    ~outputs:
+      (("halted", outs.SysG.halted)
+      :: List.mapi
+           (fun i s -> (Printf.sprintf "pc%d" i, s))
+           outs.SysG.dp.SysG.D.pc)
+
+type batch_result = { halted : bool; cycles : int; pc : int }
+
+let run_many ?(mem_bits = 6) ?(max_cycles = 2000) ?sharded ?domains programs =
+  let module W = Hydra_engine.Compiled_wide in
+  let module Sh = Hydra_engine.Sharded in
+  let module P = Hydra_core.Packed in
+  let nprog = Array.length programs in
+  let progs = Array.map Array.of_list programs in
+  Array.iter
+    (fun p ->
+      if Array.length p > 1 lsl mem_bits then
+        invalid_arg "Driver.run_many: program does not fit in memory")
+    progs;
+  let sh, owned =
+    match sharded with
+    | Some sh -> (sh, false)
+    | None -> (Sh.create ?domains (system_netlist ~mem_bits ()), true)
+  in
+  let results = Array.make nprog { halted = false; cycles = 0; pc = 0 } in
+  let lanes = W.lanes in
+  let npasses = (nprog + lanes - 1) / lanes in
+  Sh.dispatch sh npasses (fun sim p ->
+      let base = p * lanes in
+      let count = min lanes (nprog - base) in
+      let lens = Array.init count (fun l -> Array.length progs.(base + l)) in
+      let max_len = Array.fold_left max 0 lens in
+      let limit = max_len + max_cycles in
+      W.reset sim;
+      let halted_mask = ref 0 in
+      let all = (1 lsl count) - 1 in
+      let t = ref 0 in
+      while !halted_mask <> all && !t < limit do
+        let t0 = !t in
+        let start_w = ref 0 and dma_w = ref 0 in
+        for l = 0 to count - 1 do
+          if t0 = lens.(l) then start_w := !start_w lor (1 lsl l);
+          if t0 < lens.(l) then dma_w := !dma_w lor (1 lsl l)
+        done;
+        W.set_input sim "start" !start_w;
+        W.set_input sim "dma" !dma_w;
+        (* dma address: the address is [t0] in every still-loading lane
+           and 0 elsewhere, so a bit of [da] is the active mask or 0 *)
+        List.iteri
+          (fun i b ->
+            W.set_input sim (Printf.sprintf "da%d" i) (if b then !dma_w else 0))
+          (word_of_int t0);
+        (* dma data: lane [l] carries its own program's word [t0] *)
+        let dd_words = Array.make Isa.word_size 0 in
+        for l = 0 to count - 1 do
+          if t0 < lens.(l) then
+            List.iteri
+              (fun i b ->
+                if b then dd_words.(i) <- dd_words.(i) lor (1 lsl l))
+              (word_of_int progs.(base + l).(t0))
+        done;
+        Array.iteri
+          (fun i w -> W.set_input sim (Printf.sprintf "dd%d" i) w)
+          dd_words;
+        W.settle sim;
+        let newly = W.output sim "halted" land lnot !halted_mask land all in
+        if newly <> 0 then begin
+          let pc_bits =
+            List.init Isa.word_size (fun i ->
+                W.output sim (Printf.sprintf "pc%d" i))
+          in
+          for l = 0 to count - 1 do
+            if newly land (1 lsl l) <> 0 then begin
+              let pc =
+                Bitvec.to_int (List.map (fun w -> P.lane w l) pc_bits)
+              in
+              results.(base + l) <-
+                { halted = true; cycles = t0 - lens.(l); pc }
+            end
+          done;
+          halted_mask := !halted_mask lor newly
+        end;
+        W.tick sim;
+        incr t
+      done;
+      for l = 0 to count - 1 do
+        if !halted_mask land (1 lsl l) = 0 then
+          results.(base + l) <-
+            { halted = false; cycles = max 0 (!t - 1 - lens.(l)); pc = 0 }
+      done);
+  if owned then Sh.shutdown sh;
+  results

@@ -51,3 +51,33 @@ val final_memory : size:int -> result -> program:int list -> int array
     program. *)
 
 val trace_fmt : trace_entry -> string
+
+(** {1 Multi-program mode} *)
+
+val system_netlist : ?mem_bits:int -> unit -> Hydra_netlist.Netlist.t
+(** The whole gate-level system (structural RAM of 2{^mem_bits} words,
+    default 6) extracted as a netlist: inputs [start], [dma],
+    [da0..da15], [dd0..dd15]; outputs [halted] and [pc0..pc15]. *)
+
+type batch_result = {
+  halted : bool;
+  cycles : int;  (** clock cycles from the start pulse to halt *)
+  pc : int;  (** program counter at the halt cycle (0 if never halted) *)
+}
+
+val run_many :
+  ?mem_bits:int ->
+  ?max_cycles:int ->
+  ?sharded:Hydra_engine.Sharded.t ->
+  ?domains:int ->
+  int list array ->
+  batch_result array
+(** Run many machine-language programs at once on {!system_netlist}:
+    program [k] rides in lane [k mod 62] of sharded job [k / 62], each
+    lane driven with exactly the DMA-load / start-pulse schedule
+    {!run_structural} would generate for it, so N programs cost
+    ceil(N/62) wide simulations spread over the domains.  [?sharded]
+    reuses an engine already created from [system_netlist ~mem_bits]
+    (and is not shut down); otherwise one is created with [?domains]
+    and shut down on return.  [cycles] and [halted] of result [k] match
+    {!run_structural} on program [k]. *)

@@ -8,7 +8,7 @@
    sequential circuits — the full section-5/6 processors run 62 programs
    per pass.
 
-   Two further throughput levers over the scalar {!Compiled} engine:
+   Throughput levers over the scalar {!Compiled} engine:
 
    - The per-gate variant dispatch of [Compiled.eval_component] is
      replaced by pre-split per-op index arrays: at compile time each
@@ -17,16 +17,31 @@
      rank.  The inner loops contain no matches and no polymorphism — just
      unsafe int-array reads, a logical op, and a write.
 
+   - A rank-major, fanout-clustered memory re-layout
+     ({!Hydra_netlist.Layout.rank_major}, on by default) renumbers the
+     netlist so each rank's per-kind destination ranges are contiguous
+     and gates reading the same driver sit on the same cache lines.
+
+   - Fused kernels for the common 2-level patterns the netlists are full
+     of: and-or ([x = (a&b) | (c&d)] — mux and carry-select shapes),
+     or-and ([x = (a&b) | c] — the carry chain), and xor chains
+     ([x = a ^ b ^ c] — full-adder sums).  When the inner gate feeds only
+     the outer one (fanout 1) it is evaluated inside the outer gate's
+     loop and never written to memory, saving a store and a reload per
+     fused gate per pass.
+
    - Independent lane-batches chunk over {!Hydra_parallel.Pool}
      ({!run_vectors} / {!run_batches}): each domain simulates its own
      {!replicate} of the engine (sharing the immutable compiled arrays,
      owning its value state), so batch-level parallelism composes with
      lane-level packing and there are no barriers inside a batch — unlike
      {!Parallel_sim}'s per-level barriers, which only pay off on very
-     wide ranks. *)
+     wide ranks.  {!Sharded} scales this pattern with persistent
+     per-domain replicas and a work queue. *)
 
 module Netlist = Hydra_netlist.Netlist
 module Levelize = Hydra_netlist.Levelize
+module Layout = Hydra_netlist.Layout
 module Packed = Hydra_core.Packed
 module Pool = Hydra_parallel.Pool
 
@@ -35,7 +50,8 @@ let lane_mask = Packed.lane_mask
 
 (* One levelized rank, pre-split by gate kind into flat index arrays:
    [x_dst.(k)] is evaluated from [x_src*.(k)] for every [k], in any order
-   (all sources settled at strictly lower ranks). *)
+   (all sources settled at strictly lower ranks; fused kernels read the
+   consumed inner gate's sources, which settle earlier still). *)
 type kernel = {
   inv_dst : int array;
   inv_src : int array;
@@ -48,18 +64,34 @@ type kernel = {
   xor_dst : int array;
   xor_s0 : int array;
   xor_s1 : int array;
+  (* fused 2-level patterns *)
+  andor_dst : int array;  (* dst = (a & b) | (c & d) *)
+  andor_a : int array;
+  andor_b : int array;
+  andor_c : int array;
+  andor_d : int array;
+  orand_dst : int array;  (* dst = (a & b) | c *)
+  orand_a : int array;
+  orand_b : int array;
+  orand_c : int array;
+  xor3_dst : int array;  (* dst = a ^ b ^ c *)
+  xor3_a : int array;
+  xor3_b : int array;
+  xor3_c : int array;
   out_dst : int array;  (* outports: plain word copies *)
   out_src : int array;
 }
 
 type t = {
-  netlist : Netlist.t;  (* the netlist actually compiled (post-optimize) *)
+  netlist : Netlist.t;
+      (* the netlist actually compiled (post-optimize, post-relayout) *)
   levels : Levelize.t;
   kernels : kernel array;
   consts : (int * int) array;  (* component index, broadcast word *)
   dffs : int array;
   dff_src : int array;  (* driver of each dff, indexed like dffs *)
   dff_init : int array;  (* broadcast power-up words *)
+  fused : int;  (* gates evaluated inside a fused kernel (never stored) *)
   values : int array;
   dff_next : int array;
   input_index : (string, int) Hashtbl.t;
@@ -67,19 +99,33 @@ type t = {
   mutable cycle : int;
 }
 
-let build_kernel (nl : Netlist.t) rank =
+(* How the outer gate at [dst] absorbs a fanout-1 inner gate. *)
+type fusion =
+  | Andor of int * int * int * int
+  | Orand of int * int * int
+  | Xor3 of int * int * int
+
+let build_kernel (nl : Netlist.t) (fusion : fusion option array)
+    (consumed : bool array) rank =
   let invs = ref [] and ands = ref [] and ors = ref [] and xors = ref []
+  and andors = ref [] and orands = ref [] and xor3s = ref []
   and outs = ref [] in
   Array.iter
     (fun i ->
-      let fi = nl.Netlist.fanin.(i) in
-      match nl.Netlist.components.(i) with
-      | Netlist.Invc -> invs := (i, fi.(0)) :: !invs
-      | Netlist.And2c -> ands := (i, fi.(0), fi.(1)) :: !ands
-      | Netlist.Or2c -> ors := (i, fi.(0), fi.(1)) :: !ors
-      | Netlist.Xor2c -> xors := (i, fi.(0), fi.(1)) :: !xors
-      | Netlist.Outport _ -> outs := (i, fi.(0)) :: !outs
-      | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> ())
+      if not consumed.(i) then
+        let fi = nl.Netlist.fanin.(i) in
+        match fusion.(i) with
+        | Some (Andor (a, b, c, d)) -> andors := (i, a, b, c, d) :: !andors
+        | Some (Orand (a, b, c)) -> orands := (i, a, b, c) :: !orands
+        | Some (Xor3 (a, b, c)) -> xor3s := (i, a, b, c) :: !xor3s
+        | None -> (
+            match nl.Netlist.components.(i) with
+            | Netlist.Invc -> invs := (i, fi.(0)) :: !invs
+            | Netlist.And2c -> ands := (i, fi.(0), fi.(1)) :: !ands
+            | Netlist.Or2c -> ors := (i, fi.(0), fi.(1)) :: !ors
+            | Netlist.Xor2c -> xors := (i, fi.(0), fi.(1)) :: !xors
+            | Netlist.Outport _ -> outs := (i, fi.(0)) :: !outs
+            | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> ()))
     rank;
   let arr1 l = Array.of_list (List.rev_map fst l)
   and arr2 l = Array.of_list (List.rev_map snd l) in
@@ -96,9 +142,88 @@ let build_kernel (nl : Netlist.t) rank =
     xor_dst = a3 (fun (i, _, _) -> i) !xors;
     xor_s0 = a3 (fun (_, a, _) -> a) !xors;
     xor_s1 = a3 (fun (_, _, b) -> b) !xors;
+    andor_dst = a3 (fun (i, _, _, _, _) -> i) !andors;
+    andor_a = a3 (fun (_, a, _, _, _) -> a) !andors;
+    andor_b = a3 (fun (_, _, b, _, _) -> b) !andors;
+    andor_c = a3 (fun (_, _, _, c, _) -> c) !andors;
+    andor_d = a3 (fun (_, _, _, _, d) -> d) !andors;
+    orand_dst = a3 (fun (i, _, _, _) -> i) !orands;
+    orand_a = a3 (fun (_, a, _, _) -> a) !orands;
+    orand_b = a3 (fun (_, _, b, _) -> b) !orands;
+    orand_c = a3 (fun (_, _, _, c) -> c) !orands;
+    xor3_dst = a3 (fun (i, _, _, _) -> i) !xor3s;
+    xor3_a = a3 (fun (_, a, _, _) -> a) !xor3s;
+    xor3_b = a3 (fun (_, _, b, _) -> b) !xor3s;
+    xor3_c = a3 (fun (_, _, _, c) -> c) !xor3s;
     out_dst = arr1 !outs;
     out_src = arr2 !outs;
   }
+
+(* Decide which fanout-1 inner gates each or/xor absorbs.  Processed rank
+   by rank, ascending, so an inner candidate's own fusion status is final
+   when its sink is examined: a gate that already absorbed something
+   ([fusion.(x) <> None]) is not consumable — consuming it would discard
+   its kernel and leave its (possibly consumed) sources dangling.  The
+   sources of a consumed gate are therefore always materialized. *)
+let plan_fusion (nl : Netlist.t) (levels : Levelize.t) =
+  let n = Netlist.size nl in
+  let fanout_count = Array.make n 0 in
+  Array.iter
+    (fun fi ->
+      Array.iter (fun d -> fanout_count.(d) <- fanout_count.(d) + 1) fi)
+    nl.Netlist.fanin;
+  let fusion : fusion option array = Array.make n None in
+  let consumed = Array.make n false in
+  let inner kind x =
+    fanout_count.(x) = 1
+    && (not consumed.(x))
+    && fusion.(x) = None
+    &&
+    match (kind, nl.Netlist.components.(x)) with
+    | `And, Netlist.And2c -> true
+    | `Xor, Netlist.Xor2c -> true
+    | _ -> false
+  in
+  Array.iter
+    (fun rank ->
+      Array.iter
+        (fun i ->
+          let fi = nl.Netlist.fanin.(i) in
+          match nl.Netlist.components.(i) with
+          | Netlist.Or2c ->
+            let x = fi.(0) and y = fi.(1) in
+            if inner `And x && inner `And y then begin
+              let fx = nl.Netlist.fanin.(x) and fy = nl.Netlist.fanin.(y) in
+              fusion.(i) <- Some (Andor (fx.(0), fx.(1), fy.(0), fy.(1)));
+              consumed.(x) <- true;
+              consumed.(y) <- true
+            end
+            else if inner `And x then begin
+              let fx = nl.Netlist.fanin.(x) in
+              fusion.(i) <- Some (Orand (fx.(0), fx.(1), y));
+              consumed.(x) <- true
+            end
+            else if inner `And y then begin
+              let fy = nl.Netlist.fanin.(y) in
+              fusion.(i) <- Some (Orand (fy.(0), fy.(1), x));
+              consumed.(y) <- true
+            end
+          | Netlist.Xor2c ->
+            let x = fi.(0) and y = fi.(1) in
+            if inner `Xor x then begin
+              let fx = nl.Netlist.fanin.(x) in
+              fusion.(i) <- Some (Xor3 (fx.(0), fx.(1), y));
+              consumed.(x) <- true
+            end
+            else if inner `Xor y then begin
+              let fy = nl.Netlist.fanin.(y) in
+              fusion.(i) <- Some (Xor3 (fy.(0), fy.(1), x));
+              consumed.(y) <- true
+            end
+          | _ -> ())
+        rank)
+    levels.Levelize.by_level;
+  (fusion, consumed)
 
 let apply_initial t =
   Array.iter (fun (i, w) -> Array.unsafe_set t.values i w) t.consts;
@@ -106,13 +231,24 @@ let apply_initial t =
     (fun j i -> Array.unsafe_set t.values i t.dff_init.(j))
     t.dffs
 
-let create ?(optimize = false) netlist =
+(* Hot arrays get a cache line of slack at the end so replicas allocated
+   back to back never share a line across domains. *)
+let pad = 8
+
+let create ?(optimize = false) ?(relayout = true) ?(fuse = true) netlist =
   let netlist =
     if optimize then Hydra_netlist.Optimize.optimize netlist else netlist
   in
+  let netlist = if relayout then Layout.rank_major netlist else netlist in
   let levels = Levelize.check netlist in
   let n = Netlist.size netlist in
-  let kernels = Array.map (build_kernel netlist) levels.Levelize.by_level in
+  let fusion, consumed =
+    if fuse then plan_fusion netlist levels
+    else (Array.make n None, Array.make n false)
+  in
+  let kernels =
+    Array.map (build_kernel netlist fusion consumed) levels.Levelize.by_level
+  in
   let consts = ref [] and dffs = ref [] in
   Array.iteri
     (fun i comp ->
@@ -134,6 +270,7 @@ let create ?(optimize = false) netlist =
   let input_index = Hashtbl.create 16 and output_index = Hashtbl.create 16 in
   List.iter (fun (s, i) -> Hashtbl.replace input_index s i) netlist.Netlist.inputs;
   List.iter (fun (s, i) -> Hashtbl.replace output_index s i) netlist.Netlist.outputs;
+  let nfused = Array.fold_left (fun a c -> if c then a + 1 else a) 0 consumed in
   let t =
     {
       netlist;
@@ -143,8 +280,9 @@ let create ?(optimize = false) netlist =
       dffs;
       dff_src;
       dff_init;
-      values = Array.make n 0;
-      dff_next = Array.make (Array.length dffs) 0;
+      fused = nfused;
+      values = Array.make (n + pad) 0;
+      dff_next = Array.make (Array.length dffs + pad) 0;
       input_index;
       output_index;
       cycle = 0;
@@ -154,8 +292,8 @@ let create ?(optimize = false) netlist =
   t
 
 (* A fresh engine over the same compiled circuit: shares every immutable
-   compiled array, owns its own value state.  Safe to run in another
-   domain concurrently with the original. *)
+   compiled array, owns its own (padded) value state.  Safe to run in
+   another domain concurrently with the original. *)
 let replicate t =
   let r =
     {
@@ -218,6 +356,33 @@ let settle t =
         (Array.unsafe_get values (Array.unsafe_get s0 j)
         lxor Array.unsafe_get values (Array.unsafe_get s1 j))
     done;
+    let dst = k.andor_dst and a = k.andor_a and b = k.andor_b
+    and c = k.andor_c and d = k.andor_d in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (Array.unsafe_get values (Array.unsafe_get a j)
+         land Array.unsafe_get values (Array.unsafe_get b j)
+        lor (Array.unsafe_get values (Array.unsafe_get c j)
+            land Array.unsafe_get values (Array.unsafe_get d j)))
+    done;
+    let dst = k.orand_dst and a = k.orand_a and b = k.orand_b
+    and c = k.orand_c in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (Array.unsafe_get values (Array.unsafe_get a j)
+         land Array.unsafe_get values (Array.unsafe_get b j)
+        lor Array.unsafe_get values (Array.unsafe_get c j))
+    done;
+    let dst = k.xor3_dst and a = k.xor3_a and b = k.xor3_b and c = k.xor3_c in
+    for j = 0 to Array.length dst - 1 do
+      Array.unsafe_set values
+        (Array.unsafe_get dst j)
+        (Array.unsafe_get values (Array.unsafe_get a j)
+        lxor Array.unsafe_get values (Array.unsafe_get b j)
+        lxor Array.unsafe_get values (Array.unsafe_get c j))
+    done;
     let dst = k.out_dst and src = k.out_src in
     for j = 0 to Array.length dst - 1 do
       Array.unsafe_set values
@@ -250,9 +415,11 @@ let output t name =
 let output_lane t name lane = Packed.lane (output t name) lane
 let outputs t = List.map (fun (s, i) -> (s, t.values.(i))) t.netlist.Netlist.outputs
 let peek t i = t.values.(i)
+let poke t i w = t.values.(i) <- w land lane_mask
 let cycle t = t.cycle
 let netlist t = t.netlist
 let critical_path t = t.levels.Levelize.critical_path
+let fused_gates t = t.fused
 
 (* Whole packed simulation, the word analogue of [Compiled.run]: every
    input stream is a packed word per cycle (shorter streams padded with
@@ -325,7 +492,8 @@ let run_vectors ?pool t vectors =
 
 (* Independent sequential lane-batches over the pool: each batch is a
    full packed stimulus set (cf. [run_packed]); batches run concurrently,
-   one replica per chunk, no barriers inside a batch. *)
+   one replica per chunk, no barriers inside a batch.  {!Sharded} provides
+   the same operation with persistent per-domain replicas. *)
 let run_batches ?pool t ~batches ~cycles =
   let n = Array.length batches in
   let results = Array.make n [] in

@@ -3,7 +3,9 @@
     over the gate arrays advances 62 stimulus streams at once — the
     sequential generalization of {!Hydra_core.Packed}.  The inner loop is
     branch-free: each levelized rank is pre-split into per-gate-kind
-    index arrays at compile time. *)
+    index arrays at compile time, the netlist is re-laid-out rank-major
+    so those loops sweep the value array near-sequentially, and common
+    2-level patterns (and-or, or-and, xor chains) run as fused kernels. *)
 
 type t
 
@@ -12,15 +14,21 @@ val lanes : int
 
 val lane_mask : int
 
-val create : ?optimize:bool -> Hydra_netlist.Netlist.t -> t
+val create : ?optimize:bool -> ?relayout:bool -> ?fuse:bool ->
+  Hydra_netlist.Netlist.t -> t
 (** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
     circuit.  [~optimize:true] (default false) runs the
-    {!Hydra_netlist.Optimize} pre-pass before compilation. *)
+    {!Hydra_netlist.Optimize} pre-pass before compilation.
+    [~relayout] (default true) applies the
+    {!Hydra_netlist.Layout.rank_major} memory re-layout.  [~fuse]
+    (default true) absorbs fanout-1 inner gates into fused and-or /
+    or-and / xor-chain kernels. *)
 
 val replicate : t -> t
 (** A fresh engine over the same compiled circuit: shares the immutable
-    compiled arrays, owns its own value state (at power-up).  Safe to run
-    concurrently with the original in another domain. *)
+    compiled arrays, owns its own value state (at power-up), padded so
+    replicas never share a cache line.  Safe to run concurrently with the
+    original in another domain. *)
 
 val reset : t -> unit
 (** Restore power-up values in every lane. *)
@@ -50,15 +58,30 @@ val output : t -> string -> int
 
 val output_lane : t -> string -> int -> bool
 val outputs : t -> (string * int) list
+
 val peek : t -> int -> int
-(** Current packed word of a component (post-optimize index). *)
+(** Current packed word of a component (post-optimize, post-relayout
+    index — see {!netlist}).  The word of a gate absorbed into a fused
+    kernel (fanout-1 inner gate, see {!fused_gates}) is never written and
+    reads as stale; every other component is exact. *)
+
+val poke : t -> int -> int -> unit
+(** Set the packed word of a component directly by its (post-optimize,
+    post-relayout) index — the hashtable-free counterpart of
+    {!set_input} for hot loops that resolved {!netlist} port indices up
+    front.  Only meaningful on inputs and dffs: a poked gate output is
+    overwritten by the next {!settle}. *)
 
 val cycle : t -> int
 val critical_path : t -> int
 
+val fused_gates : t -> int
+(** Number of gates evaluated inside fused kernels rather than stored —
+    array traffic saved per pass. *)
+
 val netlist : t -> Hydra_netlist.Netlist.t
-(** The netlist actually compiled — the optimized one under
-    [~optimize:true]. *)
+(** The netlist actually compiled — post-[~optimize], post-[~relayout]:
+    component indices (as used by {!peek}) refer to this netlist. *)
 
 val run_packed :
   t -> inputs:(string * int list) list -> cycles:int -> (string * int) list list
@@ -72,7 +95,8 @@ val run_vectors :
     vector (one bool per declared input, in port-list order); row [k] of
     the result is the settled outputs (port-list order).  Vectors are
     packed 62 per pass; with [?pool], passes chunk across domains, each
-    chunk simulating its own {!replicate} — no barriers inside a chunk. *)
+    chunk simulating its own {!replicate} — no barriers inside a chunk.
+    {!Sharded.run_vectors} is the persistent-replica version. *)
 
 val run_batches :
   ?pool:Hydra_parallel.Pool.t ->
@@ -83,4 +107,5 @@ val run_batches :
 (** Independent sequential lane-batches: element [b] of the result is
     [run_packed] of [batches.(b)].  With [?pool], batches chunk across
     domains (one replica per chunk) — batch-level parallelism composing
-    with lane-level packing. *)
+    with lane-level packing.  {!Sharded.run_batches} is the
+    persistent-replica version. *)

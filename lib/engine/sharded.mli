@@ -1,0 +1,80 @@
+(** Domain-sharded wide simulation: the 62-lane {!Compiled_wide} engine
+    multiplied by core count.
+
+    Each pool member owns a private, persistent {!Compiled_wide.replicate}
+    (shared immutable compiled arrays, cache-line padded private state)
+    and drains independent lane-batches from an atomic work queue in
+    {!Hydra_parallel.Pool.run_team} mode — no per-cycle or per-level
+    barriers, synchronization at batch granularity only.  Peak
+    parallelism: 62 lanes x [domains] independent simulations per settle
+    pass. *)
+
+type t
+
+val lanes : int
+(** {!Compiled_wide.lanes} = 62. *)
+
+val create :
+  ?optimize:bool ->
+  ?relayout:bool ->
+  ?fuse:bool ->
+  ?domains:int ->
+  ?pool:Hydra_parallel.Pool.t ->
+  Hydra_netlist.Netlist.t ->
+  t
+(** Compile once, replicate per pool member.  [?optimize] / [?relayout] /
+    [?fuse] as in {!Compiled_wide.create}.  [?pool] shares an existing
+    pool (not shut down by {!shutdown}); otherwise a pool of [?domains]
+    (default {!Hydra_parallel.Pool.default_domains}) is created and
+    owned. *)
+
+val domains : t -> int
+(** Pool size = replica count. *)
+
+val base : t -> Compiled_wide.t
+(** Replica 0 — usable directly as an ordinary wide engine between sharded
+    jobs (never concurrently with one). *)
+
+val replica : t -> int -> Compiled_wide.t
+(** [replica t m] is member [m]'s private engine. *)
+
+val netlist : t -> Hydra_netlist.Netlist.t
+(** The compiled netlist (post-optimize/relayout), as
+    {!Compiled_wide.netlist}. *)
+
+val run_tasks : t -> int -> (member:int -> int -> unit) -> unit
+(** [run_tasks t n f] runs [f ~member job] for every [0 <= job < n]:
+    members drain jobs from one atomic counter, each passing its member
+    index so callers can keep their own per-member state (a second
+    engine's replicas, accumulators) race-free.  [f] must be safe to run
+    concurrently for distinct members; jobs are claimed in order but
+    finish in any order.  Returns when all jobs are done (the only
+    barrier). *)
+
+val dispatch : t -> int -> (Compiled_wide.t -> int -> unit) -> unit
+(** [dispatch t n f] runs [f sim job] for every job on the claiming
+    member's private replica — {!run_tasks} specialized to the common
+    case. *)
+
+val run_batches :
+  t ->
+  batches:(string * int list) list array ->
+  cycles:int ->
+  (string * int) list list array
+(** Independent sequential lane-batches on persistent replicas: element
+    [b] of the result is {!Compiled_wide.run_packed} of [batches.(b)]. *)
+
+val run_vectors : t -> bool array array -> bool array array
+(** Batched combinational testbench across lanes and domains (see
+    {!Compiled_wide.run_vectors}): 62-vector passes are the sharded
+    jobs. *)
+
+val step_batches : t -> batches:int -> cycles:int -> int
+(** Raw stepping throughput for benchmarks: [batches] independent jobs,
+    each reset + one packed input word per port + [cycles] steps, no
+    per-cycle output materialization.  Returns an output checksum (so the
+    work cannot be optimized away). *)
+
+val shutdown : t -> unit
+(** Shut down the owned pool (a shared [?pool] is left running).  The
+    sharded engine must not be used afterwards. *)

@@ -153,13 +153,13 @@ let run ?(engine = `Compiled) ~cycles ~stimuli ~expectations netlist =
    the lanes of one Compiled_wide simulation, so N cases cost ceil(N/62)
    sequential runs.  Cases may drive different ports; a port no case
    drives in some lane simply stays 0 there, exactly as in a scalar
-   run. *)
-let run_batched ?pool ~cycles ~cases netlist =
+   run.  With [?sharded], the 62-case chunks become sharded jobs on the
+   engine's persistent per-domain replicas. *)
+let run_batched ?sharded ~cycles ~cases netlist =
   let module W = Compiled_wide in
   let ncases = Array.length cases in
   let out_names = List.map fst netlist.Netlist.outputs in
   let reports = Array.make ncases { cycles_run = 0; failures = []; observed = [] } in
-  let base_sim = W.create netlist in
   let nchunks = (ncases + W.lanes - 1) / W.lanes in
   let run_chunk sim chunk =
     let base = chunk * W.lanes in
@@ -253,11 +253,10 @@ let run_batched ?pool ~cycles ~cases netlist =
         }
     done
   in
-  (match pool with
-  | Some pool when nchunks > 1 && Hydra_parallel.Pool.size pool > 1 ->
-    Hydra_parallel.Pool.parallel_for ~chunk:1 pool 0 nchunks (fun c ->
-        run_chunk (W.replicate base_sim) c)
-  | _ ->
+  (match sharded with
+  | Some sh -> Sharded.dispatch sh nchunks run_chunk
+  | None ->
+    let base_sim = W.create netlist in
     for c = 0 to nchunks - 1 do
       run_chunk base_sim c
     done);

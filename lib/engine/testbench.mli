@@ -40,7 +40,7 @@ val run :
   report
 
 val run_batched :
-  ?pool:Hydra_parallel.Pool.t ->
+  ?sharded:Sharded.t ->
   cycles:int ->
   cases:(stimulus list * expectation list) array ->
   Hydra_netlist.Netlist.t ->
@@ -49,9 +49,10 @@ val run_batched :
     wide engine ({!Compiled_wide}): case [k] rides in lane [k mod 62] of
     run [k / 62], so N cases cost ceil(N/62) simulations.  Cases may
     drive different ports (undriven ports hold 0 in that lane, as in a
-    scalar run).  With [?pool], the 62-case chunks run concurrently
-    across domains.  Report [k] matches what {!run} would return for
-    case [k] on the compiled engine. *)
+    scalar run).  With [?sharded] — which must have been created from
+    the same netlist — the 62-case chunks become sharded jobs on the
+    engine's persistent per-domain replicas.  Report [k] matches what
+    {!run} would return for case [k] on the compiled engine. *)
 
 val report_string : report -> string
 (** "PASS (...)" or the failure list plus ASCII waveforms. *)

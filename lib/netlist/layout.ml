@@ -1,0 +1,102 @@
+(* Memory re-layout: permute component indices into a rank-major,
+   fanout-clustered order.
+
+   The levelized compiled engines walk the netlist rank by rank and, inside
+   a rank, one flat loop per gate kind; extraction order (post-order over
+   the circuit graph) scatters the members of a rank all over the value
+   array, so those loops read and write with large strides.  This pass
+   renumbers components so the traversal the engine actually performs is
+   the memory order:
+
+   - level 0 first: declared inports (in port-list order), then constants,
+     then all dffs contiguously — the dff block is what the latch phase
+     walks every cycle;
+   - then each levelized rank in ascending order, its members grouped by
+     gate kind in the engines' kernel order (inv, and, or, xor, outports)
+     so each per-kind destination array becomes one ascending contiguous
+     range;
+   - within a kind, members sorted by their (already renumbered) source
+     indices, so gates reading the same or neighbouring drivers — high
+     fanout nets — sit next to each other and their reads hit the same
+     cache lines.
+
+   The result is behaviourally identical (it is a pure index permutation;
+   the equivalence suite checks it), but the compiled engines' inner loops
+   become near-sequential sweeps of the value array. *)
+
+let kind_order (c : Netlist.component) =
+  match c with
+  | Netlist.Invc -> 0
+  | Netlist.And2c -> 1
+  | Netlist.Or2c -> 2
+  | Netlist.Xor2c -> 3
+  | Netlist.Outport _ -> 4
+  | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> 5
+
+(* [rank_major_permutation nl] is the re-laid-out netlist together with
+   the permutation it applied: [new_of_old.(i)] is the new index of old
+   component [i].  Netlists with combinational cycles are returned
+   unchanged (identity permutation) — the engines' own [Levelize.check]
+   reports the cycle against the original indices. *)
+let rank_major_permutation (nl : Netlist.t) =
+  let n = Netlist.size nl in
+  let identity () = Array.init n (fun i -> i) in
+  let lv = Levelize.compute nl in
+  if lv.Levelize.cyclic <> [] then (nl, identity ())
+  else begin
+    let new_of_old = Array.make n (-1) in
+    let next = ref 0 in
+    let assign i =
+      new_of_old.(i) <- !next;
+      incr next
+    in
+    (* level 0: inports in declaration order, then constants, then the
+       dff block *)
+    let consts = ref [] and dffs = ref [] in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Netlist.Constant _ -> consts := i :: !consts
+        | Netlist.Dffc _ -> dffs := i :: !dffs
+        | _ -> ())
+      nl.Netlist.components;
+    List.iter (fun (_, i) -> assign i) nl.Netlist.inputs;
+    List.iter assign (List.rev !consts);
+    List.iter assign (List.rev !dffs);
+    (* combinational ranks, kind-grouped and source-clustered.  Sources of
+       a rank's members live at strictly lower ranks, so their new indices
+       are already assigned when the rank is sorted. *)
+    let key i =
+      let fi = nl.Netlist.fanin.(i) in
+      let s0 = if Array.length fi > 0 then new_of_old.(fi.(0)) else -1 in
+      let s1 = if Array.length fi > 1 then new_of_old.(fi.(1)) else -1 in
+      (kind_order nl.Netlist.components.(i), s0, s1, i)
+    in
+    Array.iter
+      (fun rank ->
+        let sorted = Array.copy rank in
+        Array.sort (fun a b -> compare (key a) (key b)) sorted;
+        Array.iter assign sorted)
+      lv.Levelize.by_level;
+    assert (!next = n);
+    let components = Array.make n (Netlist.Constant false) in
+    let fanin = Array.make n [||] in
+    let names = Array.make n [] in
+    for i = 0 to n - 1 do
+      let j = new_of_old.(i) in
+      components.(j) <- nl.Netlist.components.(i);
+      names.(j) <- nl.Netlist.names.(i);
+      fanin.(j) <- Array.map (fun s -> new_of_old.(s)) nl.Netlist.fanin.(i)
+    done;
+    ( {
+        Netlist.components;
+        fanin;
+        names;
+        inputs = List.map (fun (s, i) -> (s, new_of_old.(i))) nl.Netlist.inputs;
+        outputs =
+          List.map (fun (s, i) -> (s, new_of_old.(i))) nl.Netlist.outputs;
+      },
+      new_of_old )
+  end
+
+let rank_major nl = fst (rank_major_permutation nl)

@@ -1,9 +1,18 @@
-(* A small domain pool with a chunk-stealing parallel-for.
+(* A small domain pool with a chunk-stealing parallel-for and a
+   long-running team mode.
 
    This is the substrate for parallel circuit simulation (paper section
    4.3): all gate evaluations within one levelized rank are independent and
-   can run simultaneously; the pool provides the "evaluate these N
-   independent things on all cores" primitive with a barrier at the end.
+   can run simultaneously; the pool provides two primitives over one set of
+   reusable worker domains:
+
+   - [parallel_for]: "evaluate these N independent things on all cores"
+     with a barrier at the end — fine-grained, used per rank or per chunk.
+   - [run_team]: "run one long-lived task body per pool member" — the
+     substrate for domain-sharded engines ({!Hydra_engine.Sharded}), where
+     each member owns private simulator state and drains a shared work
+     queue until it is empty, synchronizing only when the whole team
+     finishes.
 
    Workers are OCaml 5 domains created once and reused across calls
    (domain spawn is far too expensive per simulation cycle).  Work is
@@ -18,7 +27,9 @@ type job = {
   chunk : int;
   next : int Atomic.t;
   mutable pending : int;  (* workers that have not finished this job *)
-  mutable exn : exn option;
+  exn : exn option Atomic.t;
+      (* first exception raised by any chunk; CAS keeps the publication
+         race between domains well defined *)
 }
 
 type t = {
@@ -34,6 +45,10 @@ type t = {
 
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
+let record_exn job e =
+  (* keep the first exception only; losers of the race drop theirs *)
+  ignore (Atomic.compare_and_set job.exn None (Some e))
+
 let run_chunks job =
   try
     let rec loop () =
@@ -47,7 +62,7 @@ let run_chunks job =
       end
     in
     loop ()
-  with e -> if job.exn = None then job.exn <- Some e
+  with e -> record_exn job e
 
 let worker t =
   let seen = ref 0 in
@@ -98,6 +113,25 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
+(* Publish [job] to the workers, participate, wait for the stragglers,
+   re-raise the first recorded exception.  Shared by [parallel_for] and
+   [run_team]. *)
+let run_job t job =
+  Mutex.lock t.mutex;
+  t.job <- Some job;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  (* the caller participates *)
+  run_chunks job;
+  Mutex.lock t.mutex;
+  while job.pending > 0 do
+    Condition.wait t.work_done t.mutex
+  done;
+  t.job <- None;
+  Mutex.unlock t.mutex;
+  match Atomic.get job.exn with Some e -> raise e | None -> ()
+
 (* [parallel_for t lo hi f] runs [f i] for [lo <= i < hi] across the pool;
    returns when every index is done.  Falls back to a plain loop when the
    range is too small to be worth waking the pool. *)
@@ -112,35 +146,62 @@ let parallel_for ?(chunk = 0) t lo hi f =
     let chunk =
       if chunk > 0 then chunk else max 1 (n / (4 * t.size))
     in
-    let job =
+    run_job t
       {
         body = (fun i -> f (lo + i));
         hi = n;
         chunk;
         next = Atomic.make 0;
         pending = t.size - 1;
-        exn = None;
+        exn = Atomic.make None;
       }
-    in
-    Mutex.lock t.mutex;
-    t.job <- Some job;
-    t.generation <- t.generation + 1;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.mutex;
-    (* the caller participates *)
-    run_chunks job;
-    Mutex.lock t.mutex;
-    while job.pending > 0 do
-      Condition.wait t.work_done t.mutex
-    done;
-    t.job <- None;
-    Mutex.unlock t.mutex;
-    match job.exn with Some e -> raise e | None -> ()
   end
 
-(* Convenience: sum of [f i] over a range, computed in parallel with
-   per-chunk partials.  Used by tests and benches. *)
+(* [run_team t f] runs [f member] once for every [0 <= member < size t],
+   all concurrently (the caller takes one membership, the workers the
+   rest).  Unlike [parallel_for] there is no small-range fallback: every
+   body is expected to be long-running — typically draining a shared work
+   queue with private state — and the only synchronization is the join
+   when all members return.  Exceptions: first one wins, re-raised in the
+   caller after the join. *)
+let run_team t f =
+  if t.size = 1 then f 0
+  else
+    (* one index per member: chunk 1 over exactly [size] indices means
+       each claim is one membership; a member that finishes instantly may
+       claim a second membership, which is harmless — memberships, not
+       domains, own the private state *)
+    run_job t
+      {
+        body = f;
+        hi = t.size;
+        chunk = 1;
+        next = Atomic.make 0;
+        pending = t.size - 1;
+        exn = Atomic.make None;
+      }
+
+(* Convenience: sum of [f i] over a range with per-chunk partial sums —
+   O(chunks) auxiliary space, not O(n).  Used by tests and benches. *)
 let parallel_sum t lo hi f =
-  let partials = Array.make (hi - lo) 0 in
-  parallel_for t lo hi (fun i -> partials.(i - lo) <- f i);
-  Array.fold_left ( + ) 0 partials
+  let n = hi - lo in
+  if n <= 0 then 0
+  else if t.size = 1 || n < 2 * t.size then begin
+    let s = ref 0 in
+    for i = lo to hi - 1 do
+      s := !s + f i
+    done;
+    !s
+  end
+  else begin
+    let nchunks = min n (4 * t.size) in
+    let partials = Array.make nchunks 0 in
+    parallel_for ~chunk:1 t 0 nchunks (fun c ->
+        let clo = lo + (c * n / nchunks) and chi = lo + ((c + 1) * n / nchunks) in
+        let s = ref 0 in
+        for i = clo to chi - 1 do
+          s := !s + f i
+        done;
+        partials.(c) <- !s);
+    Array.fold_left ( + ) 0 partials
+  end

@@ -1,8 +1,9 @@
-(** A reusable domain pool with a chunk-stealing [parallel_for] — the
-    substrate for parallel circuit simulation (paper section 4.3).
+(** A reusable domain pool with a chunk-stealing [parallel_for] and a
+    long-running [run_team] mode — the substrate for parallel circuit
+    simulation (paper section 4.3).
 
-    The calling domain participates in every [parallel_for], so a pool of
-    size [n] spawns [n - 1] worker domains. *)
+    The calling domain participates in every call, so a pool of size [n]
+    spawns [n - 1] worker domains. *)
 
 type t
 
@@ -20,8 +21,20 @@ val parallel_for : ?chunk:int -> t -> int -> int -> (int -> unit) -> unit
     The first exception raised by [f] (if any) is re-raised in the
     caller. *)
 
+val run_team : t -> (int -> unit) -> unit
+(** [run_team t f] runs [f member] once for every [0 <= member < size t],
+    all concurrently; the caller takes one membership.  This is the
+    long-running-task mode used by {!Hydra_engine.Sharded}: each body
+    typically owns private state (indexed by its membership) and drains a
+    shared work queue, and the only synchronization is the final join.
+    [f] must be safe to run concurrently for distinct memberships; a fast
+    member may execute more than one membership sequentially.  The first
+    exception raised (if any) is re-raised in the caller after the
+    join. *)
+
 val parallel_sum : t -> int -> int -> (int -> int) -> int
-(** Parallel sum of [f i] over the range. *)
+(** Parallel sum of [f i] over the range, accumulated with per-chunk
+    partial sums (O(chunks) auxiliary space). *)
 
 val shutdown : t -> unit
 (** Join all workers.  The pool must not be used afterwards. *)

@@ -158,10 +158,11 @@ type seq_result =
   | Seq_equivalent
   | Seq_mismatch of { output : string; cycle : int; inputs : (string * bool list) list }
 
-let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed) nl1 nl2 =
+let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed)
+    ?(domains = 1) nl1 nl2 =
   let module W = Hydra_engine.Compiled_wide in
+  let module Sh = Hydra_engine.Sharded in
   let module P = Hydra_core.Packed in
-  let s1 = W.create nl1 and s2 = W.create nl2 in
   let in_names = List.map fst nl1.Netlist.inputs in
   if List.sort compare in_names <> List.sort compare (List.map fst nl2.Netlist.inputs)
   then invalid_arg "Equiv.wide_random_netlists: input ports differ";
@@ -170,53 +171,80 @@ let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed) nl1 nl2 =
     List.sort compare out_names
     <> List.sort compare (List.map fst nl2.Netlist.outputs)
   then invalid_arg "Equiv.wide_random_netlists: output ports differ";
-  let st = Random.State.make [| seed; passes; cycles |] in
-  let result = ref Seq_equivalent in
-  (try
-     for _pass = 0 to passes - 1 do
-       W.reset s1;
-       W.reset s2;
-       (* record the stimulus so a mismatch can report the failing lane's
-          input streams up to the failing cycle *)
-       let history = ref [] in
-       for c = 0 to cycles - 1 do
-         let row = List.map (fun name -> (name, P.random_word st)) in_names in
-         history := row :: !history;
-         List.iter
-           (fun (name, w) ->
-             W.set_input s1 name w;
-             W.set_input s2 name w)
-           row;
-         W.settle s1;
-         W.settle s2;
-         List.iter
-           (fun name ->
-             let w1 = W.output s1 name and w2 = W.output s2 name in
-             if w1 <> w2 then begin
-               let diff = w1 lxor w2 in
-               let rec first_lane l =
-                 if P.lane diff l then l else first_lane (l + 1)
-               in
-               let lane = first_lane 0 in
-               let streams =
-                 List.map
-                   (fun iname ->
-                     ( iname,
-                       List.rev_map
-                         (fun row -> P.lane (List.assoc iname row) lane)
-                         !history ))
-                   in_names
-               in
-               result := Seq_mismatch { output = name; cycle = c; inputs = streams };
-               raise Exit
-             end)
-           out_names;
-         W.tick s1;
-         W.tick s2
-       done
-     done
-   with Exit -> ());
-  !result
+  (* nl1 rides the sharded engine; nl2's replicas are kept member-aligned
+     by hand through run_tasks's ~member index *)
+  let sh = Sh.create ~domains nl1 in
+  let base2 = W.create nl2 in
+  let sims2 =
+    Array.init (Sh.domains sh) (fun i ->
+        if i = 0 then base2 else W.replicate base2)
+  in
+  let results = Array.make passes Seq_equivalent in
+  (* lowest pass index with a recorded mismatch; later passes that have
+     not started yet are skipped once a lower one is recorded, so the
+     reported mismatch is deterministic regardless of scheduling *)
+  let best = Atomic.make max_int in
+  let rec record_min pass =
+    let cur = Atomic.get best in
+    if pass < cur && not (Atomic.compare_and_set best cur pass) then
+      record_min pass
+  in
+  let run_pass s1 s2 pass =
+    (* an independent RNG per pass: the stimulus of pass [p] does not
+       depend on which member runs it or in what order *)
+    let st = Random.State.make [| seed; pass; cycles |] in
+    W.reset s1;
+    W.reset s2;
+    (* record the stimulus so a mismatch can report the failing lane's
+       input streams up to the failing cycle *)
+    let history = ref [] in
+    try
+      for c = 0 to cycles - 1 do
+        let row = List.map (fun name -> (name, P.random_word st)) in_names in
+        history := row :: !history;
+        List.iter
+          (fun (name, w) ->
+            W.set_input s1 name w;
+            W.set_input s2 name w)
+          row;
+        W.settle s1;
+        W.settle s2;
+        List.iter
+          (fun name ->
+            let w1 = W.output s1 name and w2 = W.output s2 name in
+            if w1 <> w2 then begin
+              let diff = w1 lxor w2 in
+              let rec first_lane l =
+                if P.lane diff l then l else first_lane (l + 1)
+              in
+              let lane = first_lane 0 in
+              let streams =
+                List.map
+                  (fun iname ->
+                    ( iname,
+                      List.rev_map
+                        (fun row -> P.lane (List.assoc iname row) lane)
+                        !history ))
+                  in_names
+              in
+              results.(pass) <-
+                Seq_mismatch { output = name; cycle = c; inputs = streams };
+              record_min pass;
+              raise Exit
+            end)
+          out_names;
+        W.tick s1;
+        W.tick s2
+      done
+    with Exit -> ()
+  in
+  Sh.run_tasks sh passes (fun ~member pass ->
+      if pass < Atomic.get best then
+        run_pass (Sh.replica sh member) sims2.(member) pass);
+  Sh.shutdown sh;
+  match Atomic.get best with
+  | p when p < max_int -> results.(p)
+  | _ -> Seq_equivalent
 
 let seq_equivalent = function Seq_equivalent -> true | Seq_mismatch _ -> false
 

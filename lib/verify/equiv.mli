@@ -67,6 +67,7 @@ val wide_random_netlists :
   ?passes:int ->
   ?cycles:int ->
   ?seed:int ->
+  ?domains:int ->
   Hydra_netlist.Netlist.t ->
   Hydra_netlist.Netlist.t ->
   seq_result
@@ -75,7 +76,13 @@ val wide_random_netlists :
     passes drives 62 random stimulus streams for [cycles] (default 32)
     cycles into both circuits and compares every output word every cycle
     — dffs included, ~60x fewer simulator passes than lane-at-a-time
-    sampling.  The workhorse check for optimized-vs-original netlists. *)
+    sampling.  The workhorse check for optimized-vs-original netlists.
+    With [?domains] > 1 (default 1), passes become
+    {!Hydra_engine.Sharded} jobs running concurrently, each on its own
+    pair of engine replicas; every pass seeds its own RNG from
+    ([seed], pass index), so the stimulus — and the reported mismatch,
+    always the lowest-index failing pass — is the same at any domain
+    count. *)
 
 val seq_equivalent : seq_result -> bool
 

@@ -13,6 +13,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
       ("wide", Test_wide.suite);
+      ("sharded", Test_sharded.suite);
       ("isa", Test_isa.suite);
       ("cpu", Test_cpu.suite);
       ("verify", Test_verify.suite);

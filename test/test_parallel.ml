@@ -63,4 +63,95 @@ let suite =
         let pool = Pool.create ~domains:0 () in
         check_int "at least 1" 1 (Pool.size pool);
         Pool.shutdown pool);
+    (* exception stress: the failing index sweeps the range, so over the
+       iterations the raising chunk lands both on the caller (low
+       indices: the caller participates first) and on workers (high
+       indices), and the recording CAS races between domains *)
+    tc "exception stress: raiser on caller and worker chunks" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        let n = 4000 in
+        for round = 0 to 39 do
+          let bad = round * 100 in
+          (match
+             Pool.parallel_for ~chunk:16 pool 0 n (fun i ->
+                 if i = bad then raise (Failure (string_of_int bad)))
+           with
+          | () -> Alcotest.fail "expected exception"
+          | exception Failure msg -> check_string "msg" (string_of_int bad) msg);
+          (* the pool must come back clean after every failure *)
+          let sum = Pool.parallel_sum pool 0 100 (fun i -> i) in
+          check_int "usable after exception" 4950 sum
+        done;
+        Pool.shutdown pool);
+    tc "exception stress: multiple concurrent raisers, first one wins" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        for _ = 1 to 20 do
+          match
+            Pool.parallel_for ~chunk:1 pool 0 64 (fun i ->
+                raise (Failure (string_of_int i)))
+          with
+          | () -> Alcotest.fail "expected exception"
+          | exception Failure _ -> ()
+        done;
+        Pool.shutdown pool);
+    tc "run_team: every membership runs exactly once" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        let hits = Array.make (Pool.size pool) 0 in
+        for _ = 1 to 25 do
+          Array.fill hits 0 (Array.length hits) 0;
+          Pool.run_team pool (fun m -> hits.(m) <- hits.(m) + 1);
+          check_bool "all memberships once" true
+            (Array.for_all (fun h -> h = 1) hits)
+        done;
+        Pool.shutdown pool);
+    tc "run_team: members drain a shared queue to completion" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        let n = 1000 in
+        let next = Atomic.make 0 in
+        let done_ = Array.make n false in
+        Pool.run_team pool (fun _member ->
+            let rec drain () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                done_.(i) <- true;
+                drain ()
+              end
+            in
+            drain ());
+        Pool.shutdown pool;
+        check_bool "queue drained" true (Array.for_all Fun.id done_));
+    tc "run_team: exception propagates, team survives" (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        (match Pool.run_team pool (fun m -> if m = 2 then failwith "team") with
+        | () -> Alcotest.fail "expected exception"
+        | exception Failure msg -> check_string "msg" "team" msg);
+        let count = Atomic.make 0 in
+        Pool.run_team pool (fun _ -> Atomic.incr count);
+        check_int "usable after exception" (Pool.size pool) (Atomic.get count);
+        Pool.shutdown pool);
+    tc "run_team: single-domain pool runs the one membership inline" (fun () ->
+        let pool = Pool.create ~domains:1 () in
+        let hit = ref (-1) in
+        Pool.run_team pool (fun m -> hit := m);
+        Pool.shutdown pool;
+        check_int "membership 0" 0 !hit);
+    tc "parallel_sum: partial sums match sequential on parallel-size ranges"
+      (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        let f i = (i * i mod 97) - 13 in
+        let expect lo hi =
+          let s = ref 0 in
+          for i = lo to hi - 1 do
+            s := !s + f i
+          done;
+          !s
+        in
+        List.iter
+          (fun (lo, hi) ->
+            check_int
+              (Printf.sprintf "sum %d..%d" lo hi)
+              (expect lo hi)
+              (Pool.parallel_sum pool lo hi f))
+          [ (0, 5); (0, 8); (0, 1000); (17, 4242); (100, 100) ];
+        Pool.shutdown pool);
   ]

@@ -102,6 +102,26 @@ let suite =
       (fun (nodes, _, ()) ->
         let nl = netlist_of nodes in
         N.size (O.optimize nl) <= N.size nl);
+    qc ~count:50 "optimize is idempotent" Test_engine.gen_case
+      (fun (nodes, _, ()) ->
+        let once = O.optimize (netlist_of nodes) in
+        O.optimize once = once);
+    tc "optimize: idempotent and equivalent on the full CPU system"
+      (fun () ->
+        let nl = Hydra_cpu.Driver.system_netlist ~mem_bits:6 () in
+        let opt = O.optimize nl in
+        check_bool "shrinks the system" true
+          ((N.stats opt).N.gates < (N.stats nl).N.gates);
+        Alcotest.(check (pair int int))
+          "second pass is a fixpoint"
+          ((N.stats opt).N.gates, (N.stats opt).N.dffs)
+          (let twice = O.optimize opt in
+           ((N.stats twice).N.gates, (N.stats twice).N.dffs));
+        (* sequential equivalence under random start/dma/data stimulus *)
+        check_bool "sequentially equivalent" true
+          (Hydra_verify.Equiv.seq_equivalent
+             (Hydra_verify.Equiv.wide_random_netlists ~passes:2 ~cycles:24
+                nl opt)));
     (* Wallace multiplier *)
     qc "wallace multw = integer multiplication"
       QCheck2.Gen.(pair (int_bound 255) (int_bound 255))
