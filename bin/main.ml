@@ -276,6 +276,140 @@ let fault_cmd =
        ~doc:"Stuck-at fault coverage of a named circuit under random vectors")
     Term.(const run $ circuit_arg $ vectors)
 
+(* ---- lint ---- *)
+
+(* The named-circuit catalogue `lint --all` sweeps: every circuit family
+   the CLI knows, at the sizes CI pins (fig1 … cpu:8), plus the sizes the
+   examples exercise (ripple:12 / cla-sklansky:12 are timing_glitch's
+   adders). *)
+let lint_catalogue =
+  [
+    "fig1"; "mux1"; "ripple:8"; "ripple:12"; "cla-sklansky:8";
+    "cla-sklansky:12"; "cla-brent-kung:8"; "cla-kogge-stone:8"; "alu:16";
+    "regfile1:4"; "sorter:4x4"; "cpu:6"; "cpu:8";
+  ]
+
+let lint_cmd =
+  let module D = Hydra_analyze.Diagnostic in
+  let module Lint = Hydra_analyze.Lint in
+  let module Certify = Hydra_analyze.Certify in
+  let targets =
+    Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT|FILE")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"lint the whole named-circuit catalogue")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit machine-readable JSON")
+  in
+  let fanout_threshold =
+    Arg.(
+      value
+      & opt int Lint.default_config.Lint.fanout_threshold
+      & info [ "fanout-threshold" ] ~doc:"fanout-hotspot rule threshold")
+  in
+  let path_budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "path-budget" ]
+          ~doc:"critical-path budget in gate delays (error when exceeded)")
+  in
+  let xsim_cycles =
+    Arg.(
+      value
+      & opt int Lint.default_config.Lint.xsim_cycles
+      & info [ "xsim-cycles" ]
+          ~doc:"cycles of X-propagation for the uninit-state rule")
+  in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "also translation-validate Optimize and Layout.rank_major on \
+             each circuit")
+  in
+  let run targets all json fanout_threshold path_budget xsim_cycles certify =
+    let config = { Lint.fanout_threshold; path_budget; xsim_cycles } in
+    let targets =
+      (if all then lint_catalogue else []) @ targets
+    in
+    if targets = [] then begin
+      prerr_endline
+        "lint: no targets (name circuits/files, or use --all for the \
+         catalogue)";
+      exit 2
+    end;
+    let failed = ref false in
+    let json_blocks =
+      List.map
+        (fun target ->
+          let nl =
+            try
+              if Sys.file_exists target then
+                Hydra_netlist.Serial.of_file target
+              else circuit_of_name target
+            with
+            | Hydra_netlist.Serial.Parse_error { line; message } ->
+              Printf.eprintf "lint: %s: parse error at line %d: %s\n" target
+                line message;
+              exit 1
+            | Failure m ->
+              Printf.eprintf "lint: %s: %s\n" target m;
+              exit 1
+          in
+          let diags = Lint.run ~config nl in
+          let certs =
+            if certify then
+              [ snd (Certify.optimize nl); snd (Certify.rank_major nl) ]
+            else []
+          in
+          if D.count_errors diags > 0 then failed := true;
+          if List.exists (fun c -> not (Certify.certified c)) certs then
+            failed := true;
+          if json then
+            Printf.sprintf
+              "{\"target\":%s,\"components\":%d,\"diagnostics\":%s,\"certificates\":[%s]}"
+              (D.json_string target) (N.size nl)
+              (D.list_to_json diags)
+              (String.concat ","
+                 (List.map
+                    (fun c ->
+                      Printf.sprintf "{\"certified\":%b,\"detail\":%s}"
+                        (Certify.certified c)
+                        (D.json_string (Certify.describe c)))
+                    certs))
+          else begin
+            Printf.printf "== %s (%d components) ==\n" target (N.size nl);
+            if diags = [] then print_endline "  clean"
+            else
+              List.iter
+                (fun d -> Printf.printf "  %s\n" (D.to_string d))
+                diags;
+            List.iter
+              (fun c -> Printf.printf "  certify: %s\n" (Certify.describe c))
+              certs;
+            ""
+          end)
+        targets
+    in
+    if json then
+      Printf.printf "{\"version\":1,\"results\":[%s]}\n"
+        (String.concat "," json_blocks);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Lint named circuits or saved netlist files (and optionally \
+          certify their transforms); exits 1 on any error-severity \
+          diagnostic")
+    Term.(
+      const run $ targets $ all $ json $ fanout_threshold $ path_budget
+      $ xsim_cycles $ certify)
+
 (* ---- timing ---- *)
 
 let timing_cmd =
@@ -352,5 +486,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ asm_cmd; dis_cmd; run_cmd; netlist_cmd; timing_cmd; fault_cmd;
-            sim_cmd; algo_cmd ]))
+          [ asm_cmd; dis_cmd; run_cmd; netlist_cmd; lint_cmd; timing_cmd;
+            fault_cmd; sim_cmd; algo_cmd ]))

@@ -1,0 +1,83 @@
+(** Translation validation for netlist transforms: check each {e run} of
+    a transform instead of trusting the pass.  Structural invariants
+    (well-formedness, port preservation) plus either a complete
+    permutation proof (for pure index re-layouts) or packed-random I/O
+    equivalence against the pre-transform netlist on the independent
+    {!Sim} reference simulator.  Success returns a certificate naming
+    what was verified; failure carries a concrete counterexample. *)
+
+type counterexample = {
+  output : string;  (** first disagreeing output port *)
+  cycle : int;  (** 0-based cycle of the disagreement *)
+  inputs : (string * bool list) list;
+      (** per input port: the driving stream up to and including the
+          failing cycle — replaying it reproduces the mismatch *)
+}
+
+type failure =
+  | Invalid of { which : string; reason : string }
+  | Ports_differ of string
+  | Not_permutation of string
+  | Behaviour_differs of counterexample
+
+type certificate = { transform : string; checks : string list }
+
+type outcome =
+  | Certified of certificate
+  | Refuted of { transform : string; failure : failure }
+
+exception Certification_failed of string
+
+val certified : outcome -> bool
+val describe_failure : failure -> string
+val describe : outcome -> string
+
+val ensure : outcome -> unit
+(** Raise {!Certification_failed} (with {!describe}) on a refutation. *)
+
+val validate : Hydra_netlist.Netlist.t -> (unit, string) result
+(** {!Hydra_netlist.Netlist.validate}. *)
+
+val io_equiv :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  Hydra_netlist.Netlist.t ->
+  Hydra_netlist.Netlist.t ->
+  (unit, failure) result
+(** Packed-random sequential I/O equivalence on the reference simulator:
+    [passes] (default 2) passes of 62 random stimulus streams, [cycles]
+    (default 16) cycles each, deterministic in [seed]. *)
+
+val check :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  transform:string ->
+  pre:Hydra_netlist.Netlist.t ->
+  post:Hydra_netlist.Netlist.t ->
+  unit ->
+  outcome
+(** Validate both sides, check port preservation, then {!io_equiv}. *)
+
+val check_permutation :
+  transform:string ->
+  pre:Hydra_netlist.Netlist.t ->
+  post:Hydra_netlist.Netlist.t ->
+  perm:int array ->
+  outcome
+(** Complete structural proof for index-permutation transforms:
+    [perm.(i)] is the post index of pre component [i]; components,
+    fanin edges, names and ports must map exactly. *)
+
+val optimize :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  Hydra_netlist.Netlist.t ->
+  Hydra_netlist.Netlist.t * outcome
+(** Run {!Hydra_netlist.Optimize.optimize} and certify the run. *)
+
+val rank_major : Hydra_netlist.Netlist.t -> Hydra_netlist.Netlist.t * outcome
+(** Run {!Hydra_netlist.Layout.rank_major_permutation} and certify the
+    permutation. *)

@@ -1,0 +1,67 @@
+(* Structured lint diagnostics.
+
+   Every finding names the rule that produced it, carries the component
+   indices involved and (when the rule can produce one) an ordered
+   human-readable witness path, and renders both as text for terminals
+   and as JSON for tools.  The JSON shape is part of the CLI contract
+   (`hydra lint --json`) and is pinned by a test, so change it
+   deliberately. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  components : int list;  (* component indices involved, ascending *)
+  witness : string list;  (* ordered path of component labels, may be [] *)
+  message : string;
+}
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = d.severity = Error
+
+let to_string d =
+  let witness =
+    match d.witness with
+    | [] -> ""
+    | w -> Printf.sprintf "\n    witness: %s" (String.concat " -> " w)
+  in
+  Printf.sprintf "%s[%s]: %s%s" (severity_string d.severity) d.rule d.message
+    witness
+
+(* JSON rendering, dependency-free.  Strings are escaped per RFC 8259
+   (quotes, backslashes, control characters). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let to_json d =
+  Printf.sprintf
+    "{\"rule\":%s,\"severity\":%s,\"components\":[%s],\"witness\":[%s],\"message\":%s}"
+    (json_string d.rule)
+    (json_string (severity_string d.severity))
+    (String.concat "," (List.map string_of_int d.components))
+    (String.concat "," (List.map json_string d.witness))
+    (json_string d.message)
+
+let list_to_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+let count_errors ds = List.length (List.filter is_error ds)

@@ -1,0 +1,27 @@
+(** Structured lint diagnostics: rule name, severity, involved
+    components, an optional ordered witness path, and a message — with
+    human and JSON renderers.  The JSON shape is the [hydra lint --json]
+    contract and is pinned by a test. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  components : int list;  (** component indices involved, ascending *)
+  witness : string list;  (** ordered path of component labels, may be empty *)
+  message : string;
+}
+
+val severity_string : severity -> string
+val is_error : t -> bool
+val to_string : t -> string
+
+val json_string : string -> string
+(** An RFC 8259-escaped, quoted JSON string literal. *)
+
+val to_json : t -> string
+(** [{"rule":…,"severity":…,"components":[…],"witness":[…],"message":…}] *)
+
+val list_to_json : t list -> string
+val count_errors : t list -> int

@@ -1,0 +1,28 @@
+(** Netlist lint: a registry of static rules grounded in the paper's
+    synchronous model.  [Error] severity marks netlists the engines must
+    not trust (malformed structure, combinational cycles, a blown timing
+    budget); [Warning] marks model-hygiene findings.
+
+    Rules: [comb-cycle] (ordered witness cycle), [floating-input],
+    [dead-logic], [const-gate] and [const-dff] (ternary abstract
+    evaluation), [uninit-state] (X-propagation from power-up),
+    [fanout-hotspot], and [path-budget] (only when a budget is
+    configured).  A malformed netlist short-circuits to a single
+    [invalid-netlist] error. *)
+
+type config = {
+  fanout_threshold : int;  (** hotspot rule: warn above this fanout (64) *)
+  path_budget : int option;
+      (** error when the critical path exceeds it (default [None]: off) *)
+  xsim_cycles : int;  (** cycles of X-propagation for uninit-state (4) *)
+}
+
+val default_config : config
+
+val rule_names : (string * string) list
+(** Registry contents: rule name and one-line description, in report
+    order. *)
+
+val run : ?config:config -> Hydra_netlist.Netlist.t -> Diagnostic.t list
+(** Run every rule; never raises on malformed input (reports
+    [invalid-netlist] instead). *)

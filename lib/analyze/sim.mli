@@ -1,0 +1,30 @@
+(** Reference netlist evaluators for the analyses: a ternary (0/1/X)
+    abstract evaluator for the lint rules, and a deliberately simple
+    packed 62-lane concrete simulator that {!Certify} uses as the
+    independent oracle when validating transforms — it shares no code
+    with the compiled engines, so a bug in their optimizer or re-layout
+    passes cannot hide in the checker. *)
+
+val ternary_values :
+  ?inputs:Hydra_core.Ternary.t ->
+  ?respect_init:bool ->
+  ?cycles:int ->
+  Hydra_netlist.Netlist.t ->
+  Hydra_core.Ternary.t array
+(** Settled per-component values after [cycles] clock ticks (default 0:
+    the first settle), every input port held at [inputs] (default X) and
+    flip flops powered up at X unless [respect_init] (default false).
+    Components on combinational cycles read X. *)
+
+type packed
+
+val packed_create : Hydra_netlist.Netlist.t -> packed
+(** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
+    circuit. *)
+
+val packed_reset : packed -> unit
+val packed_set_input : packed -> string -> int -> unit
+val packed_settle : packed -> unit
+val packed_tick : packed -> unit
+val packed_output : packed -> string -> int
+val packed_outputs : packed -> (string * int) list

@@ -34,10 +34,20 @@ let setv t i b = Bytes.unsafe_set t.values i (if b then '\001' else '\000')
 
 (* [?optimize] runs the {!Hydra_netlist.Optimize} pre-pass (constant
    folding, dedup, dead elimination) before compilation: fewer components
-   to evaluate per cycle, identical port-level behaviour. *)
-let create ?(optimize = false) netlist =
+   to evaluate per cycle, identical port-level behaviour.  [?certify]
+   translation-validates that pre-pass run ({!Hydra_analyze.Certify}):
+   structural invariants plus packed-random I/O equivalence against the
+   unoptimized netlist on an independent reference simulator. *)
+let create ?(optimize = false) ?(certify = false) netlist =
   let netlist =
-    if optimize then Hydra_netlist.Optimize.optimize netlist else netlist
+    if optimize then begin
+      let post = Hydra_netlist.Optimize.optimize netlist in
+      if certify then
+        Hydra_analyze.Certify.(
+          ensure (check ~transform:"Optimize.optimize" ~pre:netlist ~post ()));
+      post
+    end
+    else netlist
   in
   let levels = Levelize.check netlist in
   let n = Netlist.size netlist in

@@ -235,11 +235,34 @@ let apply_initial t =
    back to back never share a line across domains. *)
 let pad = 8
 
-let create ?(optimize = false) ?(relayout = true) ?(fuse = true) netlist =
+let create ?(optimize = false) ?(relayout = true) ?(fuse = true)
+    ?(certify = false) netlist =
+  (* [?certify] translation-validates each pre-pass run
+     ({!Hydra_analyze.Certify}): packed-random I/O equivalence for the
+     optimizer's rewrites, a complete permutation proof for the
+     re-layout. *)
   let netlist =
-    if optimize then Hydra_netlist.Optimize.optimize netlist else netlist
+    if optimize then begin
+      let post = Hydra_netlist.Optimize.optimize netlist in
+      if certify then
+        Hydra_analyze.Certify.(
+          ensure (check ~transform:"Optimize.optimize" ~pre:netlist ~post ()));
+      post
+    end
+    else netlist
   in
-  let netlist = if relayout then Layout.rank_major netlist else netlist in
+  let netlist =
+    if relayout then begin
+      let post, perm = Layout.rank_major_permutation netlist in
+      if certify then
+        Hydra_analyze.Certify.(
+          ensure
+            (check_permutation ~transform:"Layout.rank_major" ~pre:netlist
+               ~post ~perm));
+      post
+    end
+    else netlist
+  in
   let levels = Levelize.check netlist in
   let n = Netlist.size netlist in
   let fusion, consumed =

@@ -15,14 +15,18 @@ val lanes : int
 val lane_mask : int
 
 val create : ?optimize:bool -> ?relayout:bool -> ?fuse:bool ->
-  Hydra_netlist.Netlist.t -> t
+  ?certify:bool -> Hydra_netlist.Netlist.t -> t
 (** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
     circuit.  [~optimize:true] (default false) runs the
     {!Hydra_netlist.Optimize} pre-pass before compilation.
     [~relayout] (default true) applies the
     {!Hydra_netlist.Layout.rank_major} memory re-layout.  [~fuse]
     (default true) absorbs fanout-1 inner gates into fused and-or /
-    or-and / xor-chain kernels. *)
+    or-and / xor-chain kernels.  [~certify:true] (default false)
+    translation-validates each pre-pass run with
+    {!Hydra_analyze.Certify} — packed-random I/O equivalence for the
+    optimizer, a complete permutation proof for the re-layout — and
+    raises {!Hydra_analyze.Certify.Certification_failed} on a lie. *)
 
 val replicate : t -> t
 (** A fresh engine over the same compiled circuit: shares the immutable

@@ -41,14 +41,14 @@ type t = {
 
 let lanes = W.lanes
 
-let create ?(optimize = false) ?(relayout = true) ?(fuse = true) ?domains
-    ?pool netlist =
+let create ?(optimize = false) ?(relayout = true) ?(fuse = true)
+    ?(certify = false) ?domains ?pool netlist =
   let pool, owns_pool =
     match pool with
     | Some p -> (p, false)
     | None -> (Pool.create ?domains (), true)
   in
-  let base = W.create ~optimize ~relayout ~fuse netlist in
+  let base = W.create ~optimize ~relayout ~fuse ~certify netlist in
   let replicas =
     Array.init (Pool.size pool) (fun i ->
         if i = 0 then base else W.replicate base)

@@ -18,12 +18,15 @@ val create :
   ?optimize:bool ->
   ?relayout:bool ->
   ?fuse:bool ->
+  ?certify:bool ->
   ?domains:int ->
   ?pool:Hydra_parallel.Pool.t ->
   Hydra_netlist.Netlist.t ->
   t
 (** Compile once, replicate per pool member.  [?optimize] / [?relayout] /
-    [?fuse] as in {!Compiled_wide.create}.  [?pool] shares an existing
+    [?fuse] / [?certify] as in {!Compiled_wide.create} (the base engine
+    is compiled — and its pre-passes certified — once; replicas share
+    it).  [?pool] shares an existing
     pool (not shut down by {!shutdown}); otherwise a pool of [?domains]
     (default {!Hydra_parallel.Pool.default_domains}) is created and
     owned. *)

@@ -60,10 +60,19 @@ let compute (nl : Netlist.t) =
           if remaining.(sink) = 0 then Queue.add sink queue)
       fanout.(i)
   done;
+  (* Unleveled = never fully scheduled (a cycle member, or downstream of
+     one).  Cannot be read off [levels] alone: the eager max-update above
+     gives a cycle member with one acyclic driver a tentative level even
+     though it never entered the queue — reset those to -1.  Sorted
+     ascending so cycle reports are stable across runs and engines. *)
   let cyclic = ref [] in
   for i = n - 1 downto 0 do
-    if levels.(i) < 0 then cyclic := i :: !cyclic
+    if (not (is_source i)) && remaining.(i) > 0 then begin
+      levels.(i) <- -1;
+      cyclic := i :: !cyclic
+    end
   done;
+  let cyclic = ref (List.sort_uniq compare !cyclic) in
   (* Critical path: deepest signal that must settle before the next tick —
      at an output port or at a dff input. *)
   let critical = ref 0 in
@@ -87,6 +96,52 @@ let compute (nl : Netlist.t) =
     Array.map (fun l -> Array.of_list (List.rev l)) buckets
   in
   { levels; order; by_level; critical_path = !critical; cyclic = !cyclic }
+
+(* An ordered witness for the cycle report: walk driver edges inside the
+   unleveled set (every unleveled component has at least one unleveled
+   driver, or it would have been leveled) until a component repeats; the
+   slice between the two visits is a concrete directed combinational
+   cycle.  Choosing the smallest unleveled index at every step makes the
+   witness deterministic; the result is rotated to start at its smallest
+   member and listed in driver -> sink order, so each element drives the
+   next and the last drives the first. *)
+let cycle_witness (nl : Netlist.t) t =
+  match t.cyclic with
+  | [] -> None
+  | start :: _ ->
+    let pos : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let path = ref [] in
+    let rec walk i k =
+      match Hashtbl.find_opt pos i with
+      | Some p ->
+        List.filter (fun j -> Hashtbl.find pos j >= p) (List.rev !path)
+      | None ->
+        Hashtbl.add pos i k;
+        path := i :: !path;
+        let next = ref (-1) in
+        Array.iter
+          (fun d ->
+            if t.levels.(d) < 0 && (!next = -1 || d < !next) then next := d)
+          nl.Netlist.fanin.(i);
+        assert (!next >= 0);
+        walk !next (k + 1)
+    in
+    (* the walk follows fanin (sink -> driver); reverse for driver -> sink *)
+    let cyc = List.rev (walk start 0) in
+    (* rotate to start at the smallest member *)
+    let m = List.fold_left min max_int cyc in
+    let rec rotate = function
+      | x :: rest when x <> m -> rotate (rest @ [ x ])
+      | l -> l
+    in
+    Some (rotate cyc)
+
+let describe_cycle (nl : Netlist.t) cyc =
+  match cyc with
+  | [] -> "(no cycle)"
+  | first :: _ ->
+    String.concat " -> "
+      (List.map (Netlist.describe nl) cyc @ [ Netlist.describe nl first ])
 
 let check nl =
   let t = compute nl in

@@ -14,12 +14,24 @@ type t = {
   critical_path : int;
       (** deepest signal that must settle before the next tick (at an
           output port or a dff input) *)
-  cyclic : int list;  (** components on combinational cycles *)
+  cyclic : int list;
+      (** components on combinational cycles, sorted ascending
+          (deterministic) *)
 }
 
 exception Combinational_cycle of int list
 
 val compute : Netlist.t -> t
+
+val cycle_witness : Netlist.t -> t -> int list option
+(** A concrete directed combinational cycle, when {!cyclic} is non-empty:
+    an ordered component path in driver -> sink order (each element
+    drives the next; the last drives the first), deterministic, rotated
+    to start at its smallest member. *)
+
+val describe_cycle : Netlist.t -> int list -> string
+(** Render a witness path with component names:
+    ["and2#3(q) -> inv#4 -> and2#3(q)"]. *)
 
 val check : Netlist.t -> t
 (** As {!compute}, but raises {!Combinational_cycle} when the netlist has

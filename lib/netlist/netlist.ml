@@ -127,6 +127,81 @@ let extract ~inputs ~outputs =
     outputs = out_entries;
   }
 
+(* Validation ----------------------------------------------------------- *)
+
+(* Structural well-formedness: every fanin table matches its component's
+   arity, every index is in bounds, nothing is driven by an outport, and
+   the port lists point at the right components.  The engines index
+   arrays with these numbers unchecked, so a corrupt netlist (a
+   hand-edited file, a buggy transform) must be caught here, with a
+   message, rather than later as an array bound violation. *)
+let validate t =
+  let n = Array.length t.components in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  try
+    if Array.length t.fanin <> n then
+      bad "fanin table has %d entries for %d components"
+        (Array.length t.fanin) n;
+    if Array.length t.names <> n then
+      bad "names table has %d entries for %d components"
+        (Array.length t.names) n;
+    Array.iteri
+      (fun i comp ->
+        let fi = t.fanin.(i) in
+        let arity = input_arity comp in
+        if Array.length fi <> arity then
+          bad "component %d (%s): %d fanin entries but arity %d" i
+            (component_name comp) (Array.length fi) arity;
+        Array.iteri
+          (fun port d ->
+            if d < 0 || d >= n then
+              bad "component %d (%s) port %d: dangling fanin index %d \
+                   (valid range 0..%d)"
+                i (component_name comp) port d (n - 1)
+            else
+              match t.components.(d) with
+              | Outport s ->
+                bad "component %d (%s) port %d is driven by outport:%s" i
+                  (component_name comp) port s
+              | _ -> ())
+          fi)
+      t.components;
+    List.iter
+      (fun (s, i) ->
+        if i < 0 || i >= n then
+          bad "input port %S: component index %d out of bounds" s i
+        else
+          match t.components.(i) with
+          | Inport s' when s' = s -> ()
+          | c ->
+            bad "input port %S: component %d is %s, not inport:%s" s i
+              (component_name c) s)
+      t.inputs;
+    List.iter
+      (fun (s, i) ->
+        if i < 0 || i >= n then
+          bad "output port %S: component index %d out of bounds" s i
+        else
+          match t.components.(i) with
+          | Outport s' when s' = s -> ()
+          | c ->
+            bad "output port %S: component %d is %s, not outport:%s" s i
+              (component_name c) s)
+      t.outputs;
+    Ok ()
+  with Bad m -> Error m
+
+(* A human label for diagnostics: kind, index, and the first attached
+   [Graph.label] names when present. *)
+let describe t i =
+  let base =
+    Printf.sprintf "%s#%d" (component_name t.components.(i)) i
+  in
+  match t.names.(i) with
+  | [] -> base
+  | nms -> Printf.sprintf "%s(%s)" base (String.concat "," nms)
+
 (* Statistics ----------------------------------------------------------- *)
 
 type stats = {

@@ -38,6 +38,17 @@ val extract : inputs:Hydra_core.Graph.t list -> outputs:(string * Hydra_core.Gra
 val of_graph : outputs:(string * Hydra_core.Graph.t) list -> t
 (** [extract ~inputs:[]]. *)
 
+val validate : t -> (unit, string) result
+(** Structural well-formedness: fanin arity matches {!input_arity}, every
+    fanin index is in bounds and not an outport, and the input/output
+    port lists refer to [Inport]/[Outport] components with the same name.
+    The engines index arrays with these numbers unchecked, so corrupt
+    netlists must fail here with a message, not later out of bounds. *)
+
+val describe : t -> int -> string
+(** Human label for diagnostics: ["and2#5(carry)"] — kind, index, and
+    attached labels when present. *)
+
 type stats = {
   gates : int;
   dffs : int;

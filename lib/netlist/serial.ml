@@ -121,13 +121,21 @@ let of_string text =
       | Netlist.Outport s -> outputs := (s, i) :: !outputs
       | _ -> ())
     components;
-  {
-    Netlist.components;
-    fanin;
-    names = names_arr;
-    inputs = List.rev !inputs;
-    outputs = List.rev !outputs;
-  }
+  let nl =
+    {
+      Netlist.components;
+      fanin;
+      names = names_arr;
+      inputs = List.rev !inputs;
+      outputs = List.rev !outputs;
+    }
+  in
+  (* Corrupt files must fail here with a message, not later as an array
+     bound violation inside an engine. *)
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error m -> parse_error 0 "invalid netlist: %s" m);
+  nl
 
 let to_file nl path =
   let oc = open_out path in

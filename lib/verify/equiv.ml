@@ -163,6 +163,18 @@ let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed)
   let module W = Hydra_engine.Compiled_wide in
   let module Sh = Hydra_engine.Sharded in
   let module P = Hydra_core.Packed in
+  (* Certify the inputs before simulating them, so a falsified run means
+     "the engines disagree" and never "the generator emitted a malformed
+     netlist that the engines mis-indexed". *)
+  List.iter
+    (fun (which, nl) ->
+      match Hydra_analyze.Certify.validate nl with
+      | Ok () -> ()
+      | Error reason ->
+        invalid_arg
+          (Printf.sprintf "Equiv.wide_random_netlists: invalid netlist %s (%s)"
+             which reason))
+    [ ("nl1", nl1); ("nl2", nl2) ];
   let in_names = List.map fst nl1.Netlist.inputs in
   if List.sort compare in_names <> List.sort compare (List.map fst nl2.Netlist.inputs)
   then invalid_arg "Equiv.wide_random_netlists: input ports differ";

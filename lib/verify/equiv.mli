@@ -82,7 +82,13 @@ val wide_random_netlists :
     pair of engine replicas; every pass seeds its own RNG from
     ([seed], pass index), so the stimulus — and the reported mismatch,
     always the lowest-index failing pass — is the same at any domain
-    count. *)
+    count.
+
+    Both netlists are validated ({!Hydra_analyze.Certify.validate})
+    before any engine touches them; a malformed one raises
+    [Invalid_argument] naming the defect, so a [Seq_mismatch] always
+    means the engines genuinely disagree and never that a generator
+    emitted a corrupt netlist. *)
 
 val seq_equivalent : seq_result -> bool
 

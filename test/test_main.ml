@@ -27,5 +27,6 @@ let () =
       ("more", Test_more.suite);
       ("gaps", Test_gaps.suite);
       ("transform", Test_transform.suite);
+      ("analyze", Test_analyze.suite);
       ("cache", Test_cache.suite);
     ]
