@@ -1,6 +1,6 @@
 (* Benchmark and reproduction harness.
 
-   One section per experiment in DESIGN.md's index (E1..E21): the paper is
+   One section per experiment in DESIGN.md's index (E1..E23): the paper is
    an overview without numeric tables, so the reproducible artifacts are
    its figures, inline code/outputs and quantitative claims.  Each section
    regenerates one of them; timing sections use Bechamel (OLS over the
@@ -1036,6 +1036,119 @@ let e21 ?(min_time = 0.2) () =
         rate all_halted)
     domain_counts
 
+(* E23 ------------------------------------------------------------------ *)
+
+(* Lane-parallel fault campaigns: `Campaign.run` grades up to 61 faults
+   per wide pass through per-lane force masks (lane 0 golden), vs the
+   historic loop that rewrites the netlist and recompiles an engine once
+   per fault.  Both graders run the identical task — stuck-at faults
+   against the same test vectors — so faults/s is directly comparable;
+   the recompile baseline is timed on a small fault subset and scaled to
+   per-fault cost (running it over all of wallace64's faults would take
+   minutes). *)
+let e23 ?(min_time = 0.2) () =
+  section "E23" "fault campaigns: lane-parallel grading vs recompile loop";
+  let module C = Hydra_verify.Campaign in
+  let module Fault = Hydra_verify.Fault in
+  let module Sharded = Hydra_engine.Sharded in
+  let nl = wallace_netlist 64 in
+  let st = N.stats nl in
+  let faults = C.all_stuck_at nl in
+  let nfaults = List.length faults in
+  let nvectors = 8 in
+  let vectors =
+    Fault.random_vectors ~seed:11 ~inputs:(List.length nl.N.inputs) nvectors
+  in
+  let stimulus, cycles = C.stimulus_of_vectors nl vectors in
+  row "  wallace64: %d components, %d stuck-at faults, %d test vectors\n"
+    st.N.total nfaults nvectors;
+  let sh = Sharded.create ~optimize:false ~relayout:false ~fuse:false nl in
+  let report = ref None in
+  let t_campaign =
+    time_per_run ~min_time (fun () ->
+        report := Some (C.run ~sharded:sh nl ~faults ~stimulus ~cycles))
+  in
+  let sh_domains = Sharded.domains sh in
+  Sharded.shutdown sh;
+  let r = Option.get !report in
+  row "  campaign verdicts: %d detected, %d latent, %d masked (%.1f%% coverage)\n"
+    r.C.detected r.C.latent r.C.masked
+    (100.0 *. C.coverage_ratio r);
+  let campaign_rate = float_of_int nfaults /. t_campaign in
+  record ~section:"campaign" ~lanes:Wide.lanes ~domains:sh_domains
+    ~name:"wallace64 stuck-at campaign" ~value:campaign_rate ~unit_:"faults/s"
+    ();
+  row "  %-36s %10.1f faults/s\n" "campaign (62-lane force masks)"
+    campaign_rate;
+  (* recompile baseline: inject (netlist rewrite) + fresh engine +
+     response per fault — exactly `Fault.coverage_recompile`'s per-fault
+     work — over an evenly spaced subset *)
+  let nsub = 8 in
+  let stride = max 1 (nfaults / nsub) in
+  let subset =
+    List.filteri (fun i _ -> i mod stride = 0 && i / stride < nsub) faults
+  in
+  let subset =
+    List.map
+      (function
+        | C.Stuck_at { site; value } -> { Fault.site; stuck = value }
+        | _ -> assert false)
+      subset
+  in
+  let nsub = List.length subset in
+  let t_baseline =
+    time_per_run ~min_time (fun () ->
+        List.iter
+          (fun f ->
+            let faulty = Fault.inject nl f in
+            ignore (Fault.response faulty ~vectors ~cycles_per_vector:1))
+          subset)
+  in
+  let baseline_rate = float_of_int nsub /. t_baseline in
+  record ~section:"campaign" ~name:"wallace64 recompile-loop baseline"
+    ~value:baseline_rate ~unit_:"faults/s" ();
+  row "  %-36s %10.1f faults/s  (timed on %d faults, scaled)\n"
+    "recompile loop (historic)" baseline_rate nsub;
+  let speedup = campaign_rate /. baseline_rate in
+  record ~section:"campaign" ~lanes:Wide.lanes
+    ~name:"wallace64 campaign vs recompile speedup" ~value:speedup ~unit_:"x"
+    ();
+  row "  campaign vs recompile speedup: %.1fx (acceptance floor: 20x)\n"
+    speedup;
+  (* the CPU system: SEUs in a sample of datapath/memory state bits while
+     the golden lane executes a machine-language program *)
+  let module Asm = Hydra_cpu.Asm in
+  let module Driver = Hydra_cpu.Driver in
+  let sys_nl = Driver.system_netlist ~mem_bits:6 () in
+  let program = Asm.assemble sum_loop_src in
+  let stim, sys_cycles =
+    Driver.program_stimulus ~mem_bits:6 ~max_cycles:400 program
+  in
+  let dffs = C.dff_sites sys_nl in
+  let nsample = 2 * (Wide.lanes - 1) in
+  let dstride = max 1 (List.length dffs / nsample) in
+  let sampled =
+    List.filteri (fun i _ -> i mod dstride = 0 && i / dstride < nsample) dffs
+  in
+  let at_cycle = List.length program + 10 in
+  let seus =
+    List.map (fun site -> C.Seu { site; at_cycle }) sampled
+  in
+  row "  cpu: %d of %d dffs upset at cycle %d over a %d-cycle sum-loop run\n"
+    (List.length sampled) (List.length dffs) at_cycle sys_cycles;
+  let cpu_report = ref None in
+  let t_cpu =
+    time_per_run ~min_time (fun () ->
+        cpu_report :=
+          Some (C.run sys_nl ~faults:seus ~stimulus:stim ~cycles:sys_cycles))
+  in
+  let cr = Option.get !cpu_report in
+  let cpu_rate = float_of_int cr.C.total /. t_cpu in
+  record ~section:"campaign" ~lanes:Wide.lanes ~name:"cpu seu sweep"
+    ~value:cpu_rate ~unit_:"faults/s" ();
+  row "  %-36s %10.1f faults/s  (%d detected, %d latent, %d masked)\n"
+    "cpu seu campaign" cpu_rate cr.C.detected cr.C.latent cr.C.masked
+
 (* Smoke mode ----------------------------------------------------------- *)
 
 (* A ~2 s subset run from `dune runtest` (alias bench-smoke): asserts the
@@ -1121,6 +1234,24 @@ let smoke () =
   record ~section:"smoke" ~name:"wide/scalar speedup per gate-eval"
     ~value:(t_scalar /. t_wide *. float_of_int Wide.lanes)
     ~unit_:"x" ~lanes:Wide.lanes ();
+  (* fault campaign sanity: a whole stuck-at campaign on an 8-bit wallace
+     multiplier must classify every fault and detect most of them *)
+  let module C = Hydra_verify.Campaign in
+  let nl8 = wallace_netlist 8 in
+  let faults = C.all_stuck_at nl8 in
+  let stimulus = C.random_stimulus ~seed:3 ~cycles:6 nl8 in
+  let t0 = Unix.gettimeofday () in
+  let rep = C.run nl8 ~faults ~stimulus ~cycles:6 in
+  let t_camp = Unix.gettimeofday () -. t0 in
+  if rep.C.total <> rep.C.detected + rep.C.latent + rep.C.masked then
+    failwith "smoke: campaign verdicts do not partition the fault list";
+  if rep.C.detected = 0 then
+    failwith "smoke: campaign detected no stuck-at faults";
+  Printf.printf "  fault campaign: %d/%d stuck-at faults detected: ok\n"
+    rep.C.detected rep.C.total;
+  record ~section:"smoke" ~name:"campaign stuck-at faults/s (wallace8)"
+    ~value:(float_of_int rep.C.total /. t_camp)
+    ~unit_:"faults/s" ~lanes:Wide.lanes ();
   record ~section:"smoke" ~name:"host recommended domains"
     ~value:(float_of_int (Domain.recommended_domain_count ()))
     ~unit_:"domains" ();
@@ -1134,7 +1265,7 @@ let sections : (string * (unit -> unit)) list =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", (fun () -> e20 ()));
-    ("E21", (fun () -> e21 ()));
+    ("E21", (fun () -> e21 ())); ("E23", (fun () -> e23 ()));
   ]
 
 let usage () =

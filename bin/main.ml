@@ -6,11 +6,12 @@
      run      assemble and execute a program on the gate-level processor
      netlist  emit a named circuit's netlist (paper tuple, dot, verilog)
      timing   static timing/size report for a named circuit
+     faults   fault-injection campaigns (stuck-at, SEU, intermittent)
      algo     print the processor's control algorithm (paper section 6.2)
 
-   Named circuits for netlist/timing: fig1, mux1, regfile1:<k>,
+   Named circuits for netlist/timing/faults: fig1, mux1, regfile1:<k>,
    ripple:<n>, cla-sklansky:<n>, cla-brent-kung:<n>, cla-kogge-stone:<n>,
-   alu:<n>, sorter:<n>x<w>, cpu:<mem_bits>. *)
+   alu:<n>, sorter:<n>x<w>, secded, cpu:<mem_bits>. *)
 
 open Cmdliner
 
@@ -107,6 +108,18 @@ let circuit_of_name name =
                   (fun j b -> (Printf.sprintf "o%d_%d" i j, b))
                   word)
               sorted))
+  | "secded" ->
+    (* SECDED-protected 4-bit register next to an unprotected copy: the
+       fault-campaign graceful-degradation demo *)
+    let module E = Hydra_circuits.Ecc.Protected (G) in
+    let data = inputs "d" 4 in
+    let dec, single, double = E.secded_reg data in
+    let plain = E.plain_pipeline data in
+    N.of_graph
+      ~outputs:
+        (List.mapi (fun i s -> (Printf.sprintf "p%d" i, s)) dec
+        @ [ ("single", single); ("double", double) ]
+        @ List.mapi (fun i s -> (Printf.sprintf "u%d" i, s)) plain)
   | "cpu" ->
     let mem_bits = p 6 in
     let module Sys_g = Hydra_cpu.System.Make (G) in
@@ -133,7 +146,7 @@ let circuit_of_name name =
     failwith
       (Printf.sprintf
          "unknown circuit %S (try fig1, mux1, ripple:8, cla-sklansky:16, \
-          alu:16, regfile1:4, sorter:4x4, cpu:6)"
+          alu:16, regfile1:4, sorter:4x4, secded, cpu:6)"
          name)
 
 (* ---- asm ---- *)
@@ -247,47 +260,184 @@ let netlist_cmd =
   Cmd.v (Cmd.info "netlist" ~doc:"Emit the netlist of a named circuit")
     Term.(const run $ circuit_arg $ format $ optimize)
 
-(* ---- fault ---- *)
-
-let fault_cmd =
-  let circuit_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT")
-  in
-  let vectors =
-    Arg.(value & opt int 32 & info [ "vectors"; "n" ] ~doc:"random test vectors")
-  in
-  let run name n =
-    let nl = circuit_of_name name in
-    let module Fault = Hydra_verify.Fault in
-    let inputs = List.length nl.N.inputs in
-    let vectors = Fault.random_vectors ~seed:7 ~inputs n in
-    let cov = Fault.coverage nl ~vectors in
-    Printf.printf "%d stuck-at faults, %d vectors: %.1f%% coverage\n"
-      cov.Fault.total n
-      (100.0 *. Fault.ratio cov);
-    List.iteri
-      (fun i f ->
-        if i < 10 then
-          Printf.printf "  undetected: %s\n" (Fault.fault_name nl f))
-      cov.Fault.undetected
-  in
-  Cmd.v
-    (Cmd.info "fault"
-       ~doc:"Stuck-at fault coverage of a named circuit under random vectors")
-    Term.(const run $ circuit_arg $ vectors)
-
-(* ---- lint ---- *)
-
-(* The named-circuit catalogue `lint --all` sweeps: every circuit family
-   the CLI knows, at the sizes CI pins (fig1 … cpu:8), plus the sizes the
-   examples exercise (ripple:12 / cla-sklansky:12 are timing_glitch's
-   adders). *)
+(* The named-circuit catalogue `lint --all` and `faults --all` sweep:
+   every circuit family the CLI knows, at the sizes CI pins (fig1 …
+   cpu:8), plus the sizes the examples exercise (ripple:12 /
+   cla-sklansky:12 are timing_glitch's adders). *)
 let lint_catalogue =
   [
     "fig1"; "mux1"; "ripple:8"; "ripple:12"; "cla-sklansky:8";
     "cla-sklansky:12"; "cla-brent-kung:8"; "cla-kogge-stone:8"; "alu:16";
-    "regfile1:4"; "sorter:4x4"; "cpu:6"; "cpu:8";
+    "regfile1:4"; "sorter:4x4"; "secded"; "cpu:6"; "cpu:8";
   ]
+
+(* ---- faults ---- *)
+
+(* Load a target the way lint does: a saved netlist file if the path
+   exists, a named catalogue circuit otherwise. *)
+let load_target ~cmd target =
+  try
+    if Sys.file_exists target then Hydra_netlist.Serial.of_file target
+    else circuit_of_name target
+  with
+  | Hydra_netlist.Serial.Parse_error { line; message } ->
+    Printf.eprintf "%s: %s: parse error at line %d: %s\n" cmd target line
+      message;
+    exit 1
+  | Failure m ->
+    Printf.eprintf "%s: %s: %s\n" cmd target m;
+    exit 1
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let faults_cmd =
+  let module C = Hydra_verify.Campaign in
+  let targets =
+    Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT|FILE")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"campaign the whole named-circuit catalogue")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "quick catalogue sweep (the CI job): every fault model, at \
+             most 61 faults and 16 cycles per circuit")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit machine-readable JSON")
+  in
+  let model =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("stuck", `Stuck); ("seu", `Seu);
+               ("intermittent", `Intermittent); ("all", `All) ])
+          `Stuck
+      & info [ "model" ] ~doc:"fault model: stuck, seu, intermittent, all")
+  in
+  let cycles =
+    Arg.(value & opt int 32 & info [ "cycles" ] ~doc:"random-stimulus cycles")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~doc:"stimulus and intermittent-coin seed")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~doc:"intermittent per-cycle flip probability")
+  in
+  let at =
+    Arg.(value & opt int 0 & info [ "at" ] ~doc:"SEU injection cycle")
+  in
+  let max_faults =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-faults" ] ~doc:"truncate the fault list")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~doc:"domains for chunked campaigns")
+  in
+  let status =
+    Arg.(
+      value & opt_all string []
+      & info [ "status" ]
+          ~doc:
+            "output excluded from the divergence comparison and sampled \
+             as a per-fault status flag (repeatable; e.g. --status single)")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print every verdict")
+  in
+  let run targets all smoke json model cycles seed rate at max_faults domains
+      status verbose =
+    let targets = (if all || smoke then lint_catalogue else []) @ targets in
+    if targets = [] then begin
+      prerr_endline
+        "faults: no targets (name circuits/files, or use --all / --smoke)";
+      exit 2
+    end;
+    let model = if smoke then `All else model in
+    let cycles = if smoke then 16 else cycles in
+    let max_faults = if smoke then Some 61 else max_faults in
+    let json_blocks =
+      List.map
+        (fun target ->
+          let nl = load_target ~cmd:"faults" target in
+          let sites () =
+            List.sort_uniq compare (List.map C.site_of (C.all_stuck_at nl))
+          in
+          let faults_of = function
+            | `Stuck -> C.all_stuck_at nl
+            | `Seu -> C.all_seu ~at_cycle:at nl
+            | `Intermittent ->
+              List.map (fun site -> C.Intermittent { site; rate; seed })
+                (sites ())
+          in
+          let faults =
+            match model with
+            | `All -> faults_of `Stuck @ faults_of `Seu @ faults_of `Intermittent
+            | (`Stuck | `Seu | `Intermittent) as m -> faults_of m
+          in
+          let total = List.length faults in
+          let faults =
+            match max_faults with
+            | Some n when total > n -> take n faults
+            | _ -> faults
+          in
+          let truncated = List.length faults < total in
+          let stimulus = C.random_stimulus ~seed ~cycles nl in
+          let report =
+            C.run ?domains ~status_outputs:status nl ~faults ~stimulus ~cycles
+          in
+          if json then
+            Printf.sprintf "{\"target\":%s,\"components\":%d,\"report\":%s}"
+              (Hydra_analyze.Diagnostic.json_string target)
+              (N.size nl) (C.to_json report)
+          else begin
+            Printf.printf "== %s (%d components) ==\n" target (N.size nl);
+            if truncated then
+              Printf.printf "  (fault list truncated to %d of %d)\n"
+                report.C.total total;
+            Printf.printf "  %s\n" (C.summary_string report);
+            (match C.mean_latency report with
+            | Some l ->
+              Printf.printf "  mean detection latency: %.2f cycles\n" l
+            | None -> ());
+            if verbose then
+              List.iter
+                (fun v -> Printf.printf "    %s\n" (C.verdict_to_string v))
+                report.C.verdicts;
+            ""
+          end)
+        targets
+    in
+    if json then
+      Printf.printf "{\"version\":1,\"results\":[%s]}\n"
+        (String.concat "," json_blocks)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-injection campaigns (stuck-at, SEU, intermittent) on named \
+          circuits or saved netlist files: every fault classified \
+          detected/latent/masked against a golden lane")
+    Term.(
+      const run $ targets $ all $ smoke $ json $ model $ cycles $ seed $ rate
+      $ at $ max_faults $ domains $ status $ verbose)
+
+(* ---- lint ---- *)
 
 let lint_cmd =
   let module D = Hydra_analyze.Diagnostic in
@@ -487,4 +637,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ asm_cmd; dis_cmd; run_cmd; netlist_cmd; lint_cmd; timing_cmd;
-            fault_cmd; sim_cmd; algo_cmd ]))
+            faults_cmd; sim_cmd; algo_cmd ]))

@@ -66,3 +66,14 @@ module Make (S : Hydra_core.Signal_intf.COMB) = struct
       (data, single, double)
     | _ -> invalid_arg "Ecc.decode_secded: need 8 code bits"
 end
+
+(* The graceful-degradation demo datapath (the fault-campaign showcase):
+   the same 4-bit value registered two ways — through a SECDED codeword
+   register whose decoder corrects any single upset, and through a bare
+   two-stage pipeline with nothing to catch one. *)
+module Protected (S : Hydra_core.Signal_intf.CLOCKED) = struct
+  module E = Make (S)
+
+  let secded_reg data = E.decode_secded (List.map S.dff (E.encode_secded data))
+  let plain_pipeline data = List.map (fun d -> S.dff (S.dff d)) data
+end

@@ -15,3 +15,19 @@ module Make (S : Hydra_core.Signal_intf.COMB) : sig
   val decode_secded : S.t list -> S.t list * S.t * S.t
   (** [(data, single_error_corrected, double_error_detected)]. *)
 end
+
+(** The graceful-degradation demo datapath (fault-campaign showcase):
+    the same 4-bit value registered through a SECDED-protected codeword
+    register and through a bare pipeline, so single-bit upsets are
+    corrected on one path and propagate on the other. *)
+module Protected (S : Hydra_core.Signal_intf.CLOCKED) : sig
+  val secded_reg : S.t list -> S.t list * S.t * S.t
+  (** Encode 4 data bits, register the 8-bit codeword, decode:
+      [(data, single, double)].  A one-cycle upset in the codeword
+      register is corrected combinationally and overwritten at the next
+      clock edge. *)
+
+  val plain_pipeline : S.t list -> S.t list
+  (** The same value through two raw registers per bit: upsets in either
+      stage reach the outputs uncorrected. *)
+end

@@ -238,6 +238,28 @@ let system_netlist ?(mem_bits = 6) () =
            (fun i s -> (Printf.sprintf "pc%d" i, s))
            outs.SysG.dp.SysG.D.pc)
 
+(* The [run_structural] input schedule for one program as per-port bool
+   streams over {!system_netlist}'s ports — the stimulus format of
+   cycle-driven consumers like [Hydra_verify.Campaign]: DMA load at
+   addresses 0.., a start pulse at t = program length, then free running
+   for [max_cycles] more cycles. *)
+let program_stimulus ?(mem_bits = 6) ?(max_cycles = 2000) program =
+  let prog = Array.of_list program in
+  let len = Array.length prog in
+  if len > 1 lsl mem_bits then
+    invalid_arg "Driver.program_stimulus: program does not fit in memory";
+  let cycles = len + max_cycles in
+  let stream f = List.init cycles f in
+  let bit_of w i = List.nth (word_of_int w) i in
+  ( ("start", stream (fun t -> t = len))
+    :: ("dma", stream (fun t -> t < len))
+    :: (List.init Isa.word_size (fun i ->
+            (Printf.sprintf "da%d" i, stream (fun t -> t < len && bit_of t i)))
+       @ List.init Isa.word_size (fun i ->
+             (Printf.sprintf "dd%d" i,
+              stream (fun t -> t < len && bit_of prog.(t) i)))),
+    cycles )
+
 type batch_result = { halted : bool; cycles : int; pc : int }
 
 let run_many ?(mem_bits = 6) ?(max_cycles = 2000) ?sharded ?domains programs =

@@ -59,6 +59,20 @@ val system_netlist : ?mem_bits:int -> unit -> Hydra_netlist.Netlist.t
     default 6) extracted as a netlist: inputs [start], [dma],
     [da0..da15], [dd0..dd15]; outputs [halted] and [pc0..pc15]. *)
 
+val program_stimulus :
+  ?mem_bits:int ->
+  ?max_cycles:int ->
+  int list ->
+  (string * bool list) list * int
+(** The {!run_structural} input schedule for one program, rendered as
+    per-port bool streams over {!system_netlist}'s input ports (plus the
+    total cycle count) — the stimulus format of cycle-driven consumers
+    like [Hydra_verify.Campaign]: DMA load at addresses 0.., a start
+    pulse at t = program length, then free running for [max_cycles]
+    (default 2000) further cycles.  On a fault-free lane, [halted] first
+    asserts at cycle [r.cycles + length program] where [r] is
+    {!run_structural}'s result. *)
+
 type batch_result = {
   halted : bool;
   cycles : int;  (** clock cycles from the start pulse to halt *)

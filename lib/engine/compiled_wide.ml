@@ -82,6 +82,19 @@ type kernel = {
   out_src : int array;
 }
 
+(* A per-lane value override applied at one component's kernel output
+   during [settle] (fault injection, see {!Hydra_verify.Campaign}): lanes
+   set in [force0] are driven to 0, lanes in [force1] to 1, lanes in
+   [flip] are inverted, in that order.  The words are mutable so a
+   campaign can re-seed per-cycle (intermittent) faults without
+   re-registering. *)
+type force = {
+  f_site : int;
+  mutable force0 : int;
+  mutable force1 : int;
+  mutable flip : int;
+}
+
 type t = {
   netlist : Netlist.t;
       (* the netlist actually compiled (post-optimize, post-relayout) *)
@@ -97,6 +110,9 @@ type t = {
   input_index : (string, int) Hashtbl.t;
   output_index : (string, int) Hashtbl.t;
   mutable cycle : int;
+  mutable force_slots : force array array;
+      (* slot 0 applies before rank 0, slot [l + 1] after rank [l]'s
+         kernels; [[||]] when no forces are registered (the hot path) *)
 }
 
 (* How the outer gate at [dst] absorbs a fanout-1 inner gate. *)
@@ -309,6 +325,7 @@ let create ?(optimize = false) ?(relayout = true) ?(fuse = true)
       input_index;
       output_index;
       cycle = 0;
+      force_slots = [||];
     }
   in
   apply_initial t;
@@ -324,6 +341,7 @@ let replicate t =
       values = Array.make (Array.length t.values) 0;
       dff_next = Array.make (Array.length t.dff_next) 0;
       cycle = 0;
+      force_slots = [||];  (* replicas start unforced *)
     }
   in
   apply_initial r;
@@ -346,10 +364,50 @@ let set_input_lane t name lane b =
   | Some i -> t.values.(i) <- Packed.set_lane t.values.(i) lane b
   | None -> invalid_arg ("Compiled_wide.set_input_lane: unknown input " ^ name)
 
+(* Group forces by the rank at which the forced value must exist so that
+   every consumer — which is always at a strictly higher rank — reads the
+   overridden word: gates and outports right after their own rank's
+   kernels, inputs/dffs/constants before rank 0.  Fused engines are
+   rejected because a consumed inner gate's word is never materialized,
+   so a force on (or through) it would be silently lost. *)
+let set_forces t forces =
+  if t.fused > 0 then
+    invalid_arg "Compiled_wide.set_forces: requires an engine built with ~fuse:false";
+  let n = Netlist.size t.netlist in
+  let nslots = Array.length t.kernels + 1 in
+  let slots = Array.make nslots [] in
+  Array.iter
+    (fun f ->
+      if f.f_site < 0 || f.f_site >= n then
+        invalid_arg "Compiled_wide.set_forces: site out of range";
+      let slot =
+        match t.netlist.Netlist.components.(f.f_site) with
+        | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> 0
+        | Netlist.Invc | Netlist.And2c | Netlist.Or2c | Netlist.Xor2c
+        | Netlist.Outport _ ->
+          t.levels.Levelize.levels.(f.f_site) + 1
+      in
+      slots.(slot) <- f :: slots.(slot))
+    forces;
+  t.force_slots <- Array.map (fun l -> Array.of_list (List.rev l)) slots
+
+let clear_forces t = t.force_slots <- [||]
+
+let apply_forces values slot =
+  for j = 0 to Array.length slot - 1 do
+    let f = Array.unsafe_get slot j in
+    let w = Array.unsafe_get values f.f_site in
+    Array.unsafe_set values f.f_site
+      ((((w land lnot f.force0) lor f.force1) lxor f.flip) land lane_mask)
+  done
+
 (* The hot path: one branch-free loop per gate kind per rank. *)
 let settle t =
   let values = t.values in
   let kernels = t.kernels in
+  let slots = t.force_slots in
+  let forced = Array.length slots > 0 in
+  if forced then apply_forces values (Array.unsafe_get slots 0);
   for lvl = 0 to Array.length kernels - 1 do
     let k = Array.unsafe_get kernels lvl in
     let dst = k.inv_dst and src = k.inv_src in
@@ -411,7 +469,8 @@ let settle t =
       Array.unsafe_set values
         (Array.unsafe_get dst j)
         (Array.unsafe_get values (Array.unsafe_get src j))
-    done
+    done;
+    if forced then apply_forces values (Array.unsafe_get slots (lvl + 1))
   done
 
 let tick t =

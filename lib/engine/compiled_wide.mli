@@ -76,6 +76,29 @@ val poke : t -> int -> int -> unit
     front.  Only meaningful on inputs and dffs: a poked gate output is
     overwritten by the next {!settle}. *)
 
+type force = {
+  f_site : int;  (** component index in {!netlist} *)
+  mutable force0 : int;  (** lanes driven to 0 *)
+  mutable force1 : int;  (** lanes driven to 1 (wins over [force0]) *)
+  mutable flip : int;  (** lanes inverted, after the stuck masks *)
+}
+(** A per-lane value override applied at one component's output during
+    every {!settle} — the runtime fault-injection hook used by
+    {!Hydra_verify.Campaign}.  The mask words are mutable so a campaign
+    can re-seed per-cycle (intermittent) faults without re-registering. *)
+
+val set_forces : t -> force array -> unit
+(** Replace the registered force set.  Forces apply at the rank boundary
+    where the forced component's word becomes visible to its readers:
+    before rank 0 for inputs, dffs and constants; right after the
+    component's own rank for gates and outports.  Raises [Invalid_argument]
+    on an engine built with fused kernels (a consumed inner gate's word is
+    never materialized, so its force would be lost — build with
+    [~fuse:false]) or on an out-of-range site. *)
+
+val clear_forces : t -> unit
+(** Drop all forces, restoring the zero-overhead hot path. *)
+
 val cycle : t -> int
 val critical_path : t -> int
 

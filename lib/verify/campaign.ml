@@ -1,0 +1,443 @@
+(* Lane-parallel fault-injection campaigns.
+
+   The robustness question the paper's section 4.2 motivates — how does
+   the design behave under conditions you did not intend? — answered at
+   engine speed: lane 0 of a {!Compiled_wide} instance runs the golden
+   circuit while lanes 1..61 each run a distinct fault, injected at
+   runtime through per-lane force masks ({!Compiled_wide.set_forces})
+   instead of per-fault netlist rewriting and recompilation.  Fault
+   lists larger than one word chunk over {!Sharded.run_tasks}, so the
+   peak rate is 61 faults x domains per settle pass.
+
+   Every fault is classified against the golden lane:
+   - detected: an observable output diverged (with detection latency),
+   - latent: outputs never diverged but some dff's final state did,
+   - masked: no divergence at all.
+
+   The engines are built with [~optimize:false ~relayout:false
+   ~fuse:false] so component indices in force sites match the caller's
+   netlist unchanged. *)
+
+module Netlist = Hydra_netlist.Netlist
+module W = Hydra_engine.Compiled_wide
+module Sharded = Hydra_engine.Sharded
+
+type fault =
+  | Stuck_at of { site : int; value : bool }
+  | Seu of { site : int; at_cycle : int }
+  | Intermittent of { site : int; rate : float; seed : int }
+
+type classification =
+  | Detected of { latency : int; cycle : int; output : string }
+  | Latent
+  | Masked
+
+type verdict = {
+  fault : fault;
+  name : string;
+  classification : classification;
+  status : (string * bool) list;
+}
+
+type report = {
+  netlist : Netlist.t;
+  stimulus : (string * bool list) list;
+  cycles : int;
+  total : int;
+  detected : int;
+  latent : int;
+  masked : int;
+  verdicts : verdict list;
+}
+
+let site_of = function
+  | Stuck_at { site; _ } | Seu { site; _ } | Intermittent { site; _ } -> site
+
+let fault_name nl fault =
+  let d = Netlist.describe nl (site_of fault) in
+  match fault with
+  | Stuck_at { value; _ } -> Printf.sprintf "%s stuck-at-%d" d (Bool.to_int value)
+  | Seu { at_cycle; _ } -> Printf.sprintf "%s seu@%d" d at_cycle
+  | Intermittent { rate; seed; _ } ->
+    Printf.sprintf "%s intermittent(rate=%g,seed=%d)" d rate seed
+
+(* Enumerators.  [all_stuck_at] preserves the historic {!Fault} order
+   (site ascending, stuck-at-0 before stuck-at-1) so reports line up
+   with the legacy coverage API. *)
+
+let all_stuck_at nl =
+  let fs = ref [] in
+  Array.iteri
+    (fun i comp ->
+      match comp with
+      | Netlist.Invc | Netlist.And2c | Netlist.Or2c | Netlist.Xor2c
+      | Netlist.Dffc _ ->
+        fs :=
+          Stuck_at { site = i; value = true }
+          :: Stuck_at { site = i; value = false }
+          :: !fs
+      | Netlist.Inport _ | Netlist.Outport _ | Netlist.Constant _ -> ())
+    nl.Netlist.components;
+  List.rev !fs
+
+let dff_sites nl =
+  let ds = ref [] in
+  Array.iteri
+    (fun i comp ->
+      match comp with Netlist.Dffc _ -> ds := i :: !ds | _ -> ())
+    nl.Netlist.components;
+  List.rev !ds
+
+let all_seu ?(at_cycle = 0) nl =
+  List.map (fun site -> Seu { site; at_cycle }) (dff_sites nl)
+
+let seu_sweep nl ~cycles =
+  List.concat_map
+    (fun site -> List.init cycles (fun c -> Seu { site; at_cycle = c }))
+    (dff_sites nl)
+
+(* Stimulus: one bool stream per input port, consumed cycle by cycle
+   (missing ports idle at false, short streams pad with false). *)
+
+let stimulus_of_vectors ?(cycles_per_vector = 1) nl vectors =
+  let names = List.map fst nl.Netlist.inputs in
+  let rows = List.map Array.of_list vectors in
+  ( List.mapi
+      (fun k name ->
+        ( name,
+          List.concat_map
+            (fun row -> List.init cycles_per_vector (fun _ -> row.(k)))
+            rows ))
+      names,
+    cycles_per_vector * List.length vectors )
+
+let random_stimulus ~seed ~cycles nl =
+  let st = Random.State.make [| 0x5eed; seed; cycles |] in
+  List.map
+    (fun (name, _) -> (name, List.init cycles (fun _ -> Random.State.bool st)))
+    nl.Netlist.inputs
+
+(* Lane 0 is the golden run, so each chunk carries at most 61 faults. *)
+let faults_per_chunk = W.lanes - 1
+
+let run ?sharded ?domains ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Campaign.run: invalid netlist: " ^ e));
+  let n = Netlist.size nl in
+  List.iter
+    (fun f ->
+      let site = site_of f in
+      if site < 0 || site >= n then
+        invalid_arg "Campaign.run: fault site out of range";
+      match (f, nl.Netlist.components.(site)) with
+      | _, Netlist.Outport _ ->
+        invalid_arg "Campaign.run: cannot fault an outport"
+      | Seu _, Netlist.Dffc _ -> ()
+      | Seu _, _ ->
+        invalid_arg
+          (Printf.sprintf "Campaign.run: SEU site %d is not a dff" site)
+      | Intermittent { rate; _ }, _ when not (rate >= 0.0 && rate <= 1.0) ->
+        invalid_arg "Campaign.run: intermittent rate outside [0,1]"
+      | _ -> ())
+    faults;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name nl.Netlist.inputs) then
+        invalid_arg ("Campaign.run: stimulus for unknown input " ^ name))
+    stimulus;
+  (* one broadcast word per cycle per declared input *)
+  let streams =
+    Array.of_list
+      (List.map
+         (fun (name, site) ->
+           let words = Array.make (max cycles 1) 0 in
+           (match List.assoc_opt name stimulus with
+           | None -> ()
+           | Some bits ->
+             List.iteri
+               (fun c b -> if c < cycles && b then words.(c) <- W.lane_mask)
+               bits);
+           (site, words))
+         nl.Netlist.inputs)
+  in
+  let status_sites =
+    Array.of_list
+      (List.map
+         (fun name ->
+           match List.assoc_opt name nl.Netlist.outputs with
+           | Some site -> (name, site)
+           | None -> invalid_arg ("Campaign.run: unknown status output " ^ name))
+         status_outputs)
+  in
+  let compare_sites =
+    Array.of_list
+      (List.filter
+         (fun (name, _) -> not (List.mem name status_outputs))
+         nl.Netlist.outputs)
+  in
+  let dffs = Array.of_list (dff_sites nl) in
+  let faults_arr = Array.of_list faults in
+  let nfaults = Array.length faults_arr in
+  let results = Array.make (max nfaults 1) None in
+  let run_chunk sim lo hi =
+    (* lane k+1 carries fault lo+k; lane 0 stays golden *)
+    let count = hi - lo in
+    let live_mask = ((1 lsl count) - 1) lsl 1 in
+    W.clear_forces sim;
+    W.reset sim;
+    let forces = ref [] and seus = ref [] and inters = ref [] in
+    for k = 0 to count - 1 do
+      let bit = 1 lsl (k + 1) in
+      match faults_arr.(lo + k) with
+      | Stuck_at { site; value } ->
+        forces :=
+          {
+            W.f_site = site;
+            force0 = (if value then 0 else bit);
+            force1 = (if value then bit else 0);
+            flip = 0;
+          }
+          :: !forces
+      | Seu { site; at_cycle } -> seus := (at_cycle, site, bit) :: !seus
+      | Intermittent { site; rate; seed } ->
+        let f = { W.f_site = site; force0 = 0; force1 = 0; flip = 0 } in
+        forces := f :: !forces;
+        (* seeded per fault, not per chunk, so results are independent of
+           how faults land on chunks and members *)
+        inters := (f, bit, rate, Random.State.make [| seed; site |]) :: !inters
+    done;
+    W.set_forces sim (Array.of_list !forces);
+    let seus = !seus and inters = !inters in
+    let det_cycle = Array.make (max count 1) (-1) in
+    let det_out = Array.make (max count 1) "" in
+    let undet = ref live_mask in
+    let status_acc = Array.make (max (Array.length status_sites) 1) 0 in
+    for cycle = 0 to cycles - 1 do
+      for i = 0 to Array.length streams - 1 do
+        let site, words = streams.(i) in
+        W.poke sim site words.(cycle)
+      done;
+      List.iter
+        (fun (c, site, bit) ->
+          if c = cycle then W.poke sim site (W.peek sim site lxor bit))
+        seus;
+      List.iter
+        (fun (f, bit, rate, st) ->
+          f.W.flip <- (if Random.State.float st 1.0 < rate then bit else 0))
+        inters;
+      W.settle sim;
+      (if !undet <> 0 then
+         for o = 0 to Array.length compare_sites - 1 do
+           let oname, osite = compare_sites.(o) in
+           let w = W.peek sim osite in
+           (* xor against lane 0 sign-extended: set bits = lanes that
+              differ from the golden lane *)
+           let diff = w lxor (-(w land 1)) land !undet in
+           if diff <> 0 then begin
+             for k = 0 to count - 1 do
+               if diff land (1 lsl (k + 1)) <> 0 then begin
+                 det_cycle.(k) <- cycle;
+                 det_out.(k) <- oname
+               end
+             done;
+             undet := !undet land lnot diff
+           end
+         done);
+      for si = 0 to Array.length status_sites - 1 do
+        status_acc.(si) <- status_acc.(si) lor W.peek sim (snd status_sites.(si))
+      done;
+      W.tick sim
+    done;
+    (* latent: some dff's final state differs from the golden lane even
+       though no output ever did.  Only the final state counts — an upset
+       that the circuit heals (e.g. an ECC reload) is masked. *)
+    let state_diff = ref 0 in
+    Array.iter
+      (fun site ->
+        let w = W.peek sim site in
+        state_diff := !state_diff lor (w lxor (-(w land 1))))
+      dffs;
+    let state_diff = !state_diff land live_mask in
+    for k = 0 to count - 1 do
+      let bit = 1 lsl (k + 1) in
+      let fault = faults_arr.(lo + k) in
+      let classification =
+        if det_cycle.(k) >= 0 then
+          let injection =
+            match fault with
+            | Seu { at_cycle; _ } -> at_cycle
+            | Stuck_at _ | Intermittent _ -> 0
+          in
+          Detected
+            {
+              latency = det_cycle.(k) - injection;
+              cycle = det_cycle.(k);
+              output = det_out.(k);
+            }
+        else if state_diff land bit <> 0 then Latent
+        else Masked
+      in
+      let status =
+        Array.to_list
+          (Array.mapi
+             (fun si (sname, _) -> (sname, status_acc.(si) land bit <> 0))
+             status_sites)
+      in
+      results.(lo + k) <-
+        Some { fault; name = fault_name nl fault; classification; status }
+    done;
+    W.clear_forces sim
+  in
+  let nchunks =
+    if nfaults = 0 then 0
+    else (nfaults + faults_per_chunk - 1) / faults_per_chunk
+  in
+  let chunk_bounds c =
+    let lo = c * faults_per_chunk in
+    (lo, min nfaults (lo + faults_per_chunk))
+  in
+  let run_sharded sh =
+    if Sharded.netlist sh <> nl then
+      invalid_arg
+        "Campaign.run: sharded engine compiled from a different netlist \
+         (build it with ~optimize:false ~relayout:false ~fuse:false on the \
+         campaign netlist)";
+    Sharded.run_tasks sh nchunks (fun ~member c ->
+        let lo, hi = chunk_bounds c in
+        run_chunk (Sharded.replica sh member) lo hi)
+  in
+  (match (sharded, domains) with
+  | Some sh, _ -> run_sharded sh
+  | None, None when nchunks <= 1 ->
+    if nchunks = 1 then begin
+      let sim = W.create ~optimize:false ~relayout:false ~fuse:false nl in
+      let lo, hi = chunk_bounds 0 in
+      run_chunk sim lo hi
+    end
+  | None, _ ->
+    let sh =
+      Sharded.create ~optimize:false ~relayout:false ~fuse:false ?domains nl
+    in
+    Fun.protect
+      ~finally:(fun () -> Sharded.shutdown sh)
+      (fun () -> run_sharded sh));
+  let verdicts =
+    List.init nfaults (fun i ->
+        match results.(i) with
+        | Some v -> v
+        | None -> assert false (* every chunk writes its slice *))
+  in
+  let count p =
+    List.length (List.filter (fun v -> p v.classification) verdicts)
+  in
+  {
+    netlist = nl;
+    stimulus;
+    cycles;
+    total = nfaults;
+    detected = count (function Detected _ -> true | _ -> false);
+    latent = count (function Latent -> true | _ -> false);
+    masked = count (function Masked -> true | _ -> false);
+    verdicts;
+  }
+
+let replay report fault =
+  let status_outputs =
+    match report.verdicts with
+    | v :: _ -> List.map fst v.status
+    | [] -> []
+  in
+  let r =
+    run ~status_outputs report.netlist ~faults:[ fault ]
+      ~stimulus:report.stimulus ~cycles:report.cycles
+  in
+  List.hd r.verdicts
+
+(* Summaries and renderers. *)
+
+let coverage_ratio r =
+  if r.total = 0 then 1.0 else float_of_int r.detected /. float_of_int r.total
+
+let mean_latency r =
+  let n = ref 0 and sum = ref 0 in
+  List.iter
+    (fun v ->
+      match v.classification with
+      | Detected { latency; _ } ->
+        incr n;
+        sum := !sum + latency
+      | Latent | Masked -> ())
+    r.verdicts;
+  if !n = 0 then None else Some (float_of_int !sum /. float_of_int !n)
+
+let class_string = function
+  | Detected _ -> "detected"
+  | Latent -> "latent"
+  | Masked -> "masked"
+
+let status_suffix v =
+  let on = List.filter_map (fun (n, b) -> if b then Some n else None) v.status in
+  if on = [] then "" else " [" ^ String.concat "," on ^ "]"
+
+let verdict_to_string v =
+  (match v.classification with
+  | Detected { latency; cycle; output } ->
+    Printf.sprintf "detected %s: latency %d at cycle %d via %s" v.name latency
+      cycle output
+  | Latent -> Printf.sprintf "latent   %s" v.name
+  | Masked -> Printf.sprintf "masked   %s" v.name)
+  ^ status_suffix v
+
+let summary_string r =
+  Printf.sprintf
+    "fault campaign: %d faults over %d cycles: %d detected (%.1f%%), %d \
+     latent, %d masked"
+    r.total r.cycles r.detected
+    (100.0 *. coverage_ratio r)
+    r.latent r.masked
+
+let to_string r =
+  String.concat "\n"
+    (summary_string r :: List.map (fun v -> "  " ^ verdict_to_string v) r.verdicts)
+
+(* JSON: the [hydra faults --json] contract, pinned by a test. *)
+
+let js = Hydra_analyze.Diagnostic.json_string
+
+let verdict_to_json v =
+  let model =
+    match v.fault with
+    | Stuck_at { site; value } ->
+      Printf.sprintf "\"model\":\"stuck_at\",\"site\":%d,\"value\":%d" site
+        (Bool.to_int value)
+    | Seu { site; at_cycle } ->
+      Printf.sprintf "\"model\":\"seu\",\"site\":%d,\"at_cycle\":%d" site
+        at_cycle
+    | Intermittent { site; rate; seed } ->
+      Printf.sprintf "\"model\":\"intermittent\",\"site\":%d,\"rate\":%g,\"seed\":%d"
+        site rate seed
+  in
+  let cls =
+    match v.classification with
+    | Detected { latency; cycle; output } ->
+      Printf.sprintf "\"class\":\"detected\",\"latency\":%d,\"cycle\":%d,\"output\":%s"
+        latency cycle (js output)
+    | Latent -> "\"class\":\"latent\""
+    | Masked -> "\"class\":\"masked\""
+  in
+  let status =
+    if v.status = [] then ""
+    else
+      ",\"status\":{"
+      ^ String.concat ","
+          (List.map (fun (n, b) -> Printf.sprintf "%s:%b" (js n) b) v.status)
+      ^ "}"
+  in
+  Printf.sprintf "{\"name\":%s,%s,%s%s}" (js v.name) model cls status
+
+let to_json r =
+  Printf.sprintf
+    "{\"version\":1,\"total\":%d,\"detected\":%d,\"latent\":%d,\"masked\":%d,\"cycles\":%d,\"verdicts\":[%s]}"
+    r.total r.detected r.latent r.masked r.cycles
+    (String.concat "," (List.map verdict_to_json r.verdicts))

@@ -1,0 +1,132 @@
+(** Lane-parallel fault-injection campaigns: lane 0 of a
+    {!Hydra_engine.Compiled_wide} runs the golden circuit while lanes
+    1..61 each run a distinct fault injected at runtime through per-lane
+    force masks — no per-fault netlist rewriting or recompilation.
+    Fault lists larger than one word chunk over
+    {!Hydra_engine.Sharded.run_tasks}. *)
+
+type fault =
+  | Stuck_at of { site : int; value : bool }
+      (** the component's output is forced to [value] on every cycle *)
+  | Seu of { site : int; at_cycle : int }
+      (** single-event upset: the dff's state bit is flipped just before
+          the settle of [at_cycle] (scheduled past the run window, it
+          never fires and classifies masked) *)
+  | Intermittent of { site : int; rate : float; seed : int }
+      (** each cycle, with probability [rate], the output is inverted
+          for that whole cycle; the coin stream is seeded per fault so
+          results are independent of chunk/domain assignment *)
+
+type classification =
+  | Detected of { latency : int; cycle : int; output : string }
+      (** first observable output divergence from the golden lane:
+          which output, at which cycle, and [cycle - injection_cycle] *)
+  | Latent
+      (** outputs never diverged within the window but some dff's
+          {e final} state did — a healed upset (e.g. an ECC reload)
+          counts as masked, not latent *)
+  | Masked  (** no divergence at all *)
+
+type verdict = {
+  fault : fault;
+  name : string;  (** {!fault_name} *)
+  classification : classification;
+  status : (string * bool) list;
+      (** per [status_outputs] flag: ever asserted on this fault's lane *)
+}
+
+type report = {
+  netlist : Hydra_netlist.Netlist.t;
+  stimulus : (string * bool list) list;
+      (** kept verbatim so any verdict can be {!replay}ed *)
+  cycles : int;
+  total : int;
+  detected : int;
+  latent : int;
+  masked : int;
+  verdicts : verdict list;  (** in the caller's fault order *)
+}
+
+val site_of : fault -> int
+val fault_name : Hydra_netlist.Netlist.t -> fault -> string
+
+val all_stuck_at : Hydra_netlist.Netlist.t -> fault list
+(** Both stuck-at values on every gate and flip-flop output, in the
+    historic {!Fault.all_faults} order (site ascending, stuck-at-0
+    first). *)
+
+val dff_sites : Hydra_netlist.Netlist.t -> int list
+
+val all_seu : ?at_cycle:int -> Hydra_netlist.Netlist.t -> fault list
+(** One SEU per dff at [at_cycle] (default 0). *)
+
+val seu_sweep : Hydra_netlist.Netlist.t -> cycles:int -> fault list
+(** One SEU per dff per injection cycle in [0, cycles): the exhaustive
+    single-upset space of a run window. *)
+
+val stimulus_of_vectors :
+  ?cycles_per_vector:int ->
+  Hydra_netlist.Netlist.t ->
+  bool list list ->
+  (string * bool list) list * int
+(** Expand test vectors (rows in input-port order, each held
+    [cycles_per_vector] cycles, default 1) into per-port stimulus
+    streams; also returns the total cycle count. *)
+
+val random_stimulus :
+  seed:int -> cycles:int -> Hydra_netlist.Netlist.t -> (string * bool list) list
+
+val run :
+  ?sharded:Hydra_engine.Sharded.t ->
+  ?domains:int ->
+  ?status_outputs:string list ->
+  Hydra_netlist.Netlist.t ->
+  faults:fault list ->
+  stimulus:(string * bool list) list ->
+  cycles:int ->
+  report
+(** Simulate every fault against the golden lane under [stimulus]
+    (per-port bool streams; missing ports idle at false, short streams
+    pad with false) for [cycles] cycles from power-up, and classify.
+
+    Outputs named in [status_outputs] (e.g. an ECC [single]-error flag)
+    are excluded from the divergence comparison and instead sampled as
+    ever-asserted per lane into {!verdict.status}.
+
+    At most 61 faults run per engine pass; larger lists chunk over a
+    sharded engine — [?sharded] reuses one (it must be compiled from
+    exactly this netlist with [~optimize:false ~relayout:false
+    ~fuse:false]; registered forces are cleared), otherwise one is
+    created with [?domains] and shut down afterwards.  A single-chunk
+    run without [?sharded]/[?domains] stays inline on one wide engine.
+
+    Raises [Invalid_argument] on an invalid netlist, an out-of-range or
+    outport fault site, an SEU site that is not a dff, an intermittent
+    rate outside [0,1], or stimulus/status names not matching the
+    netlist's ports. *)
+
+val replay : report -> fault -> verdict
+(** Re-run one fault alone against the report's recorded stimulus and
+    window — the reproduction path for a detected verdict. *)
+
+val coverage_ratio : report -> float
+(** Detected fraction (1.0 of an empty campaign); latent faults count
+    as undetected. *)
+
+val mean_latency : report -> float option
+(** Mean detection latency over detected verdicts; [None] if none. *)
+
+val class_string : classification -> string
+val verdict_to_string : verdict -> string
+val summary_string : report -> string
+
+val to_string : report -> string
+(** Summary line plus one line per verdict. *)
+
+val verdict_to_json : verdict -> string
+
+val to_json : report -> string
+(** Pinned schema (the [hydra faults --json] contract):
+    [{"version":1,"total":…,"detected":…,"latent":…,"masked":…,
+    "cycles":…,"verdicts":[{"name":…,"model":…,"site":…,…,
+    "class":…,…},…]}]. *)

@@ -28,5 +28,6 @@ let () =
       ("gaps", Test_gaps.suite);
       ("transform", Test_transform.suite);
       ("analyze", Test_analyze.suite);
+      ("campaign", Test_campaign.suite);
       ("cache", Test_cache.suite);
     ]
