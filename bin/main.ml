@@ -7,6 +7,7 @@
      netlist  emit a named circuit's netlist (paper tuple, dot, verilog)
      timing   static timing/size report for a named circuit
      faults   fault-injection campaigns (stuck-at, SEU, intermittent)
+     equiv    slab-vs-wide engine equivalence sweep over named circuits
      algo     print the processor's control algorithm (paper section 6.2)
 
    Named circuits for netlist/timing/faults: fig1, mux1, regfile1:<k>,
@@ -619,6 +620,101 @@ let sim_cmd =
        ~doc:"Simulate a saved netlist (see 'netlist -f hydra') with scripted inputs")
     Term.(const run $ file $ cycles $ drives)
 
+(* ---- equiv ---- *)
+
+(* Slab-vs-wide equivalence sweep: every catalogue circuit (or the
+   named targets), each slab width in --k, gated and ungated, checked
+   word-for-word under Equiv's random sequential stimulus.  CI runs
+   `hydra equiv --all --smoke`, so a slab kernel regression fails the
+   pipeline, not just the bench. *)
+let equiv_cmd =
+  let module E = Hydra_verify.Equiv in
+  let targets =
+    Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT|FILE")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"sweep the whole named-circuit catalogue")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4; 8 ]
+      & info [ "k" ] ~doc:"slab widths (words per signal) to check")
+  in
+  let passes =
+    Arg.(
+      value & opt int 2
+      & info [ "passes" ] ~doc:"random-stimulus passes per configuration")
+  in
+  let cycles =
+    Arg.(value & opt int 16 & info [ "cycles" ] ~doc:"cycles per pass")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"quick sweep (the CI job): one pass of 8 cycles")
+  in
+  let run targets all ks passes cycles smoke =
+    let targets = (if all then lint_catalogue else []) @ targets in
+    if targets = [] then begin
+      prerr_endline
+        "equiv: no targets (name circuits/files, or use --all for the \
+         catalogue)";
+      exit 2
+    end;
+    if List.exists (fun k -> k < 1) ks then begin
+      prerr_endline "equiv: --k values must be >= 1";
+      exit 2
+    end;
+    let passes = if smoke then 1 else passes in
+    let cycles = if smoke then 8 else cycles in
+    let failed = ref false in
+    List.iter
+      (fun target ->
+        let nl = load_target ~cmd:"equiv" target in
+        let bad = ref [] in
+        let nconfigs = ref 0 in
+        List.iter
+          (fun k ->
+            List.iter
+              (fun gating ->
+                incr nconfigs;
+                match E.slab_vs_wide ~passes ~cycles ~k ~gating nl with
+                | E.Seq_equivalent -> ()
+                | E.Seq_mismatch { output; cycle; _ } ->
+                  bad :=
+                    ( Printf.sprintf "k=%d%s" k
+                        (if gating then " gated" else ""),
+                      output, cycle )
+                    :: !bad)
+              [ false; true ])
+          ks;
+        if !bad = [] then
+          Printf.printf "%-18s ok (%d configurations, %d pass(es) x %d cycles)\n"
+            target !nconfigs passes cycles
+        else begin
+          failed := true;
+          List.iter
+            (fun (label, output, cycle) ->
+              Printf.printf
+                "%-18s MISMATCH %s: output %s diverges from wide at cycle %d\n"
+                target label output cycle)
+            (List.rev !bad)
+        end)
+      targets;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Check the slab engine against the wide engine on named circuits \
+          or saved netlist files (random sequential stimulus, every word, \
+          gated and ungated); exits 1 on any mismatch")
+    Term.(const run $ targets $ all $ ks $ passes $ cycles $ smoke)
+
 (* ---- algo ---- *)
 
 let algo_cmd =
@@ -637,4 +733,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ asm_cmd; dis_cmd; run_cmd; netlist_cmd; lint_cmd; timing_cmd;
-            faults_cmd; sim_cmd; algo_cmd ]))
+            faults_cmd; equiv_cmd; sim_cmd; algo_cmd ]))

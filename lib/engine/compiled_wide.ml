@@ -37,50 +37,20 @@
      lane-level packing and there are no barriers inside a batch — unlike
      {!Parallel_sim}'s per-level barriers, which only pay off on very
      wide ranks.  {!Sharded} scales this pattern with persistent
-     per-domain replicas and a work queue. *)
+     per-domain replicas and a work queue.
+
+   The compile-time pipeline (pre-passes, levelize, fusion planning,
+   per-kind index splitting) lives in {!Kernel} and is shared with the
+   multi-word {!Slab} engine; this module owns only the 1-word-per-signal
+   runtime state and hot loops. *)
 
 module Netlist = Hydra_netlist.Netlist
 module Levelize = Hydra_netlist.Levelize
-module Layout = Hydra_netlist.Layout
 module Packed = Hydra_core.Packed
 module Pool = Hydra_parallel.Pool
 
 let lanes = Packed.lanes
 let lane_mask = Packed.lane_mask
-
-(* One levelized rank, pre-split by gate kind into flat index arrays:
-   [x_dst.(k)] is evaluated from [x_src*.(k)] for every [k], in any order
-   (all sources settled at strictly lower ranks; fused kernels read the
-   consumed inner gate's sources, which settle earlier still). *)
-type kernel = {
-  inv_dst : int array;
-  inv_src : int array;
-  and_dst : int array;
-  and_s0 : int array;
-  and_s1 : int array;
-  or_dst : int array;
-  or_s0 : int array;
-  or_s1 : int array;
-  xor_dst : int array;
-  xor_s0 : int array;
-  xor_s1 : int array;
-  (* fused 2-level patterns *)
-  andor_dst : int array;  (* dst = (a & b) | (c & d) *)
-  andor_a : int array;
-  andor_b : int array;
-  andor_c : int array;
-  andor_d : int array;
-  orand_dst : int array;  (* dst = (a & b) | c *)
-  orand_a : int array;
-  orand_b : int array;
-  orand_c : int array;
-  xor3_dst : int array;  (* dst = a ^ b ^ c *)
-  xor3_a : int array;
-  xor3_b : int array;
-  xor3_c : int array;
-  out_dst : int array;  (* outports: plain word copies *)
-  out_src : int array;
-}
 
 (* A per-lane value override applied at one component's kernel output
    during [settle] (fault injection, see {!Hydra_verify.Campaign}): lanes
@@ -96,240 +66,45 @@ type force = {
 }
 
 type t = {
-  netlist : Netlist.t;
-      (* the netlist actually compiled (post-optimize, post-relayout) *)
-  levels : Levelize.t;
-  kernels : kernel array;
+  prog : Kernel.program;
   consts : (int * int) array;  (* component index, broadcast word *)
-  dffs : int array;
-  dff_src : int array;  (* driver of each dff, indexed like dffs *)
-  dff_init : int array;  (* broadcast power-up words *)
-  fused : int;  (* gates evaluated inside a fused kernel (never stored) *)
+  dff_init_w : int array;  (* broadcast power-up words *)
   values : int array;
   dff_next : int array;
-  input_index : (string, int) Hashtbl.t;
-  output_index : (string, int) Hashtbl.t;
   mutable cycle : int;
   mutable force_slots : force array array;
       (* slot 0 applies before rank 0, slot [l + 1] after rank [l]'s
          kernels; [[||]] when no forces are registered (the hot path) *)
 }
 
-(* How the outer gate at [dst] absorbs a fanout-1 inner gate. *)
-type fusion =
-  | Andor of int * int * int * int
-  | Orand of int * int * int
-  | Xor3 of int * int * int
-
-let build_kernel (nl : Netlist.t) (fusion : fusion option array)
-    (consumed : bool array) rank =
-  let invs = ref [] and ands = ref [] and ors = ref [] and xors = ref []
-  and andors = ref [] and orands = ref [] and xor3s = ref []
-  and outs = ref [] in
-  Array.iter
-    (fun i ->
-      if not consumed.(i) then
-        let fi = nl.Netlist.fanin.(i) in
-        match fusion.(i) with
-        | Some (Andor (a, b, c, d)) -> andors := (i, a, b, c, d) :: !andors
-        | Some (Orand (a, b, c)) -> orands := (i, a, b, c) :: !orands
-        | Some (Xor3 (a, b, c)) -> xor3s := (i, a, b, c) :: !xor3s
-        | None -> (
-            match nl.Netlist.components.(i) with
-            | Netlist.Invc -> invs := (i, fi.(0)) :: !invs
-            | Netlist.And2c -> ands := (i, fi.(0), fi.(1)) :: !ands
-            | Netlist.Or2c -> ors := (i, fi.(0), fi.(1)) :: !ors
-            | Netlist.Xor2c -> xors := (i, fi.(0), fi.(1)) :: !xors
-            | Netlist.Outport _ -> outs := (i, fi.(0)) :: !outs
-            | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> ()))
-    rank;
-  let arr1 l = Array.of_list (List.rev_map fst l)
-  and arr2 l = Array.of_list (List.rev_map snd l) in
-  let a3 sel l = Array.of_list (List.rev_map sel l) in
-  {
-    inv_dst = arr1 !invs;
-    inv_src = arr2 !invs;
-    and_dst = a3 (fun (i, _, _) -> i) !ands;
-    and_s0 = a3 (fun (_, a, _) -> a) !ands;
-    and_s1 = a3 (fun (_, _, b) -> b) !ands;
-    or_dst = a3 (fun (i, _, _) -> i) !ors;
-    or_s0 = a3 (fun (_, a, _) -> a) !ors;
-    or_s1 = a3 (fun (_, _, b) -> b) !ors;
-    xor_dst = a3 (fun (i, _, _) -> i) !xors;
-    xor_s0 = a3 (fun (_, a, _) -> a) !xors;
-    xor_s1 = a3 (fun (_, _, b) -> b) !xors;
-    andor_dst = a3 (fun (i, _, _, _, _) -> i) !andors;
-    andor_a = a3 (fun (_, a, _, _, _) -> a) !andors;
-    andor_b = a3 (fun (_, _, b, _, _) -> b) !andors;
-    andor_c = a3 (fun (_, _, _, c, _) -> c) !andors;
-    andor_d = a3 (fun (_, _, _, _, d) -> d) !andors;
-    orand_dst = a3 (fun (i, _, _, _) -> i) !orands;
-    orand_a = a3 (fun (_, a, _, _) -> a) !orands;
-    orand_b = a3 (fun (_, _, b, _) -> b) !orands;
-    orand_c = a3 (fun (_, _, _, c) -> c) !orands;
-    xor3_dst = a3 (fun (i, _, _, _) -> i) !xor3s;
-    xor3_a = a3 (fun (_, a, _, _) -> a) !xor3s;
-    xor3_b = a3 (fun (_, _, b, _) -> b) !xor3s;
-    xor3_c = a3 (fun (_, _, _, c) -> c) !xor3s;
-    out_dst = arr1 !outs;
-    out_src = arr2 !outs;
-  }
-
-(* Decide which fanout-1 inner gates each or/xor absorbs.  Processed rank
-   by rank, ascending, so an inner candidate's own fusion status is final
-   when its sink is examined: a gate that already absorbed something
-   ([fusion.(x) <> None]) is not consumable — consuming it would discard
-   its kernel and leave its (possibly consumed) sources dangling.  The
-   sources of a consumed gate are therefore always materialized. *)
-let plan_fusion (nl : Netlist.t) (levels : Levelize.t) =
-  let n = Netlist.size nl in
-  let fanout_count = Array.make n 0 in
-  Array.iter
-    (fun fi ->
-      Array.iter (fun d -> fanout_count.(d) <- fanout_count.(d) + 1) fi)
-    nl.Netlist.fanin;
-  let fusion : fusion option array = Array.make n None in
-  let consumed = Array.make n false in
-  let inner kind x =
-    fanout_count.(x) = 1
-    && (not consumed.(x))
-    && fusion.(x) = None
-    &&
-    match (kind, nl.Netlist.components.(x)) with
-    | `And, Netlist.And2c -> true
-    | `Xor, Netlist.Xor2c -> true
-    | _ -> false
-  in
-  Array.iter
-    (fun rank ->
-      Array.iter
-        (fun i ->
-          let fi = nl.Netlist.fanin.(i) in
-          match nl.Netlist.components.(i) with
-          | Netlist.Or2c ->
-            let x = fi.(0) and y = fi.(1) in
-            if inner `And x && inner `And y then begin
-              let fx = nl.Netlist.fanin.(x) and fy = nl.Netlist.fanin.(y) in
-              fusion.(i) <- Some (Andor (fx.(0), fx.(1), fy.(0), fy.(1)));
-              consumed.(x) <- true;
-              consumed.(y) <- true
-            end
-            else if inner `And x then begin
-              let fx = nl.Netlist.fanin.(x) in
-              fusion.(i) <- Some (Orand (fx.(0), fx.(1), y));
-              consumed.(x) <- true
-            end
-            else if inner `And y then begin
-              let fy = nl.Netlist.fanin.(y) in
-              fusion.(i) <- Some (Orand (fy.(0), fy.(1), x));
-              consumed.(y) <- true
-            end
-          | Netlist.Xor2c ->
-            let x = fi.(0) and y = fi.(1) in
-            if inner `Xor x then begin
-              let fx = nl.Netlist.fanin.(x) in
-              fusion.(i) <- Some (Xor3 (fx.(0), fx.(1), y));
-              consumed.(x) <- true
-            end
-            else if inner `Xor y then begin
-              let fy = nl.Netlist.fanin.(y) in
-              fusion.(i) <- Some (Xor3 (fy.(0), fy.(1), x));
-              consumed.(y) <- true
-            end
-          | _ -> ())
-        rank)
-    levels.Levelize.by_level;
-  (fusion, consumed)
-
 let apply_initial t =
   Array.iter (fun (i, w) -> Array.unsafe_set t.values i w) t.consts;
   Array.iteri
-    (fun j i -> Array.unsafe_set t.values i t.dff_init.(j))
-    t.dffs
+    (fun j i -> Array.unsafe_set t.values i t.dff_init_w.(j))
+    t.prog.Kernel.dffs
 
 (* Hot arrays get a cache line of slack at the end so replicas allocated
    back to back never share a line across domains. *)
 let pad = 8
 
-let create ?(optimize = false) ?(relayout = true) ?(fuse = true)
-    ?(certify = false) netlist =
-  (* [?certify] translation-validates each pre-pass run
-     ({!Hydra_analyze.Certify}): packed-random I/O equivalence for the
-     optimizer's rewrites, a complete permutation proof for the
-     re-layout. *)
-  let netlist =
-    if optimize then begin
-      let post = Hydra_netlist.Optimize.optimize netlist in
-      if certify then
-        Hydra_analyze.Certify.(
-          ensure (check ~transform:"Optimize.optimize" ~pre:netlist ~post ()));
-      post
-    end
-    else netlist
-  in
-  let netlist =
-    if relayout then begin
-      let post, perm = Layout.rank_major_permutation netlist in
-      if certify then
-        Hydra_analyze.Certify.(
-          ensure
-            (check_permutation ~transform:"Layout.rank_major" ~pre:netlist
-               ~post ~perm));
-      post
-    end
-    else netlist
-  in
-  let levels = Levelize.check netlist in
-  let n = Netlist.size netlist in
-  let fusion, consumed =
-    if fuse then plan_fusion netlist levels
-    else (Array.make n None, Array.make n false)
-  in
-  let kernels =
-    Array.map (build_kernel netlist fusion consumed) levels.Levelize.by_level
-  in
-  let consts = ref [] and dffs = ref [] in
-  Array.iteri
-    (fun i comp ->
-      match comp with
-      | Netlist.Constant b -> consts := (i, Packed.broadcast b) :: !consts
-      | Netlist.Dffc _ -> dffs := i :: !dffs
-      | _ -> ())
-    netlist.Netlist.components;
-  let dffs = Array.of_list (List.rev !dffs) in
-  let dff_src = Array.map (fun i -> netlist.Netlist.fanin.(i).(0)) dffs in
-  let dff_init =
-    Array.map
-      (fun i ->
-        match netlist.Netlist.components.(i) with
-        | Netlist.Dffc b -> Packed.broadcast b
-        | _ -> assert false)
-      dffs
-  in
-  let input_index = Hashtbl.create 16 and output_index = Hashtbl.create 16 in
-  List.iter (fun (s, i) -> Hashtbl.replace input_index s i) netlist.Netlist.inputs;
-  List.iter (fun (s, i) -> Hashtbl.replace output_index s i) netlist.Netlist.outputs;
-  let nfused = Array.fold_left (fun a c -> if c then a + 1 else a) 0 consumed in
+let of_program prog =
   let t =
     {
-      netlist;
-      levels;
-      kernels;
-      consts = Array.of_list (List.rev !consts);
-      dffs;
-      dff_src;
-      dff_init;
-      fused = nfused;
-      values = Array.make (n + pad) 0;
-      dff_next = Array.make (Array.length dffs + pad) 0;
-      input_index;
-      output_index;
+      prog;
+      consts = Array.map (fun (i, b) -> (i, Packed.broadcast b)) prog.Kernel.consts;
+      dff_init_w = Array.map Packed.broadcast prog.Kernel.dff_init;
+      values = Array.make (Kernel.size prog + pad) 0;
+      dff_next = Array.make (Array.length prog.Kernel.dffs + pad) 0;
       cycle = 0;
       force_slots = [||];
     }
   in
   apply_initial t;
   t
+
+let create ?(optimize = false) ?(relayout = true) ?(fuse = true)
+    ?(certify = false) netlist =
+  of_program (Kernel.compile ~optimize ~relayout ~fuse ~certify netlist)
 
 (* A fresh engine over the same compiled circuit: shares every immutable
    compiled array, owns its own (padded) value state.  Safe to run in
@@ -353,14 +128,14 @@ let reset t =
   t.cycle <- 0
 
 let set_input t name w =
-  match Hashtbl.find_opt t.input_index name with
+  match Hashtbl.find_opt t.prog.Kernel.input_index name with
   | Some i -> t.values.(i) <- w land lane_mask
   | None -> invalid_arg ("Compiled_wide.set_input: unknown input " ^ name)
 
 let set_input_bool t name b = set_input t name (Packed.broadcast b)
 
 let set_input_lane t name lane b =
-  match Hashtbl.find_opt t.input_index name with
+  match Hashtbl.find_opt t.prog.Kernel.input_index name with
   | Some i -> t.values.(i) <- Packed.set_lane t.values.(i) lane b
   | None -> invalid_arg ("Compiled_wide.set_input_lane: unknown input " ^ name)
 
@@ -371,22 +146,12 @@ let set_input_lane t name lane b =
    rejected because a consumed inner gate's word is never materialized,
    so a force on (or through) it would be silently lost. *)
 let set_forces t forces =
-  if t.fused > 0 then
+  if t.prog.Kernel.fused > 0 then
     invalid_arg "Compiled_wide.set_forces: requires an engine built with ~fuse:false";
-  let n = Netlist.size t.netlist in
-  let nslots = Array.length t.kernels + 1 in
-  let slots = Array.make nslots [] in
+  let slots = Array.make (Kernel.n_force_slots t.prog) [] in
   Array.iter
     (fun f ->
-      if f.f_site < 0 || f.f_site >= n then
-        invalid_arg "Compiled_wide.set_forces: site out of range";
-      let slot =
-        match t.netlist.Netlist.components.(f.f_site) with
-        | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> 0
-        | Netlist.Invc | Netlist.And2c | Netlist.Or2c | Netlist.Xor2c
-        | Netlist.Outport _ ->
-          t.levels.Levelize.levels.(f.f_site) + 1
-      in
+      let slot = Kernel.force_slot ~what:"Compiled_wide.set_forces" t.prog f.f_site in
       slots.(slot) <- f :: slots.(slot))
     forces;
   t.force_slots <- Array.map (fun l -> Array.of_list (List.rev l)) slots
@@ -404,12 +169,12 @@ let apply_forces values slot =
 (* The hot path: one branch-free loop per gate kind per rank. *)
 let settle t =
   let values = t.values in
-  let kernels = t.kernels in
+  let kernels = t.prog.Kernel.kernels in
   let slots = t.force_slots in
   let forced = Array.length slots > 0 in
   if forced then apply_forces values (Array.unsafe_get slots 0);
   for lvl = 0 to Array.length kernels - 1 do
-    let k = Array.unsafe_get kernels lvl in
+    let k : Kernel.kernel = Array.unsafe_get kernels lvl in
     let dst = k.inv_dst and src = k.inv_src in
     for j = 0 to Array.length dst - 1 do
       Array.unsafe_set values
@@ -475,7 +240,7 @@ let settle t =
 
 let tick t =
   let values = t.values and next = t.dff_next in
-  let dffs = t.dffs and src = t.dff_src in
+  let dffs = t.prog.Kernel.dffs and src = t.prog.Kernel.dff_src in
   for j = 0 to Array.length dffs - 1 do
     Array.unsafe_set next j
       (Array.unsafe_get values (Array.unsafe_get src j))
@@ -490,18 +255,47 @@ let step t =
   tick t
 
 let output t name =
-  match Hashtbl.find_opt t.output_index name with
+  match Hashtbl.find_opt t.prog.Kernel.output_index name with
   | Some i -> t.values.(i)
   | None -> invalid_arg ("Compiled_wide.output: unknown output " ^ name)
 
 let output_lane t name lane = Packed.lane (output t name) lane
-let outputs t = List.map (fun (s, i) -> (s, t.values.(i))) t.netlist.Netlist.outputs
+
+let outputs t =
+  List.map (fun (s, i) -> (s, t.values.(i))) t.prog.Kernel.netlist.Netlist.outputs
+
 let peek t i = t.values.(i)
 let poke t i w = t.values.(i) <- w land lane_mask
 let cycle t = t.cycle
-let netlist t = t.netlist
-let critical_path t = t.levels.Levelize.critical_path
-let fused_gates t = t.fused
+let netlist t = t.prog.Kernel.netlist
+let critical_path t = t.prog.Kernel.levels.Levelize.critical_path
+let fused_gates t = t.prog.Kernel.fused
+
+(* Word-indexed aliases, the {!Engine_intf.S} view of this engine: one
+   word per signal, so the only valid word index is 0. *)
+let words _ = 1
+
+let check_word what w =
+  if w <> 0 then
+    invalid_arg
+      (Printf.sprintf "%s: word index %d out of range (engine has 1 word)"
+         what w)
+
+let set_input_word t name w v =
+  check_word "Compiled_wide.set_input_word" w;
+  set_input t name v
+
+let output_word t name w =
+  check_word "Compiled_wide.output_word" w;
+  output t name
+
+let peek_word t i w =
+  check_word "Compiled_wide.peek_word" w;
+  peek t i
+
+let poke_word t i w v =
+  check_word "Compiled_wide.poke_word" w;
+  poke t i v
 
 (* Whole packed simulation, the word analogue of [Compiled.run]: every
    input stream is a packed word per cycle (shorter streams padded with
@@ -528,8 +322,8 @@ let run_packed t ~inputs ~cycles =
    replica. *)
 let run_vectors ?pool t vectors =
   let nvec = Array.length vectors in
-  let in_ports = Array.of_list t.netlist.Netlist.inputs in
-  let out_ports = Array.of_list t.netlist.Netlist.outputs in
+  let in_ports = Array.of_list (netlist t).Netlist.inputs in
+  let out_ports = Array.of_list (netlist t).Netlist.outputs in
   let nin = Array.length in_ports and nout = Array.length out_ports in
   Array.iter
     (fun v ->

@@ -102,6 +102,24 @@ val clear_forces : t -> unit
 val cycle : t -> int
 val critical_path : t -> int
 
+val words : t -> int
+(** Words per signal — always 1 here; the {!Engine_intf.S} view of this
+    engine.  {!Slab} generalizes to K. *)
+
+val set_input_word : t -> string -> int -> int -> unit
+(** [set_input_word t name w v]: word-indexed {!set_input}; the word
+    index [w] must be 0 (raises a descriptive [Invalid_argument]
+    otherwise). *)
+
+val output_word : t -> string -> int -> int
+(** Word-indexed {!output}; the word index must be 0. *)
+
+val peek_word : t -> int -> int -> int
+(** Word-indexed {!peek}; the word index must be 0. *)
+
+val poke_word : t -> int -> int -> int -> unit
+(** Word-indexed {!poke}; the word index must be 0. *)
+
 val fused_gates : t -> int
 (** Number of gates evaluated inside fused kernels rather than stored —
     array traffic saved per pass. *)

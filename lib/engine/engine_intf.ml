@@ -1,0 +1,55 @@
+(* The word-indexed face shared by the compiled word-parallel engines.
+
+   {!Compiled_wide} (1 word per signal, 62 lanes) and {!Slab} (K words,
+   62*K lanes) expose the same operations once the word index is explicit;
+   this signature is what the engine-polymorphic entry points
+   ({!Testbench.run_batched} [?engine], {!Hydra_verify.Equiv}'s
+   engine-vs-engine checks, the shared test battery) program against.
+   Values of type [(module S)] are runtime handles — [Slab.engine] bakes
+   a chosen K and gating mode into one. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Display name for reports ("wide", "slab(k=8)", ...). *)
+
+  val create :
+    ?optimize:bool ->
+    ?relayout:bool ->
+    ?fuse:bool ->
+    ?certify:bool ->
+    Hydra_netlist.Netlist.t ->
+    t
+
+  val words : t -> int
+  (** Words per signal; total lanes = [62 * words t]. *)
+
+  val replicate : t -> t
+  val reset : t -> unit
+
+  val set_input_word : t -> string -> int -> int -> unit
+  (** [set_input_word t name w v]: packed word [w] (0-based) of an
+      input. *)
+
+  val set_input_lane : t -> string -> int -> bool -> unit
+  (** Global lane index, [0 <= lane < 62 * words t]. *)
+
+  val settle : t -> unit
+  val tick : t -> unit
+  val step : t -> unit
+  val output_word : t -> string -> int -> int
+  val output_lane : t -> string -> int -> bool
+  val peek_word : t -> int -> int -> int
+  val poke_word : t -> int -> int -> int -> unit
+  val cycle : t -> int
+  val netlist : t -> Hydra_netlist.Netlist.t
+end
+
+(* {!Compiled_wide} as an engine handle (words = 1). *)
+let wide : (module S) =
+  (module struct
+    include Compiled_wide
+
+    let name = "wide"
+  end)

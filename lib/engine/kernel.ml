@@ -1,0 +1,300 @@
+(* Shared compile-time plumbing of the word-parallel engines: pre-pass,
+   levelize, fusion planning and per-op index-array splitting.  See the
+   interface for the contract; {!Compiled_wide} and {!Slab} both compile
+   through here, so the two engines always agree on layout, fusion and
+   force-slot placement. *)
+
+module Netlist = Hydra_netlist.Netlist
+module Levelize = Hydra_netlist.Levelize
+module Layout = Hydra_netlist.Layout
+
+type kernel = {
+  inv_dst : int array;
+  inv_src : int array;
+  and_dst : int array;
+  and_s0 : int array;
+  and_s1 : int array;
+  or_dst : int array;
+  or_s0 : int array;
+  or_s1 : int array;
+  xor_dst : int array;
+  xor_s0 : int array;
+  xor_s1 : int array;
+  andor_dst : int array;
+  andor_a : int array;
+  andor_b : int array;
+  andor_c : int array;
+  andor_d : int array;
+  orand_dst : int array;
+  orand_a : int array;
+  orand_b : int array;
+  orand_c : int array;
+  xor3_dst : int array;
+  xor3_a : int array;
+  xor3_b : int array;
+  xor3_c : int array;
+  out_dst : int array;
+  out_src : int array;
+}
+
+type program = {
+  netlist : Netlist.t;
+  levels : Levelize.t;
+  kernels : kernel array;
+  consts : (int * bool) array;
+  dffs : int array;
+  dff_src : int array;
+  dff_init : bool array;
+  fused : int;
+  input_index : (string, int) Hashtbl.t;
+  output_index : (string, int) Hashtbl.t;
+}
+
+(* How the outer gate at [dst] absorbs a fanout-1 inner gate. *)
+type fusion =
+  | Andor of int * int * int * int
+  | Orand of int * int * int
+  | Xor3 of int * int * int
+
+let build_kernel (nl : Netlist.t) (fusion : fusion option array)
+    (consumed : bool array) rank =
+  let invs = ref [] and ands = ref [] and ors = ref [] and xors = ref []
+  and andors = ref [] and orands = ref [] and xor3s = ref []
+  and outs = ref [] in
+  Array.iter
+    (fun i ->
+      if not consumed.(i) then
+        let fi = nl.Netlist.fanin.(i) in
+        match fusion.(i) with
+        | Some (Andor (a, b, c, d)) -> andors := (i, a, b, c, d) :: !andors
+        | Some (Orand (a, b, c)) -> orands := (i, a, b, c) :: !orands
+        | Some (Xor3 (a, b, c)) -> xor3s := (i, a, b, c) :: !xor3s
+        | None -> (
+            match nl.Netlist.components.(i) with
+            | Netlist.Invc -> invs := (i, fi.(0)) :: !invs
+            | Netlist.And2c -> ands := (i, fi.(0), fi.(1)) :: !ands
+            | Netlist.Or2c -> ors := (i, fi.(0), fi.(1)) :: !ors
+            | Netlist.Xor2c -> xors := (i, fi.(0), fi.(1)) :: !xors
+            | Netlist.Outport _ -> outs := (i, fi.(0)) :: !outs
+            | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> ()))
+    rank;
+  let arr1 l = Array.of_list (List.rev_map fst l)
+  and arr2 l = Array.of_list (List.rev_map snd l) in
+  let a3 sel l = Array.of_list (List.rev_map sel l) in
+  {
+    inv_dst = arr1 !invs;
+    inv_src = arr2 !invs;
+    and_dst = a3 (fun (i, _, _) -> i) !ands;
+    and_s0 = a3 (fun (_, a, _) -> a) !ands;
+    and_s1 = a3 (fun (_, _, b) -> b) !ands;
+    or_dst = a3 (fun (i, _, _) -> i) !ors;
+    or_s0 = a3 (fun (_, a, _) -> a) !ors;
+    or_s1 = a3 (fun (_, _, b) -> b) !ors;
+    xor_dst = a3 (fun (i, _, _) -> i) !xors;
+    xor_s0 = a3 (fun (_, a, _) -> a) !xors;
+    xor_s1 = a3 (fun (_, _, b) -> b) !xors;
+    andor_dst = a3 (fun (i, _, _, _, _) -> i) !andors;
+    andor_a = a3 (fun (_, a, _, _, _) -> a) !andors;
+    andor_b = a3 (fun (_, _, b, _, _) -> b) !andors;
+    andor_c = a3 (fun (_, _, _, c, _) -> c) !andors;
+    andor_d = a3 (fun (_, _, _, _, d) -> d) !andors;
+    orand_dst = a3 (fun (i, _, _, _) -> i) !orands;
+    orand_a = a3 (fun (_, a, _, _) -> a) !orands;
+    orand_b = a3 (fun (_, _, b, _) -> b) !orands;
+    orand_c = a3 (fun (_, _, _, c) -> c) !orands;
+    xor3_dst = a3 (fun (i, _, _, _) -> i) !xor3s;
+    xor3_a = a3 (fun (_, a, _, _) -> a) !xor3s;
+    xor3_b = a3 (fun (_, _, b, _) -> b) !xor3s;
+    xor3_c = a3 (fun (_, _, _, c) -> c) !xor3s;
+    out_dst = arr1 !outs;
+    out_src = arr2 !outs;
+  }
+
+(* Decide which fanout-1 inner gates each or/xor absorbs.  Processed rank
+   by rank, ascending, so an inner candidate's own fusion status is final
+   when its sink is examined: a gate that already absorbed something
+   ([fusion.(x) <> None]) is not consumable — consuming it would discard
+   its kernel and leave its (possibly consumed) sources dangling.  The
+   sources of a consumed gate are therefore always materialized. *)
+let plan_fusion (nl : Netlist.t) (levels : Levelize.t) =
+  let n = Netlist.size nl in
+  let fanout_count = Array.make n 0 in
+  Array.iter
+    (fun fi ->
+      Array.iter (fun d -> fanout_count.(d) <- fanout_count.(d) + 1) fi)
+    nl.Netlist.fanin;
+  let fusion : fusion option array = Array.make n None in
+  let consumed = Array.make n false in
+  let inner kind x =
+    fanout_count.(x) = 1
+    && (not consumed.(x))
+    && fusion.(x) = None
+    &&
+    match (kind, nl.Netlist.components.(x)) with
+    | `And, Netlist.And2c -> true
+    | `Xor, Netlist.Xor2c -> true
+    | _ -> false
+  in
+  Array.iter
+    (fun rank ->
+      Array.iter
+        (fun i ->
+          let fi = nl.Netlist.fanin.(i) in
+          match nl.Netlist.components.(i) with
+          | Netlist.Or2c ->
+            let x = fi.(0) and y = fi.(1) in
+            if inner `And x && inner `And y then begin
+              let fx = nl.Netlist.fanin.(x) and fy = nl.Netlist.fanin.(y) in
+              fusion.(i) <- Some (Andor (fx.(0), fx.(1), fy.(0), fy.(1)));
+              consumed.(x) <- true;
+              consumed.(y) <- true
+            end
+            else if inner `And x then begin
+              let fx = nl.Netlist.fanin.(x) in
+              fusion.(i) <- Some (Orand (fx.(0), fx.(1), y));
+              consumed.(x) <- true
+            end
+            else if inner `And y then begin
+              let fy = nl.Netlist.fanin.(y) in
+              fusion.(i) <- Some (Orand (fy.(0), fy.(1), x));
+              consumed.(y) <- true
+            end
+          | Netlist.Xor2c ->
+            let x = fi.(0) and y = fi.(1) in
+            if inner `Xor x then begin
+              let fx = nl.Netlist.fanin.(x) in
+              fusion.(i) <- Some (Xor3 (fx.(0), fx.(1), y));
+              consumed.(x) <- true
+            end
+            else if inner `Xor y then begin
+              let fy = nl.Netlist.fanin.(y) in
+              fusion.(i) <- Some (Xor3 (fy.(0), fy.(1), x));
+              consumed.(y) <- true
+            end
+          | _ -> ())
+        rank)
+    levels.Levelize.by_level;
+  (fusion, consumed)
+
+let compile ?(optimize = false) ?(relayout = true) ?(fuse = true)
+    ?(certify = false) netlist =
+  (* [?certify] translation-validates each pre-pass run
+     ({!Hydra_analyze.Certify}): packed-random I/O equivalence for the
+     optimizer's rewrites, a complete permutation proof for the
+     re-layout. *)
+  let netlist =
+    if optimize then begin
+      let post = Hydra_netlist.Optimize.optimize netlist in
+      if certify then
+        Hydra_analyze.Certify.(
+          ensure (check ~transform:"Optimize.optimize" ~pre:netlist ~post ()));
+      post
+    end
+    else netlist
+  in
+  let netlist =
+    if relayout then begin
+      let post, perm = Layout.rank_major_permutation netlist in
+      if certify then
+        Hydra_analyze.Certify.(
+          ensure
+            (check_permutation ~transform:"Layout.rank_major" ~pre:netlist
+               ~post ~perm));
+      post
+    end
+    else netlist
+  in
+  let levels = Levelize.check netlist in
+  let n = Netlist.size netlist in
+  let fusion, consumed =
+    if fuse then plan_fusion netlist levels
+    else (Array.make n None, Array.make n false)
+  in
+  let kernels =
+    Array.map (build_kernel netlist fusion consumed) levels.Levelize.by_level
+  in
+  let consts = ref [] and dffs = ref [] in
+  Array.iteri
+    (fun i comp ->
+      match comp with
+      | Netlist.Constant b -> consts := (i, b) :: !consts
+      | Netlist.Dffc _ -> dffs := i :: !dffs
+      | _ -> ())
+    netlist.Netlist.components;
+  let dffs = Array.of_list (List.rev !dffs) in
+  let dff_src = Array.map (fun i -> netlist.Netlist.fanin.(i).(0)) dffs in
+  let dff_init =
+    Array.map
+      (fun i ->
+        match netlist.Netlist.components.(i) with
+        | Netlist.Dffc b -> b
+        | _ -> assert false)
+      dffs
+  in
+  let input_index = Hashtbl.create 16 and output_index = Hashtbl.create 16 in
+  List.iter (fun (s, i) -> Hashtbl.replace input_index s i) netlist.Netlist.inputs;
+  List.iter (fun (s, i) -> Hashtbl.replace output_index s i) netlist.Netlist.outputs;
+  let fused = Array.fold_left (fun a c -> if c then a + 1 else a) 0 consumed in
+  {
+    netlist;
+    levels;
+    kernels;
+    consts = Array.of_list (List.rev !consts);
+    dffs;
+    dff_src;
+    dff_init;
+    fused;
+    input_index;
+    output_index;
+  }
+
+let size p = Netlist.size p.netlist
+
+let n_force_slots p = Array.length p.kernels + 1
+
+let force_slot ~what p site =
+  let n = size p in
+  if site < 0 || site >= n then
+    invalid_arg
+      (Printf.sprintf "%s: force site %d out of range (netlist has %d components)"
+         what site n);
+  match p.netlist.Netlist.components.(site) with
+  | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> 0
+  | Netlist.Invc | Netlist.And2c | Netlist.Or2c | Netlist.Xor2c
+  | Netlist.Outport _ ->
+    p.levels.Levelize.levels.(site) + 1
+
+(* Ranks that actually read each component, charged from the kernel
+   source arrays so that fused reads land on the outer gate's rank. *)
+let consumer_ranks p =
+  let n = size p in
+  let acc : int list array = Array.make n [] in
+  let mark rank src =
+    Array.iter
+      (fun s -> match acc.(s) with
+        | r :: _ when r = rank -> ()  (* dedup the common repeat *)
+        | rs -> acc.(s) <- rank :: rs)
+      src
+  in
+  Array.iteri
+    (fun rank k ->
+      mark rank k.inv_src;
+      mark rank k.and_s0;
+      mark rank k.and_s1;
+      mark rank k.or_s0;
+      mark rank k.or_s1;
+      mark rank k.xor_s0;
+      mark rank k.xor_s1;
+      mark rank k.andor_a;
+      mark rank k.andor_b;
+      mark rank k.andor_c;
+      mark rank k.andor_d;
+      mark rank k.orand_a;
+      mark rank k.orand_b;
+      mark rank k.orand_c;
+      mark rank k.xor3_a;
+      mark rank k.xor3_b;
+      mark rank k.xor3_c;
+      mark rank k.out_src)
+    p.kernels;
+  Array.map (fun rs -> Array.of_list (List.sort_uniq compare rs)) acc

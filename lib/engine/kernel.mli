@@ -1,0 +1,100 @@
+(** Shared compile-time plumbing of the word-parallel engines.
+
+    {!Compiled_wide} (one 62-lane word per signal) and {!Slab} (K
+    consecutive words per signal) run the same branch-free per-op loops
+    over the same pre-split index arrays; this module is the common
+    front end that builds them.  [compile] runs the optional
+    [?optimize]/[?relayout] pre-passes (optionally translation-validated
+    by {!Hydra_analyze.Certify}), levelizes, plans kernel fusion, and
+    splits every rank into flat per-gate-kind (dst, src) index arrays.
+    The resulting {!program} is immutable and engine-agnostic: engines
+    layer their own value state (one word or K words per component) on
+    top of it and may share one program between many replicas. *)
+
+(** One levelized rank, pre-split by gate kind: [x_dst.(j)] is evaluated
+    from [x_src*.(j)] for every [j], in any order (all sources settle at
+    strictly lower ranks; fused kernels read the consumed inner gate's
+    sources, which settle earlier still). *)
+type kernel = {
+  inv_dst : int array;
+  inv_src : int array;
+  and_dst : int array;
+  and_s0 : int array;
+  and_s1 : int array;
+  or_dst : int array;
+  or_s0 : int array;
+  or_s1 : int array;
+  xor_dst : int array;
+  xor_s0 : int array;
+  xor_s1 : int array;
+  andor_dst : int array;  (** dst = (a & b) | (c & d) *)
+  andor_a : int array;
+  andor_b : int array;
+  andor_c : int array;
+  andor_d : int array;
+  orand_dst : int array;  (** dst = (a & b) | c *)
+  orand_a : int array;
+  orand_b : int array;
+  orand_c : int array;
+  xor3_dst : int array;  (** dst = a ^ b ^ c *)
+  xor3_a : int array;
+  xor3_b : int array;
+  xor3_c : int array;
+  out_dst : int array;  (** outports: plain word copies *)
+  out_src : int array;
+}
+
+type program = {
+  netlist : Hydra_netlist.Netlist.t;
+      (** the netlist actually compiled (post-optimize, post-relayout) *)
+  levels : Hydra_netlist.Levelize.t;
+  kernels : kernel array;  (** one per levelized rank *)
+  consts : (int * bool) array;  (** component index, constant value *)
+  dffs : int array;
+  dff_src : int array;  (** driver of each dff, indexed like [dffs] *)
+  dff_init : bool array;  (** power-up values, indexed like [dffs] *)
+  fused : int;  (** gates evaluated inside a fused kernel (never stored) *)
+  input_index : (string, int) Hashtbl.t;
+  output_index : (string, int) Hashtbl.t;
+}
+
+val compile :
+  ?optimize:bool ->
+  ?relayout:bool ->
+  ?fuse:bool ->
+  ?certify:bool ->
+  Hydra_netlist.Netlist.t ->
+  program
+(** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
+    circuit.  [~optimize:true] (default false) runs the
+    {!Hydra_netlist.Optimize} pre-pass; [~relayout] (default true)
+    applies the {!Hydra_netlist.Layout.rank_major} memory re-layout;
+    [~fuse] (default true) absorbs fanout-1 inner gates into fused
+    and-or / or-and / xor-chain kernels; [~certify:true] (default
+    false) translation-validates each pre-pass run with
+    {!Hydra_analyze.Certify} and raises
+    {!Hydra_analyze.Certify.Certification_failed} on a lie. *)
+
+val size : program -> int
+(** Component count of the compiled netlist. *)
+
+val force_slot : what:string -> program -> int -> int
+(** The rank-boundary slot at which a forced value on the given
+    component must be applied so that every consumer (always at a
+    strictly higher rank) reads the overridden word: slot 0 (before rank
+    0) for inports, constants and dffs; slot [rank + 1] (right after the
+    component's own rank) for gates and outports.  Raises a descriptive
+    [Invalid_argument] — prefixed with [what] — when the component index
+    is outside the compiled netlist. *)
+
+val n_force_slots : program -> int
+(** Number of force slots: rank count + 1. *)
+
+val consumer_ranks : program -> int array array
+(** [consumer_ranks p] maps every component to the sorted list of ranks
+    whose kernels read it — computed from the kernel source arrays
+    themselves, so a fused inner gate's sources are charged to the
+    *outer* gate's rank (where the read actually happens).  Reads by the
+    dff latch phase are not ranks and are not included.  This is the
+    dependency metadata behind {!Slab}'s activity gating: when a
+    component's word changes, exactly these rank blocks must re-run. *)

@@ -1,0 +1,1076 @@
+(* Multi-word slab simulator: K consecutive 62-lane words per signal in
+   one flat int array.
+
+   {!Compiled_wide} is bounded at 62 lanes because each signal is one
+   tagged int; here signal [i] owns words [i*k .. i*k + k - 1] of the
+   slab, and every kernel loop runs its gate over the whole K-word run
+   before moving on — 62*K lanes per settle pass, with the per-gate
+   dst/src index loads (the bottleneck of the wide engine) amortized K
+   ways and the K value words streaming from consecutive addresses.  The
+   compile pipeline is {!Kernel}, shared with {!Compiled_wide}; the only
+   compile-time addition is pre-scaling every index array by [k] so the
+   hot loops never multiply.
+
+   Inner loops come in three flavors picked at [settle] time: an exact
+   copy of the wide engine's 1-word loops for [k = 1], a 4-way unrolled
+   walk when [4 | k] (the intended operating points k = 4/8/16), and a
+   generic [for w] loop otherwise.
+
+   Activity gating ([~gating:true]) adds per-rank dirty bits over
+   {!Kernel.consumer_ranks}:
+
+   - every mutation (input writes, pokes, the dff latch phase) compares
+     the new word against the old and, on any difference, marks the
+     ranks that read the component;
+   - [settle] skips ranks whose bit is clear and, inside a running rank,
+     change-detects each gate's K-word result to mark *its* readers —
+     consumers always sit at strictly higher ranks, so one ascending
+     sweep propagates exactly the active cone;
+   - a settled engine leaves every bit clear, so repeated settles and
+     quiescent cycles (idle CPU, held sorter inputs) cost a bool scan.
+
+   Change detection costs an extra load and xor per word plus a
+   consumer-marking pass per changed gate — nearly 2x on a circuit
+   whose every rank toggles every cycle.  Gating is therefore
+   adaptive per rank: a rank whose gates changed on [hot_after]
+   consecutive detected runs flips to a {e hot} mode that runs the
+   plain ungated kernels and conservatively marks the union of its
+   consumer ranks, re-probing with detection every [probe_period]
+   runs.  A hot rank that stops being marked dirty simply stops
+   running, so quiescence still propagates instantly; the probe only
+   exists to catch ranks whose inputs keep toggling while their
+   outputs have stabilized.  High-toggle circuits thus pay only the
+   dirty-bit scan and the rare probe (a few percent), while idle
+   workloads keep the full skip.
+
+   Gating is rejected together with {!set_forces}: forces mutate values
+   outside the change-detected paths (and clearing one must un-force
+   ranks that gating would then skip), so campaigns run ungated. *)
+
+module Netlist = Hydra_netlist.Netlist
+module Levelize = Hydra_netlist.Levelize
+module Packed = Hydra_core.Packed
+
+let lanes_per_word = Packed.lanes
+let lane_mask = Packed.lane_mask
+
+type force = {
+  f_site : int;
+  force0 : int array;
+  force1 : int array;
+  flip : int array;
+}
+
+type t = {
+  prog : Kernel.program;
+  k : int;
+  gating : bool;
+  kernels_s : Kernel.kernel array;
+      (* [prog.kernels] with every index pre-scaled by [k] *)
+  consts_s : (int * int) array;  (* scaled base index, broadcast word *)
+  dffs_s : int array;  (* scaled dff bases *)
+  dff_src_s : int array;  (* scaled driver bases *)
+  dff_init_w : int array;  (* broadcast power-up words *)
+  consumers : int array array;
+      (* per (unscaled) component: ranks whose kernels read it *)
+  rank_consumers : int array array;
+      (* per rank: union of its gates' consumer ranks (hot-mode marking) *)
+  values : int array;  (* the slab: size * k + pad *)
+  dff_next : int array;  (* ndffs * k + pad *)
+  rank_dirty : bool array;  (* one bit per rank; only read when gating *)
+  rank_mode : int array;
+      (* 0 = detecting; n > 0 = hot for n more runs before a probe *)
+  rank_streak : int array;
+      (* consecutive changed runs while detecting; at [hot_after], go hot *)
+  mutable cycle : int;
+  mutable force_slots : force array array;
+}
+
+(* Adaptive-gating thresholds: a rank goes hot after this many
+   consecutive changed runs... *)
+let hot_after = 4
+
+(* ...and stays hot for this many runs before one detecting probe.  The
+   probe costs ~2x for that single run (and going hot again takes
+   [hot_after] more probes), so the steady-state overhead of a
+   permanently-toggling rank is [hot_after / (probe_period + hot_after)]
+   of that — about 3%.  The price is recovery latency: a rank whose
+   inputs keep toggling while its outputs have stabilized is only
+   noticed at the next probe. *)
+let probe_period = 128
+
+let k t = t.k
+let words t = t.k
+let lanes t = lanes_per_word * t.k
+let gated t = t.gating
+
+let scale_kernel c (kn : Kernel.kernel) : Kernel.kernel =
+  let s = Array.map (fun i -> i * c) in
+  {
+    inv_dst = s kn.inv_dst;
+    inv_src = s kn.inv_src;
+    and_dst = s kn.and_dst;
+    and_s0 = s kn.and_s0;
+    and_s1 = s kn.and_s1;
+    or_dst = s kn.or_dst;
+    or_s0 = s kn.or_s0;
+    or_s1 = s kn.or_s1;
+    xor_dst = s kn.xor_dst;
+    xor_s0 = s kn.xor_s0;
+    xor_s1 = s kn.xor_s1;
+    andor_dst = s kn.andor_dst;
+    andor_a = s kn.andor_a;
+    andor_b = s kn.andor_b;
+    andor_c = s kn.andor_c;
+    andor_d = s kn.andor_d;
+    orand_dst = s kn.orand_dst;
+    orand_a = s kn.orand_a;
+    orand_b = s kn.orand_b;
+    orand_c = s kn.orand_c;
+    xor3_dst = s kn.xor3_dst;
+    xor3_a = s kn.xor3_a;
+    xor3_b = s kn.xor3_b;
+    xor3_c = s kn.xor3_c;
+    out_dst = s kn.out_dst;
+    out_src = s kn.out_src;
+  }
+
+let apply_initial t =
+  let values = t.values and km1 = t.k - 1 in
+  Array.iter
+    (fun (base, w) ->
+      for x = base to base + km1 do
+        Array.unsafe_set values x w
+      done)
+    t.consts_s;
+  Array.iteri
+    (fun j base ->
+      let w = t.dff_init_w.(j) in
+      for x = base to base + km1 do
+        Array.unsafe_set values x w
+      done)
+    t.dffs_s
+
+(* Cache-line slack so replicas allocated back to back never share a
+   line across domains (cf. {!Compiled_wide}). *)
+let pad = 8
+
+(* Per rank, the sorted union of its gates' consumer ranks: what a hot
+   rank marks after an undetected run. *)
+let rank_consumer_union (prog : Kernel.program) consumers =
+  let nranks = Array.length prog.Kernel.kernels in
+  Array.map
+    (fun (kn : Kernel.kernel) ->
+      let seen = Array.make nranks false in
+      let add comp = Array.iter (fun r -> seen.(r) <- true) consumers.(comp) in
+      Array.iter add kn.inv_dst;
+      Array.iter add kn.and_dst;
+      Array.iter add kn.or_dst;
+      Array.iter add kn.xor_dst;
+      Array.iter add kn.andor_dst;
+      Array.iter add kn.orand_dst;
+      Array.iter add kn.xor3_dst;
+      let out = ref [] in
+      for r = nranks - 1 downto 0 do
+        if seen.(r) then out := r :: !out
+      done;
+      Array.of_list !out)
+    prog.Kernel.kernels
+
+let create ?(k = 8) ?(gating = false) ?(optimize = false) ?(relayout = true)
+    ?(fuse = true) ?(certify = false) netlist =
+  if k < 1 then invalid_arg "Slab.create: k must be >= 1";
+  let prog = Kernel.compile ~optimize ~relayout ~fuse ~certify netlist in
+  let consumers = Kernel.consumer_ranks prog in
+  let nranks = Array.length prog.Kernel.kernels in
+  let t =
+    {
+      prog;
+      k;
+      gating;
+      kernels_s = Array.map (scale_kernel k) prog.Kernel.kernels;
+      consts_s =
+        Array.map (fun (i, b) -> (i * k, Packed.broadcast b)) prog.Kernel.consts;
+      dffs_s = Array.map (fun i -> i * k) prog.Kernel.dffs;
+      dff_src_s = Array.map (fun i -> i * k) prog.Kernel.dff_src;
+      dff_init_w = Array.map Packed.broadcast prog.Kernel.dff_init;
+      consumers;
+      rank_consumers = rank_consumer_union prog consumers;
+      values = Array.make ((Kernel.size prog * k) + pad) 0;
+      dff_next = Array.make ((Array.length prog.Kernel.dffs * k) + pad) 0;
+      rank_dirty = Array.make nranks true;
+      rank_mode = Array.make nranks 0;
+      rank_streak = Array.make nranks 0;
+      cycle = 0;
+      force_slots = [||];
+    }
+  in
+  apply_initial t;
+  t
+
+let replicate t =
+  let r =
+    {
+      t with
+      values = Array.make (Array.length t.values) 0;
+      dff_next = Array.make (Array.length t.dff_next) 0;
+      rank_dirty = Array.make (Array.length t.rank_dirty) true;
+      rank_mode = Array.make (Array.length t.rank_mode) 0;
+      rank_streak = Array.make (Array.length t.rank_streak) 0;
+      cycle = 0;
+      force_slots = [||];
+    }
+  in
+  apply_initial r;
+  r
+
+(* Note the hot/detect adaptation state deliberately survives [reset]:
+   it is a performance cache over the workload's toggle pattern, cannot
+   affect simulated values (hot is conservative), and a reset-step loop
+   re-running the same stimulus is exactly where staying hot pays. *)
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) 0;
+  apply_initial t;
+  Array.fill t.rank_dirty 0 (Array.length t.rank_dirty) true;
+  t.cycle <- 0
+
+let mark_ranks dirty ranks =
+  for x = 0 to Array.length ranks - 1 do
+    Array.unsafe_set dirty (Array.unsafe_get ranks x) true
+  done
+
+let check_word what t w =
+  if w < 0 || w >= t.k then
+    invalid_arg
+      (Printf.sprintf "%s: word index %d out of range (engine has %d words)"
+         what w t.k)
+
+(* Every mutation funnels through here: masked write + (when gating)
+   change detection and consumer marking. *)
+let write_word t comp w v =
+  let v = v land lane_mask in
+  let idx = (comp * t.k) + w in
+  if t.gating then begin
+    if t.values.(idx) <> v then begin
+      t.values.(idx) <- v;
+      mark_ranks t.rank_dirty t.consumers.(comp)
+    end
+  end
+  else t.values.(idx) <- v
+
+let input_comp what t name =
+  match Hashtbl.find_opt t.prog.Kernel.input_index name with
+  | Some i -> i
+  | None -> invalid_arg (what ^ ": unknown input " ^ name)
+
+let set_input_word t name w v =
+  check_word "Slab.set_input_word" t w;
+  write_word t (input_comp "Slab.set_input_word" t name) w v
+
+let set_input t name v = write_word t (input_comp "Slab.set_input" t name) 0 v
+
+let set_input_bool t name b =
+  let comp = input_comp "Slab.set_input_bool" t name in
+  let w = Packed.broadcast b in
+  for j = 0 to t.k - 1 do
+    write_word t comp j w
+  done
+
+let set_input_lane t name lane b =
+  if lane < 0 || lane >= lanes t then
+    invalid_arg
+      (Printf.sprintf "Slab.set_input_lane: lane %d out of range (engine has %d lanes)"
+         lane (lanes t));
+  let comp = input_comp "Slab.set_input_lane" t name in
+  let w = lane / lanes_per_word and bit = lane mod lanes_per_word in
+  write_word t comp w (Packed.set_lane t.values.((comp * t.k) + w) bit b)
+
+let peek_word t i w =
+  check_word "Slab.peek_word" t w;
+  t.values.((i * t.k) + w)
+
+let peek t i = t.values.(i * t.k)
+
+let poke_word t i w v =
+  check_word "Slab.poke_word" t w;
+  write_word t i w v
+
+let poke t i v = write_word t i 0 v
+
+let output_comp what t name =
+  match Hashtbl.find_opt t.prog.Kernel.output_index name with
+  | Some i -> i
+  | None -> invalid_arg (what ^ ": unknown output " ^ name)
+
+let output_word t name w =
+  check_word "Slab.output_word" t w;
+  t.values.((output_comp "Slab.output_word" t name * t.k) + w)
+
+let output t name = t.values.(output_comp "Slab.output" t name * t.k)
+
+let output_lane t name lane =
+  if lane < 0 || lane >= lanes t then
+    invalid_arg
+      (Printf.sprintf "Slab.output_lane: lane %d out of range (engine has %d lanes)"
+         lane (lanes t));
+  let comp = output_comp "Slab.output_lane" t name in
+  Packed.lane
+    t.values.((comp * t.k) + (lane / lanes_per_word))
+    (lane mod lanes_per_word)
+
+let outputs t =
+  List.map
+    (fun (s, i) -> (s, t.values.(i * t.k)))
+    t.prog.Kernel.netlist.Netlist.outputs
+
+let cycle t = t.cycle
+let netlist t = t.prog.Kernel.netlist
+let critical_path t = t.prog.Kernel.levels.Levelize.critical_path
+let fused_gates t = t.prog.Kernel.fused
+
+let set_forces t forces =
+  if t.prog.Kernel.fused > 0 then
+    invalid_arg "Slab.set_forces: requires an engine built with ~fuse:false";
+  if t.gating then
+    invalid_arg "Slab.set_forces: requires an engine built with ~gating:false";
+  let slots = Array.make (Kernel.n_force_slots t.prog) [] in
+  Array.iter
+    (fun f ->
+      if
+        Array.length f.force0 <> t.k
+        || Array.length f.force1 <> t.k
+        || Array.length f.flip <> t.k
+      then
+        invalid_arg
+          (Printf.sprintf "Slab.set_forces: mask arrays must have k = %d words"
+             t.k);
+      let slot = Kernel.force_slot ~what:"Slab.set_forces" t.prog f.f_site in
+      slots.(slot) <- f :: slots.(slot))
+    forces;
+  t.force_slots <- Array.map (fun l -> Array.of_list (List.rev l)) slots
+
+let clear_forces t = t.force_slots <- [||]
+
+let apply_forces t slot =
+  let values = t.values and k = t.k in
+  for j = 0 to Array.length slot - 1 do
+    let f = Array.unsafe_get slot j in
+    let base = f.f_site * k in
+    for w = 0 to k - 1 do
+      let v = Array.unsafe_get values (base + w) in
+      Array.unsafe_set values (base + w)
+        ((((v land lnot (Array.unsafe_get f.force0 w))
+          lor Array.unsafe_get f.force1 w)
+         lxor Array.unsafe_get f.flip w)
+        land lane_mask)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ungated settle, k = 1: the wide engine's loops verbatim (scaled
+   indices are the plain indices).                                     *)
+
+let settle_rank_k1 values (kn : Kernel.kernel) =
+  let dst = kn.inv_dst and src = kn.inv_src in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (lnot (Array.unsafe_get values (Array.unsafe_get src j)) land lane_mask)
+  done;
+  let dst = kn.and_dst and s0 = kn.and_s0 and s1 = kn.and_s1 in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get s0 j)
+      land Array.unsafe_get values (Array.unsafe_get s1 j))
+  done;
+  let dst = kn.or_dst and s0 = kn.or_s0 and s1 = kn.or_s1 in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get s0 j)
+      lor Array.unsafe_get values (Array.unsafe_get s1 j))
+  done;
+  let dst = kn.xor_dst and s0 = kn.xor_s0 and s1 = kn.xor_s1 in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get s0 j)
+      lxor Array.unsafe_get values (Array.unsafe_get s1 j))
+  done;
+  let dst = kn.andor_dst and a = kn.andor_a and b = kn.andor_b
+  and c = kn.andor_c and d = kn.andor_d in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get a j)
+       land Array.unsafe_get values (Array.unsafe_get b j)
+      lor (Array.unsafe_get values (Array.unsafe_get c j)
+          land Array.unsafe_get values (Array.unsafe_get d j)))
+  done;
+  let dst = kn.orand_dst and a = kn.orand_a and b = kn.orand_b
+  and c = kn.orand_c in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get a j)
+       land Array.unsafe_get values (Array.unsafe_get b j)
+      lor Array.unsafe_get values (Array.unsafe_get c j))
+  done;
+  let dst = kn.xor3_dst and a = kn.xor3_a and b = kn.xor3_b and c = kn.xor3_c in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get a j)
+      lxor Array.unsafe_get values (Array.unsafe_get b j)
+      lxor Array.unsafe_get values (Array.unsafe_get c j))
+  done;
+  let dst = kn.out_dst and src = kn.out_src in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get src j))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ungated settle, 4 | k: each gate walks its K-word run 4 words per
+   iteration — the index loads happen once per gate, the word traffic
+   streams.                                                            *)
+
+let settle_rank_quad values k (kn : Kernel.kernel) =
+  let dst = kn.inv_dst and src = kn.inv_src in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j and s = Array.unsafe_get src j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q)
+        (lnot (Array.unsafe_get values (s + q)) land lane_mask);
+      Array.unsafe_set values (d + q + 1)
+        (lnot (Array.unsafe_get values (s + q + 1)) land lane_mask);
+      Array.unsafe_set values (d + q + 2)
+        (lnot (Array.unsafe_get values (s + q + 2)) land lane_mask);
+      Array.unsafe_set values (d + q + 3)
+        (lnot (Array.unsafe_get values (s + q + 3)) land lane_mask);
+      w := q + 4
+    done
+  done;
+  let dst = kn.and_dst and s0 = kn.and_s0 and s1 = kn.and_s1 in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and a = Array.unsafe_get s0 j
+    and b = Array.unsafe_get s1 j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q)
+        (Array.unsafe_get values (a + q) land Array.unsafe_get values (b + q));
+      Array.unsafe_set values (d + q + 1)
+        (Array.unsafe_get values (a + q + 1)
+        land Array.unsafe_get values (b + q + 1));
+      Array.unsafe_set values (d + q + 2)
+        (Array.unsafe_get values (a + q + 2)
+        land Array.unsafe_get values (b + q + 2));
+      Array.unsafe_set values (d + q + 3)
+        (Array.unsafe_get values (a + q + 3)
+        land Array.unsafe_get values (b + q + 3));
+      w := q + 4
+    done
+  done;
+  let dst = kn.or_dst and s0 = kn.or_s0 and s1 = kn.or_s1 in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and a = Array.unsafe_get s0 j
+    and b = Array.unsafe_get s1 j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q)
+        (Array.unsafe_get values (a + q) lor Array.unsafe_get values (b + q));
+      Array.unsafe_set values (d + q + 1)
+        (Array.unsafe_get values (a + q + 1)
+        lor Array.unsafe_get values (b + q + 1));
+      Array.unsafe_set values (d + q + 2)
+        (Array.unsafe_get values (a + q + 2)
+        lor Array.unsafe_get values (b + q + 2));
+      Array.unsafe_set values (d + q + 3)
+        (Array.unsafe_get values (a + q + 3)
+        lor Array.unsafe_get values (b + q + 3));
+      w := q + 4
+    done
+  done;
+  let dst = kn.xor_dst and s0 = kn.xor_s0 and s1 = kn.xor_s1 in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and a = Array.unsafe_get s0 j
+    and b = Array.unsafe_get s1 j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q)
+        (Array.unsafe_get values (a + q) lxor Array.unsafe_get values (b + q));
+      Array.unsafe_set values (d + q + 1)
+        (Array.unsafe_get values (a + q + 1)
+        lxor Array.unsafe_get values (b + q + 1));
+      Array.unsafe_set values (d + q + 2)
+        (Array.unsafe_get values (a + q + 2)
+        lxor Array.unsafe_get values (b + q + 2));
+      Array.unsafe_set values (d + q + 3)
+        (Array.unsafe_get values (a + q + 3)
+        lxor Array.unsafe_get values (b + q + 3));
+      w := q + 4
+    done
+  done;
+  let dst = kn.andor_dst and a = kn.andor_a and b = kn.andor_b
+  and c = kn.andor_c and d4 = kn.andor_d in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and pa = Array.unsafe_get a j
+    and pb = Array.unsafe_get b j
+    and pc = Array.unsafe_get c j
+    and pd = Array.unsafe_get d4 j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q)
+        (Array.unsafe_get values (pa + q)
+         land Array.unsafe_get values (pb + q)
+        lor (Array.unsafe_get values (pc + q)
+            land Array.unsafe_get values (pd + q)));
+      Array.unsafe_set values (d + q + 1)
+        (Array.unsafe_get values (pa + q + 1)
+         land Array.unsafe_get values (pb + q + 1)
+        lor (Array.unsafe_get values (pc + q + 1)
+            land Array.unsafe_get values (pd + q + 1)));
+      Array.unsafe_set values (d + q + 2)
+        (Array.unsafe_get values (pa + q + 2)
+         land Array.unsafe_get values (pb + q + 2)
+        lor (Array.unsafe_get values (pc + q + 2)
+            land Array.unsafe_get values (pd + q + 2)));
+      Array.unsafe_set values (d + q + 3)
+        (Array.unsafe_get values (pa + q + 3)
+         land Array.unsafe_get values (pb + q + 3)
+        lor (Array.unsafe_get values (pc + q + 3)
+            land Array.unsafe_get values (pd + q + 3)));
+      w := q + 4
+    done
+  done;
+  let dst = kn.orand_dst and a = kn.orand_a and b = kn.orand_b
+  and c = kn.orand_c in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and pa = Array.unsafe_get a j
+    and pb = Array.unsafe_get b j
+    and pc = Array.unsafe_get c j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q)
+        (Array.unsafe_get values (pa + q)
+         land Array.unsafe_get values (pb + q)
+        lor Array.unsafe_get values (pc + q));
+      Array.unsafe_set values (d + q + 1)
+        (Array.unsafe_get values (pa + q + 1)
+         land Array.unsafe_get values (pb + q + 1)
+        lor Array.unsafe_get values (pc + q + 1));
+      Array.unsafe_set values (d + q + 2)
+        (Array.unsafe_get values (pa + q + 2)
+         land Array.unsafe_get values (pb + q + 2)
+        lor Array.unsafe_get values (pc + q + 2));
+      Array.unsafe_set values (d + q + 3)
+        (Array.unsafe_get values (pa + q + 3)
+         land Array.unsafe_get values (pb + q + 3)
+        lor Array.unsafe_get values (pc + q + 3));
+      w := q + 4
+    done
+  done;
+  let dst = kn.xor3_dst and a = kn.xor3_a and b = kn.xor3_b and c = kn.xor3_c in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and pa = Array.unsafe_get a j
+    and pb = Array.unsafe_get b j
+    and pc = Array.unsafe_get c j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q)
+        (Array.unsafe_get values (pa + q)
+        lxor Array.unsafe_get values (pb + q)
+        lxor Array.unsafe_get values (pc + q));
+      Array.unsafe_set values (d + q + 1)
+        (Array.unsafe_get values (pa + q + 1)
+        lxor Array.unsafe_get values (pb + q + 1)
+        lxor Array.unsafe_get values (pc + q + 1));
+      Array.unsafe_set values (d + q + 2)
+        (Array.unsafe_get values (pa + q + 2)
+        lxor Array.unsafe_get values (pb + q + 2)
+        lxor Array.unsafe_get values (pc + q + 2));
+      Array.unsafe_set values (d + q + 3)
+        (Array.unsafe_get values (pa + q + 3)
+        lxor Array.unsafe_get values (pb + q + 3)
+        lxor Array.unsafe_get values (pc + q + 3));
+      w := q + 4
+    done
+  done;
+  let dst = kn.out_dst and src = kn.out_src in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j and s = Array.unsafe_get src j in
+    let w = ref 0 in
+    while !w < k do
+      let q = !w in
+      Array.unsafe_set values (d + q) (Array.unsafe_get values (s + q));
+      Array.unsafe_set values (d + q + 1) (Array.unsafe_get values (s + q + 1));
+      Array.unsafe_set values (d + q + 2) (Array.unsafe_get values (s + q + 2));
+      Array.unsafe_set values (d + q + 3) (Array.unsafe_get values (s + q + 3));
+      w := q + 4
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ungated settle, any k: plain [for w] inner loops.                   *)
+
+let settle_rank_gen values k (kn : Kernel.kernel) =
+  let km1 = k - 1 in
+  let dst = kn.inv_dst and src = kn.inv_src in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j and s = Array.unsafe_get src j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w)
+        (lnot (Array.unsafe_get values (s + w)) land lane_mask)
+    done
+  done;
+  let dst = kn.and_dst and s0 = kn.and_s0 and s1 = kn.and_s1 in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and a = Array.unsafe_get s0 j
+    and b = Array.unsafe_get s1 j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w)
+        (Array.unsafe_get values (a + w) land Array.unsafe_get values (b + w))
+    done
+  done;
+  let dst = kn.or_dst and s0 = kn.or_s0 and s1 = kn.or_s1 in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and a = Array.unsafe_get s0 j
+    and b = Array.unsafe_get s1 j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w)
+        (Array.unsafe_get values (a + w) lor Array.unsafe_get values (b + w))
+    done
+  done;
+  let dst = kn.xor_dst and s0 = kn.xor_s0 and s1 = kn.xor_s1 in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and a = Array.unsafe_get s0 j
+    and b = Array.unsafe_get s1 j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w)
+        (Array.unsafe_get values (a + w) lxor Array.unsafe_get values (b + w))
+    done
+  done;
+  let dst = kn.andor_dst and a = kn.andor_a and b = kn.andor_b
+  and c = kn.andor_c and d4 = kn.andor_d in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and pa = Array.unsafe_get a j
+    and pb = Array.unsafe_get b j
+    and pc = Array.unsafe_get c j
+    and pd = Array.unsafe_get d4 j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w)
+        (Array.unsafe_get values (pa + w)
+         land Array.unsafe_get values (pb + w)
+        lor (Array.unsafe_get values (pc + w)
+            land Array.unsafe_get values (pd + w)))
+    done
+  done;
+  let dst = kn.orand_dst and a = kn.orand_a and b = kn.orand_b
+  and c = kn.orand_c in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and pa = Array.unsafe_get a j
+    and pb = Array.unsafe_get b j
+    and pc = Array.unsafe_get c j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w)
+        (Array.unsafe_get values (pa + w)
+         land Array.unsafe_get values (pb + w)
+        lor Array.unsafe_get values (pc + w))
+    done
+  done;
+  let dst = kn.xor3_dst and a = kn.xor3_a and b = kn.xor3_b and c = kn.xor3_c in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j
+    and pa = Array.unsafe_get a j
+    and pb = Array.unsafe_get b j
+    and pc = Array.unsafe_get c j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w)
+        (Array.unsafe_get values (pa + w)
+        lxor Array.unsafe_get values (pb + w)
+        lxor Array.unsafe_get values (pc + w))
+    done
+  done;
+  let dst = kn.out_dst and src = kn.out_src in
+  for j = 0 to Array.length dst - 1 do
+    let d = Array.unsafe_get dst j and s = Array.unsafe_get src j in
+    for w = 0 to km1 do
+      Array.unsafe_set values (d + w) (Array.unsafe_get values (s + w))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Gated settle, detecting run: change-detect each gate's K-word result
+   and mark its reader ranks.  Slightly more work per evaluated gate
+   than the ungated loops (one extra load and an xor per word) — the
+   payoff is the ranks never entered.  Returns whether any gate in the
+   rank changed, feeding the hot/detect adaptation.                    *)
+
+let settle_rank_detect t (kn : Kernel.kernel) (pk : Kernel.kernel) =
+  let values = t.values and k = t.k in
+  let km1 = k - 1 in
+  let dirty = t.rank_dirty and consumers = t.consumers in
+  let changed = ref false in
+  let dst = kn.inv_dst and src = kn.inv_src and dst_u = pk.inv_dst in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j and s = Array.unsafe_get src j in
+        let diff = ref 0 in
+        for w = 0 to km1 do
+          let old = Array.unsafe_get values (d + w) in
+          let nv = lnot (Array.unsafe_get values (s + w)) land lane_mask in
+          diff := !diff lor (old lxor nv);
+          Array.unsafe_set values (d + w) nv
+        done;
+        if !diff <> 0 then begin
+          changed := true;
+          mark_ranks dirty consumers.(Array.unsafe_get dst_u j)
+        end
+      done;
+      let dst = kn.and_dst and s0 = kn.and_s0 and s1 = kn.and_s1
+      and dst_u = pk.and_dst in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j
+        and a = Array.unsafe_get s0 j
+        and b = Array.unsafe_get s1 j in
+        let diff = ref 0 in
+        for w = 0 to km1 do
+          let old = Array.unsafe_get values (d + w) in
+          let nv =
+            Array.unsafe_get values (a + w) land Array.unsafe_get values (b + w)
+          in
+          diff := !diff lor (old lxor nv);
+          Array.unsafe_set values (d + w) nv
+        done;
+        if !diff <> 0 then begin
+          changed := true;
+          mark_ranks dirty consumers.(Array.unsafe_get dst_u j)
+        end
+      done;
+      let dst = kn.or_dst and s0 = kn.or_s0 and s1 = kn.or_s1
+      and dst_u = pk.or_dst in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j
+        and a = Array.unsafe_get s0 j
+        and b = Array.unsafe_get s1 j in
+        let diff = ref 0 in
+        for w = 0 to km1 do
+          let old = Array.unsafe_get values (d + w) in
+          let nv =
+            Array.unsafe_get values (a + w) lor Array.unsafe_get values (b + w)
+          in
+          diff := !diff lor (old lxor nv);
+          Array.unsafe_set values (d + w) nv
+        done;
+        if !diff <> 0 then begin
+          changed := true;
+          mark_ranks dirty consumers.(Array.unsafe_get dst_u j)
+        end
+      done;
+      let dst = kn.xor_dst and s0 = kn.xor_s0 and s1 = kn.xor_s1
+      and dst_u = pk.xor_dst in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j
+        and a = Array.unsafe_get s0 j
+        and b = Array.unsafe_get s1 j in
+        let diff = ref 0 in
+        for w = 0 to km1 do
+          let old = Array.unsafe_get values (d + w) in
+          let nv =
+            Array.unsafe_get values (a + w) lxor Array.unsafe_get values (b + w)
+          in
+          diff := !diff lor (old lxor nv);
+          Array.unsafe_set values (d + w) nv
+        done;
+        if !diff <> 0 then begin
+          changed := true;
+          mark_ranks dirty consumers.(Array.unsafe_get dst_u j)
+        end
+      done;
+      let dst = kn.andor_dst and a = kn.andor_a and b = kn.andor_b
+      and c = kn.andor_c and d4 = kn.andor_d and dst_u = pk.andor_dst in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j
+        and pa = Array.unsafe_get a j
+        and pb = Array.unsafe_get b j
+        and pc = Array.unsafe_get c j
+        and pd = Array.unsafe_get d4 j in
+        let diff = ref 0 in
+        for w = 0 to km1 do
+          let old = Array.unsafe_get values (d + w) in
+          let nv =
+            Array.unsafe_get values (pa + w)
+             land Array.unsafe_get values (pb + w)
+            lor (Array.unsafe_get values (pc + w)
+                land Array.unsafe_get values (pd + w))
+          in
+          diff := !diff lor (old lxor nv);
+          Array.unsafe_set values (d + w) nv
+        done;
+        if !diff <> 0 then begin
+          changed := true;
+          mark_ranks dirty consumers.(Array.unsafe_get dst_u j)
+        end
+      done;
+      let dst = kn.orand_dst and a = kn.orand_a and b = kn.orand_b
+      and c = kn.orand_c and dst_u = pk.orand_dst in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j
+        and pa = Array.unsafe_get a j
+        and pb = Array.unsafe_get b j
+        and pc = Array.unsafe_get c j in
+        let diff = ref 0 in
+        for w = 0 to km1 do
+          let old = Array.unsafe_get values (d + w) in
+          let nv =
+            Array.unsafe_get values (pa + w)
+             land Array.unsafe_get values (pb + w)
+            lor Array.unsafe_get values (pc + w)
+          in
+          diff := !diff lor (old lxor nv);
+          Array.unsafe_set values (d + w) nv
+        done;
+        if !diff <> 0 then begin
+          changed := true;
+          mark_ranks dirty consumers.(Array.unsafe_get dst_u j)
+        end
+      done;
+      let dst = kn.xor3_dst and a = kn.xor3_a and b = kn.xor3_b
+      and c = kn.xor3_c and dst_u = pk.xor3_dst in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j
+        and pa = Array.unsafe_get a j
+        and pb = Array.unsafe_get b j
+        and pc = Array.unsafe_get c j in
+        let diff = ref 0 in
+        for w = 0 to km1 do
+          let old = Array.unsafe_get values (d + w) in
+          let nv =
+            Array.unsafe_get values (pa + w)
+            lxor Array.unsafe_get values (pb + w)
+            lxor Array.unsafe_get values (pc + w)
+          in
+          diff := !diff lor (old lxor nv);
+          Array.unsafe_set values (d + w) nv
+        done;
+        if !diff <> 0 then begin
+          changed := true;
+          mark_ranks dirty consumers.(Array.unsafe_get dst_u j)
+        end
+      done;
+      (* outports have no consumer ranks: plain copies, no detection *)
+      let dst = kn.out_dst and src = kn.out_src in
+      for j = 0 to Array.length dst - 1 do
+        let d = Array.unsafe_get dst j and s = Array.unsafe_get src j in
+        for w = 0 to km1 do
+          Array.unsafe_set values (d + w) (Array.unsafe_get values (s + w))
+        done
+      done;
+      !changed
+
+(* Gated settle: run only dirty ranks; hot ranks take the fast ungated
+   loops and mark their whole consumer union, detecting ranks pay for
+   precision and drive the mode transitions. *)
+let settle_gated t =
+  let values = t.values and k = t.k in
+  let dirty = t.rank_dirty in
+  let kernels = t.kernels_s and pkernels = t.prog.Kernel.kernels in
+  let modes = t.rank_mode and streaks = t.rank_streak in
+  for lvl = 0 to Array.length kernels - 1 do
+    if Array.unsafe_get dirty lvl then begin
+      Array.unsafe_set dirty lvl false;
+      let kn : Kernel.kernel = Array.unsafe_get kernels lvl in
+      let mode = Array.unsafe_get modes lvl in
+      if mode > 0 then begin
+        Array.unsafe_set modes lvl (mode - 1);
+        if k = 1 then settle_rank_k1 values kn
+        else if k land 3 = 0 then settle_rank_quad values k kn
+        else settle_rank_gen values k kn;
+        mark_ranks dirty t.rank_consumers.(lvl)
+      end
+      else if settle_rank_detect t kn (Array.unsafe_get pkernels lvl) then begin
+        let s = Array.unsafe_get streaks lvl + 1 in
+        if s >= hot_after then begin
+          Array.unsafe_set streaks lvl 0;
+          Array.unsafe_set modes lvl probe_period
+        end
+        else Array.unsafe_set streaks lvl s
+      end
+      else Array.unsafe_set streaks lvl 0
+    end
+  done
+
+let settle t =
+  if t.gating then settle_gated t
+  else begin
+    let values = t.values and k = t.k in
+    let kernels = t.kernels_s in
+    let slots = t.force_slots in
+    let forced = Array.length slots > 0 in
+    if forced then apply_forces t (Array.unsafe_get slots 0);
+    if k = 1 then
+      for lvl = 0 to Array.length kernels - 1 do
+        settle_rank_k1 values (Array.unsafe_get kernels lvl);
+        if forced then apply_forces t (Array.unsafe_get slots (lvl + 1))
+      done
+    else if k land 3 = 0 then
+      for lvl = 0 to Array.length kernels - 1 do
+        settle_rank_quad values k (Array.unsafe_get kernels lvl);
+        if forced then apply_forces t (Array.unsafe_get slots (lvl + 1))
+      done
+    else
+      for lvl = 0 to Array.length kernels - 1 do
+        settle_rank_gen values k (Array.unsafe_get kernels lvl);
+        if forced then apply_forces t (Array.unsafe_get slots (lvl + 1))
+      done
+  end
+
+let tick t =
+  let values = t.values and next = t.dff_next and k = t.k in
+  let km1 = k - 1 in
+  let dffs = t.dffs_s and src = t.dff_src_s in
+  let n = Array.length dffs in
+  for j = 0 to n - 1 do
+    let s = Array.unsafe_get src j and base = j * k in
+    for w = 0 to km1 do
+      Array.unsafe_set next (base + w) (Array.unsafe_get values (s + w))
+    done
+  done;
+  if t.gating then begin
+    let dirty = t.rank_dirty
+    and consumers = t.consumers
+    and dffs_u = t.prog.Kernel.dffs in
+    for j = 0 to n - 1 do
+      let d = Array.unsafe_get dffs j and base = j * k in
+      let diff = ref 0 in
+      for w = 0 to km1 do
+        let old = Array.unsafe_get values (d + w) in
+        let nv = Array.unsafe_get next (base + w) in
+        diff := !diff lor (old lxor nv);
+        Array.unsafe_set values (d + w) nv
+      done;
+      if !diff <> 0 then
+        mark_ranks dirty consumers.(Array.unsafe_get dffs_u j)
+    done
+  end
+  else
+    for j = 0 to n - 1 do
+      let d = Array.unsafe_get dffs j and base = j * k in
+      for w = 0 to km1 do
+        Array.unsafe_set values (d + w) (Array.unsafe_get next (base + w))
+      done
+    done;
+  t.cycle <- t.cycle + 1
+
+let step t =
+  settle t;
+  tick t
+
+let run_packed t ~inputs ~cycles =
+  reset t;
+  let rows = ref [] in
+  for c = 0 to cycles - 1 do
+    List.iter
+      (fun (name, vals) ->
+        let value = match List.nth_opt vals c with Some w -> w | None -> 0 in
+        let comp = input_comp "Slab.run_packed" t name in
+        for w = 0 to t.k - 1 do
+          write_word t comp w value
+        done)
+      inputs;
+    settle t;
+    rows := outputs t :: !rows;
+    tick t
+  done;
+  List.rev !rows
+
+let run_vectors t vectors =
+  let nvec = Array.length vectors in
+  let nl = netlist t in
+  let in_ports = Array.of_list nl.Netlist.inputs in
+  let out_ports = Array.of_list nl.Netlist.outputs in
+  let nin = Array.length in_ports and nout = Array.length out_ports in
+  Array.iter
+    (fun v ->
+      if Array.length v <> nin then
+        invalid_arg "Slab.run_vectors: vector arity mismatch")
+    vectors;
+  let per_pass = lanes t in
+  let results = Array.make nvec [||] in
+  let npasses = (nvec + per_pass - 1) / per_pass in
+  for p = 0 to npasses - 1 do
+    let base = p * per_pass in
+    let count = min per_pass (nvec - base) in
+    reset t;
+    for j = 0 to nin - 1 do
+      let comp = snd in_ports.(j) in
+      for w = 0 to t.k - 1 do
+        let word = ref 0 in
+        let lo = w * lanes_per_word in
+        let hi = min (lo + lanes_per_word) count in
+        for l = lo to hi - 1 do
+          if vectors.(base + l).(j) then word := !word lor (1 lsl (l - lo))
+        done;
+        write_word t comp w !word
+      done
+    done;
+    settle t;
+    let out_words =
+      Array.map
+        (fun (_, i) -> Array.init t.k (fun w -> t.values.((i * t.k) + w)))
+        out_ports
+    in
+    for l = 0 to count - 1 do
+      let w = l / lanes_per_word and bit = l mod lanes_per_word in
+      results.(base + l) <-
+        Array.init nout (fun j -> Packed.lane out_words.(j).(w) bit)
+    done
+  done;
+  results
+
+let engine ?(gating = false) kk : (module Engine_intf.S) =
+  if kk < 1 then invalid_arg "Slab.engine: k must be >= 1";
+  (module struct
+    type nonrec t = t
+
+    let name =
+      Printf.sprintf "slab(k=%d%s)" kk (if gating then ",gated" else "")
+
+    let create ?optimize ?relayout ?fuse ?certify nl =
+      create ~k:kk ~gating ?optimize ?relayout ?fuse ?certify nl
+
+    let words = words
+    let replicate = replicate
+    let reset = reset
+    let set_input_word = set_input_word
+    let set_input_lane = set_input_lane
+    let settle = settle
+    let tick = tick
+    let step = step
+    let output_word = output_word
+    let output_lane = output_lane
+    let peek_word = peek_word
+    let poke_word = poke_word
+    let cycle = cycle
+    let netlist = netlist
+  end)

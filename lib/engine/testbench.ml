@@ -148,117 +148,138 @@ let run ?(engine = `Compiled) ~cycles ~stimuli ~expectations netlist =
       List.map (fun n -> (n, List.rev (Hashtbl.find traces n))) out_names;
   }
 
-(* Batched test benches on the wide engine: up to 62 independent cases
-   (each its own stimuli + expectations over the same netlist) ride in
-   the lanes of one Compiled_wide simulation, so N cases cost ceil(N/62)
-   sequential runs.  Cases may drive different ports; a port no case
-   drives in some lane simply stays 0 there, exactly as in a scalar
-   run.  With [?sharded], the 62-case chunks become sharded jobs on the
-   engine's persistent per-domain replicas. *)
-let run_batched ?sharded ~cycles ~cases netlist =
-  let module W = Compiled_wide in
+(* Batched test benches on a lane-packed engine: up to [62 x words]
+   independent cases (each its own stimuli + expectations over the same
+   netlist) ride in the lanes of one word-parallel simulation, so N cases
+   cost ceil(N/lanes) sequential runs.  Cases may drive different ports;
+   a port no case drives in some lane simply stays 0 there, exactly as in
+   a scalar run.  The chunk runner is a functor over {!Engine_intf.S} so
+   the same checking code serves {!Compiled_wide} (the default, 62 cases
+   per chunk) and any [?engine] handle such as {!Slab.engine} (62*K cases
+   per chunk).  With [?sharded], the 62-case chunks become sharded jobs
+   on the wide engine's persistent per-domain replicas. *)
+let run_batched ?sharded ?engine ~cycles ~cases netlist =
   let ncases = Array.length cases in
   let out_names = List.map fst netlist.Netlist.outputs in
   let reports = Array.make ncases { cycles_run = 0; failures = []; observed = [] } in
-  let nchunks = (ncases + W.lanes - 1) / W.lanes in
-  let run_chunk sim chunk =
-    let base = chunk * W.lanes in
-    let count = min W.lanes (ncases - base) in
-    W.reset sim;
-    let traces = Hashtbl.create 16 in
-    List.iter (fun n -> Hashtbl.replace traces n []) out_names;
-    let failures = Array.make count [] in
-    for t = 0 to cycles - 1 do
-      for l = 0 to count - 1 do
-        let stimuli, _ = cases.(base + l) in
+  let module Run (E : Engine_intf.S) = struct
+    (* lane [l] of chunk [c] carries case [c * lanes + l]; reads go
+       through word [l / 62], bit [l mod 62] *)
+    let chunk sim c =
+      let words = E.words sim in
+      let lanes = Hydra_core.Packed.lanes * words in
+      let base = c * lanes in
+      let count = min lanes (ncases - base) in
+      E.reset sim;
+      let traces = Hashtbl.create 16 in
+      List.iter (fun n -> Hashtbl.replace traces n []) out_names;
+      let failures = Array.make count [] in
+      let lane_of ws l =
+        Hydra_core.Packed.lane
+          ws.(l / Hydra_core.Packed.lanes)
+          (l mod Hydra_core.Packed.lanes)
+      in
+      for t = 0 to cycles - 1 do
+        for l = 0 to count - 1 do
+          let stimuli, _ = cases.(base + l) in
+          List.iter
+            (fun stim ->
+              List.iter2
+                (fun port v -> E.set_input_lane sim port l v)
+                (bit_port_names stim) (value_at stim t))
+            stimuli
+        done;
+        E.settle sim;
+        let outs =
+          List.map (fun n -> (n, Array.init words (E.output_word sim n))) out_names
+        in
         List.iter
-          (fun stim ->
-            List.iter2
-              (fun port v -> W.set_input_lane sim port l v)
-              (bit_port_names stim) (value_at stim t))
-          stimuli
-      done;
-      W.settle sim;
-      let outs = W.outputs sim in
-      List.iter
-        (fun (n, w) -> Hashtbl.replace traces n (w :: Hashtbl.find traces n))
-        outs;
-      for l = 0 to count - 1 do
-        let _, expectations = cases.(base + l) in
-        let fail f = failures.(l) <- f :: failures.(l) in
-        List.iter
-          (fun exp ->
-            match exp with
-            | Expect_bit { cycle; port; value } when cycle = t -> (
-                match List.assoc_opt port outs with
-                | Some w ->
-                  let got = Hydra_core.Packed.lane w l in
-                  if got <> value then
+          (fun (n, ws) -> Hashtbl.replace traces n (ws :: Hashtbl.find traces n))
+          outs;
+        for l = 0 to count - 1 do
+          let _, expectations = cases.(base + l) in
+          let fail f = failures.(l) <- f :: failures.(l) in
+          List.iter
+            (fun exp ->
+              match exp with
+              | Expect_bit { cycle; port; value } when cycle = t -> (
+                  match List.assoc_opt port outs with
+                  | Some ws ->
+                    let got = lane_of ws l in
+                    if got <> value then
+                      fail
+                        {
+                          at_cycle = t;
+                          what = port;
+                          expected = string_of_bool value;
+                          got = string_of_bool got;
+                        }
+                  | None ->
                     fail
-                      {
-                        at_cycle = t;
-                        what = port;
-                        expected = string_of_bool value;
-                        got = string_of_bool got;
-                      }
-                | None ->
-                  fail
-                    { at_cycle = t; what = port; expected = "port"; got = "missing" })
-            | Expect_word { cycle; prefix; width; value } when cycle = t -> (
-                let bits =
-                  List.init width (fun i ->
-                      List.assoc_opt (Printf.sprintf "%s%d" prefix i) outs)
-                in
-                if List.exists Option.is_none bits then
-                  fail
-                    {
-                      at_cycle = t;
-                      what = prefix;
-                      expected = "word ports";
-                      got = "missing";
-                    }
-                else
-                  let got =
-                    Hydra_core.Bitvec.to_int
-                      (List.map
-                         (fun w -> Hydra_core.Packed.lane (Option.get w) l)
-                         bits)
+                      { at_cycle = t; what = port; expected = "port"; got = "missing" })
+              | Expect_word { cycle; prefix; width; value } when cycle = t -> (
+                  let bits =
+                    List.init width (fun i ->
+                        List.assoc_opt (Printf.sprintf "%s%d" prefix i) outs)
                   in
-                  if got <> value then
+                  if List.exists Option.is_none bits then
                     fail
                       {
                         at_cycle = t;
                         what = prefix;
-                        expected = string_of_int value;
-                        got = string_of_int got;
-                      })
-            | Expect_bit _ | Expect_word _ -> ())
-          expectations
+                        expected = "word ports";
+                        got = "missing";
+                      }
+                  else
+                    let got =
+                      Hydra_core.Bitvec.to_int
+                        (List.map (fun ws -> lane_of (Option.get ws) l) bits)
+                    in
+                    if got <> value then
+                      fail
+                        {
+                          at_cycle = t;
+                          what = prefix;
+                          expected = string_of_int value;
+                          got = string_of_int got;
+                        })
+              | Expect_bit _ | Expect_word _ -> ())
+            expectations
+        done;
+        E.tick sim
       done;
-      W.tick sim
-    done;
-    for l = 0 to count - 1 do
-      reports.(base + l) <-
-        {
-          cycles_run = cycles;
-          failures = List.rev failures.(l);
-          observed =
-            List.map
-              (fun n ->
-                ( n,
-                  List.rev_map
-                    (fun w -> Hydra_core.Packed.lane w l)
-                    (Hashtbl.find traces n) ))
-              out_names;
-        }
-    done
-  in
-  (match sharded with
-  | Some sh -> Sharded.dispatch sh nchunks run_chunk
-  | None ->
-    let base_sim = W.create netlist in
+      for l = 0 to count - 1 do
+        reports.(base + l) <-
+          {
+            cycles_run = cycles;
+            failures = List.rev failures.(l);
+            observed =
+              List.map
+                (fun n ->
+                  (n, List.rev_map (fun ws -> lane_of ws l) (Hashtbl.find traces n)))
+                out_names;
+          }
+      done
+  end in
+  (match (sharded, engine) with
+  | Some _, Some _ ->
+    invalid_arg "Testbench.run_batched: pass either ?sharded or ?engine, not both"
+  | Some sh, None ->
+    let module C = Run (struct
+      include Compiled_wide
+
+      let name = "wide"
+    end) in
+    let nchunks = (ncases + Sharded.lanes - 1) / Sharded.lanes in
+    Sharded.dispatch sh nchunks C.chunk
+  | None, eng ->
+    let (module E) = Option.value eng ~default:Engine_intf.wide in
+    let module C = Run (E) in
+    let sim = E.create netlist in
+    let lanes = Hydra_core.Packed.lanes * E.words sim in
+    let nchunks = (ncases + lanes - 1) / lanes in
     for c = 0 to nchunks - 1 do
-      run_chunk base_sim c
+      C.chunk sim c
     done);
   reports
 

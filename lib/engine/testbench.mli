@@ -41,18 +41,22 @@ val run :
 
 val run_batched :
   ?sharded:Sharded.t ->
+  ?engine:(module Engine_intf.S) ->
   cycles:int ->
   cases:(stimulus list * expectation list) array ->
   Hydra_netlist.Netlist.t ->
   report array
-(** Run many independent test-bench cases against the same netlist on the
-    wide engine ({!Compiled_wide}): case [k] rides in lane [k mod 62] of
-    run [k / 62], so N cases cost ceil(N/62) simulations.  Cases may
-    drive different ports (undriven ports hold 0 in that lane, as in a
-    scalar run).  With [?sharded] — which must have been created from
-    the same netlist — the 62-case chunks become sharded jobs on the
-    engine's persistent per-domain replicas.  Report [k] matches what
-    {!run} would return for case [k] on the compiled engine. *)
+(** Run many independent test-bench cases against the same netlist on a
+    lane-packed engine: with [L] lanes per chunk, case [k] rides in lane
+    [k mod L] of run [k / L], so N cases cost ceil(N/L) simulations.
+    Cases may drive different ports (undriven ports hold 0 in that lane,
+    as in a scalar run).  The engine defaults to {!Compiled_wide}
+    (L = 62); pass [?engine] (e.g. [Slab.engine 8], L = 62*K) to batch
+    wider.  With [?sharded] — which must have been created from the same
+    netlist, and is mutually exclusive with [?engine] — the 62-case
+    chunks become sharded jobs on the wide engine's persistent
+    per-domain replicas.  Report [k] matches what {!run} would return
+    for case [k] on the compiled engine. *)
 
 val report_string : report -> string
 (** "PASS (...)" or the failure list plus ASCII waveforms. *)

@@ -2,12 +2,16 @@
 
    The robustness question the paper's section 4.2 motivates — how does
    the design behave under conditions you did not intend? — answered at
-   engine speed: lane 0 of a {!Compiled_wide} instance runs the golden
-   circuit while lanes 1..61 each run a distinct fault, injected at
-   runtime through per-lane force masks ({!Compiled_wide.set_forces})
-   instead of per-fault netlist rewriting and recompilation.  Fault
-   lists larger than one word chunk over {!Sharded.run_tasks}, so the
-   peak rate is 61 faults x domains per settle pass.
+   engine speed: lane 0 of a word-parallel engine runs the golden
+   circuit while every other lane runs a distinct fault, injected at
+   runtime through per-lane force masks instead of per-fault netlist
+   rewriting and recompilation.  The campaign core addresses the engine
+   through a small word-indexed ops record, so the same classification
+   loop runs on {!Compiled_wide} (61 faults per pass, the default) or on
+   a K-word {!Slab} (62*K - 1 faults per pass, [~engine:(`Slab k)]).
+   Fault lists larger than one engine pass chunk over
+   {!Sharded.run_tasks}, so the peak rate is (lanes - 1) x domains
+   faults per settle pass.
 
    Every fault is classified against the golden lane:
    - detected: an observable output diverged (with detection latency),
@@ -20,6 +24,7 @@
 
 module Netlist = Hydra_netlist.Netlist
 module W = Hydra_engine.Compiled_wide
+module Slab = Hydra_engine.Slab
 module Sharded = Hydra_engine.Sharded
 
 type fault =
@@ -117,10 +122,81 @@ let random_stimulus ~seed ~cycles nl =
     (fun (name, _) -> (name, List.init cycles (fun _ -> Random.State.bool st)))
     nl.Netlist.inputs
 
-(* Lane 0 is the golden run, so each chunk carries at most 61 faults. *)
-let faults_per_chunk = W.lanes - 1
+(* The word-indexed face the classification loop drives.  A fault's
+   force masks are accumulated in a [pending] (one 62-bit word per
+   engine word) and installed all at once; intermittent faults then
+   mutate their pending's flip masks per cycle and call [o_sync_flips]
+   (a no-op on engines that share the arrays by reference). *)
+type pending = { p_site : int; p0 : int array; p1 : int array; pf : int array }
 
-let run ?sharded ?domains ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
+type ops = {
+  o_words : int;
+  o_reset : unit -> unit;
+  o_settle : unit -> unit;
+  o_tick : unit -> unit;
+  o_poke : int -> int -> int -> unit;  (* site, word, packed value *)
+  o_peek : int -> int -> int;  (* site, word *)
+  o_install : pending array -> unit;
+  o_sync_flips : pending array -> unit;
+  o_clear : unit -> unit;
+}
+
+let wide_ops sim =
+  let installed = ref [||] in
+  {
+    o_words = 1;
+    o_reset = (fun () -> W.reset sim);
+    o_settle = (fun () -> W.settle sim);
+    o_tick = (fun () -> W.tick sim);
+    o_poke = (fun site _ v -> W.poke sim site v);
+    o_peek = (fun site _ -> W.peek sim site);
+    o_install =
+      (fun ps ->
+        installed :=
+          Array.map
+            (fun p ->
+              {
+                W.f_site = p.p_site;
+                force0 = p.p0.(0);
+                force1 = p.p1.(0);
+                flip = p.pf.(0);
+              })
+            ps;
+        W.set_forces sim !installed);
+    (* the wide force masks are plain ints, so flip updates are copied
+       through to the installed records *)
+    o_sync_flips =
+      (fun ps -> Array.iteri (fun i p -> !installed.(i).W.flip <- p.pf.(0)) ps);
+    o_clear = (fun () -> W.clear_forces sim);
+  }
+
+let slab_ops sim =
+  {
+    o_words = Slab.k sim;
+    o_reset = (fun () -> Slab.reset sim);
+    o_settle = (fun () -> Slab.settle sim);
+    o_tick = (fun () -> Slab.tick sim);
+    o_poke = (fun site w v -> Slab.poke_word sim site w v);
+    o_peek = (fun site w -> Slab.peek_word sim site w);
+    o_install =
+      (fun ps ->
+        Slab.set_forces sim
+          (Array.map
+             (fun p ->
+               { Slab.f_site = p.p_site; force0 = p.p0; force1 = p.p1; flip = p.pf })
+             ps));
+    (* the slab keeps the caller's mask arrays by reference: pending flip
+       mutations are already live *)
+    o_sync_flips = (fun _ -> ());
+    o_clear = (fun () -> Slab.clear_forces sim);
+  }
+
+(* Lane 0 is the golden run, so each chunk carries at most
+   [62 x words - 1] faults. *)
+let faults_per_chunk words = (W.lanes * words) - 1
+
+let run ?sharded ?domains ?(engine = `Wide) ?(status_outputs = []) nl ~faults
+    ~stimulus ~cycles =
   (match Netlist.validate nl with
   | Ok () -> ()
   | Error e -> invalid_arg ("Campaign.run: invalid netlist: " ^ e));
@@ -180,87 +256,117 @@ let run ?sharded ?domains ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
   let faults_arr = Array.of_list faults in
   let nfaults = Array.length faults_arr in
   let results = Array.make (max nfaults 1) None in
-  let run_chunk sim lo hi =
-    (* lane k+1 carries fault lo+k; lane 0 stays golden *)
+  let run_chunk ops lo hi =
+    (* fault lo+k rides global lane k+1 — word (k+1)/62, bit (k+1) mod
+       62 — while word 0 bit 0 stays golden *)
+    let words = ops.o_words in
     let count = hi - lo in
-    let live_mask = ((1 lsl count) - 1) lsl 1 in
-    W.clear_forces sim;
-    W.reset sim;
-    let forces = ref [] and seus = ref [] and inters = ref [] in
+    let word_of k = (k + 1) / W.lanes in
+    let bit_of k = 1 lsl ((k + 1) mod W.lanes) in
+    let live = Array.make words 0 in
     for k = 0 to count - 1 do
-      let bit = 1 lsl (k + 1) in
+      live.(word_of k) <- live.(word_of k) lor bit_of k
+    done;
+    ops.o_clear ();
+    ops.o_reset ();
+    let pendings = ref [] and seus = ref [] and inters = ref [] in
+    for k = 0 to count - 1 do
+      let wk = word_of k and bit = bit_of k in
       match faults_arr.(lo + k) with
       | Stuck_at { site; value } ->
-        forces :=
+        let p =
           {
-            W.f_site = site;
-            force0 = (if value then 0 else bit);
-            force1 = (if value then bit else 0);
-            flip = 0;
+            p_site = site;
+            p0 = Array.make words 0;
+            p1 = Array.make words 0;
+            pf = Array.make words 0;
           }
-          :: !forces
-      | Seu { site; at_cycle } -> seus := (at_cycle, site, bit) :: !seus
+        in
+        if value then p.p1.(wk) <- bit else p.p0.(wk) <- bit;
+        pendings := p :: !pendings
+      | Seu { site; at_cycle } -> seus := (at_cycle, site, wk, bit) :: !seus
       | Intermittent { site; rate; seed } ->
-        let f = { W.f_site = site; force0 = 0; force1 = 0; flip = 0 } in
-        forces := f :: !forces;
+        let p =
+          {
+            p_site = site;
+            p0 = Array.make words 0;
+            p1 = Array.make words 0;
+            pf = Array.make words 0;
+          }
+        in
+        pendings := p :: !pendings;
         (* seeded per fault, not per chunk, so results are independent of
            how faults land on chunks and members *)
-        inters := (f, bit, rate, Random.State.make [| seed; site |]) :: !inters
+        inters := (p, wk, bit, rate, Random.State.make [| seed; site |]) :: !inters
     done;
-    W.set_forces sim (Array.of_list !forces);
+    let pendings = Array.of_list (List.rev !pendings) in
+    ops.o_install pendings;
     let seus = !seus and inters = !inters in
     let det_cycle = Array.make (max count 1) (-1) in
     let det_out = Array.make (max count 1) "" in
-    let undet = ref live_mask in
-    let status_acc = Array.make (max (Array.length status_sites) 1) 0 in
+    let undet = Array.copy live in
+    let status_acc = Array.make_matrix (max (Array.length status_sites) 1) words 0 in
     for cycle = 0 to cycles - 1 do
       for i = 0 to Array.length streams - 1 do
-        let site, words = streams.(i) in
-        W.poke sim site words.(cycle)
+        let site, svs = streams.(i) in
+        let v = svs.(cycle) in
+        for w = 0 to words - 1 do
+          ops.o_poke site w v
+        done
       done;
       List.iter
-        (fun (c, site, bit) ->
-          if c = cycle then W.poke sim site (W.peek sim site lxor bit))
+        (fun (c, site, wk, bit) ->
+          if c = cycle then ops.o_poke site wk (ops.o_peek site wk lxor bit))
         seus;
-      List.iter
-        (fun (f, bit, rate, st) ->
-          f.W.flip <- (if Random.State.float st 1.0 < rate then bit else 0))
-        inters;
-      W.settle sim;
-      (if !undet <> 0 then
+      if inters <> [] then begin
+        List.iter
+          (fun (p, wk, bit, rate, st) ->
+            p.pf.(wk) <- (if Random.State.float st 1.0 < rate then bit else 0))
+          inters;
+        ops.o_sync_flips pendings
+      end;
+      ops.o_settle ();
+      (if Array.exists (fun m -> m <> 0) undet then
          for o = 0 to Array.length compare_sites - 1 do
            let oname, osite = compare_sites.(o) in
-           let w = W.peek sim osite in
-           (* xor against lane 0 sign-extended: set bits = lanes that
-              differ from the golden lane *)
-           let diff = w lxor (-(w land 1)) land !undet in
-           if diff <> 0 then begin
-             for k = 0 to count - 1 do
-               if diff land (1 lsl (k + 1)) <> 0 then begin
-                 det_cycle.(k) <- cycle;
-                 det_out.(k) <- oname
-               end
-             done;
-             undet := !undet land lnot diff
-           end
+           (* golden is word 0, bit 0, sign-extended across every word:
+              set bits = lanes that differ from the golden lane *)
+           let gext = -(ops.o_peek osite 0 land 1) in
+           for w = 0 to words - 1 do
+             let diff = (ops.o_peek osite w lxor gext) land undet.(w) in
+             if diff <> 0 then begin
+               for k = 0 to count - 1 do
+                 if word_of k = w && diff land bit_of k <> 0 then begin
+                   det_cycle.(k) <- cycle;
+                   det_out.(k) <- oname
+                 end
+               done;
+               undet.(w) <- undet.(w) land lnot diff
+             end
+           done
          done);
       for si = 0 to Array.length status_sites - 1 do
-        status_acc.(si) <- status_acc.(si) lor W.peek sim (snd status_sites.(si))
+        let ssite = snd status_sites.(si) in
+        for w = 0 to words - 1 do
+          status_acc.(si).(w) <- status_acc.(si).(w) lor ops.o_peek ssite w
+        done
       done;
-      W.tick sim
+      ops.o_tick ()
     done;
     (* latent: some dff's final state differs from the golden lane even
        though no output ever did.  Only the final state counts — an upset
        that the circuit heals (e.g. an ECC reload) is masked. *)
-    let state_diff = ref 0 in
+    let state_diff = Array.make words 0 in
     Array.iter
       (fun site ->
-        let w = W.peek sim site in
-        state_diff := !state_diff lor (w lxor (-(w land 1))))
+        let gext = -(ops.o_peek site 0 land 1) in
+        for w = 0 to words - 1 do
+          state_diff.(w) <-
+            state_diff.(w) lor ((ops.o_peek site w lxor gext) land live.(w))
+        done)
       dffs;
-    let state_diff = !state_diff land live_mask in
     for k = 0 to count - 1 do
-      let bit = 1 lsl (k + 1) in
+      let wk = word_of k and bit = bit_of k in
       let fault = faults_arr.(lo + k) in
       let classification =
         if det_cycle.(k) >= 0 then
@@ -275,27 +381,31 @@ let run ?sharded ?domains ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
               cycle = det_cycle.(k);
               output = det_out.(k);
             }
-        else if state_diff land bit <> 0 then Latent
+        else if state_diff.(wk) land bit <> 0 then Latent
         else Masked
       in
       let status =
         Array.to_list
           (Array.mapi
-             (fun si (sname, _) -> (sname, status_acc.(si) land bit <> 0))
+             (fun si (sname, _) -> (sname, status_acc.(si).(wk) land bit <> 0))
              status_sites)
       in
       results.(lo + k) <-
         Some { fault; name = fault_name nl fault; classification; status }
     done;
-    W.clear_forces sim
+    ops.o_clear ()
   in
+  let engine_words = match engine with `Wide -> 1 | `Slab k -> k in
+  (match engine with
+  | `Slab k when k < 1 -> invalid_arg "Campaign.run: slab k must be >= 1"
+  | _ -> ());
+  let per_chunk = faults_per_chunk engine_words in
   let nchunks =
-    if nfaults = 0 then 0
-    else (nfaults + faults_per_chunk - 1) / faults_per_chunk
+    if nfaults = 0 then 0 else (nfaults + per_chunk - 1) / per_chunk
   in
   let chunk_bounds c =
-    let lo = c * faults_per_chunk in
-    (lo, min nfaults (lo + faults_per_chunk))
+    let lo = c * per_chunk in
+    (lo, min nfaults (lo + per_chunk))
   in
   let run_sharded sh =
     if Sharded.netlist sh <> nl then
@@ -305,17 +415,33 @@ let run ?sharded ?domains ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
          campaign netlist)";
     Sharded.run_tasks sh nchunks (fun ~member c ->
         let lo, hi = chunk_bounds c in
-        run_chunk (Sharded.replica sh member) lo hi)
+        run_chunk (wide_ops (Sharded.replica sh member)) lo hi)
   in
-  (match (sharded, domains) with
-  | Some sh, _ -> run_sharded sh
-  | None, None when nchunks <= 1 ->
+  (match (engine, sharded, domains) with
+  | `Slab _, Some _, _ ->
+    invalid_arg
+      "Campaign.run: ?sharded reuses a wide engine; pass ?domains with \
+       ~engine:(`Slab k) instead"
+  | `Slab k, None, _ ->
+    if nchunks > 0 then begin
+      let base = Slab.create ~k ~optimize:false ~relayout:false ~fuse:false nl in
+      let module SSh = Sharded.Slab_sharded in
+      let ssh = SSh.of_base ?domains base in
+      Fun.protect
+        ~finally:(fun () -> SSh.shutdown ssh)
+        (fun () ->
+          SSh.run_tasks ssh nchunks (fun ~member c ->
+              let lo, hi = chunk_bounds c in
+              run_chunk (slab_ops (SSh.replica ssh member)) lo hi))
+    end
+  | `Wide, Some sh, _ -> run_sharded sh
+  | `Wide, None, None when nchunks <= 1 ->
     if nchunks = 1 then begin
       let sim = W.create ~optimize:false ~relayout:false ~fuse:false nl in
       let lo, hi = chunk_bounds 0 in
-      run_chunk sim lo hi
+      run_chunk (wide_ops sim) lo hi
     end
-  | None, _ ->
+  | `Wide, None, _ ->
     let sh =
       Sharded.create ~optimize:false ~relayout:false ~fuse:false ?domains nl
     in

@@ -79,6 +79,7 @@ val random_stimulus :
 val run :
   ?sharded:Hydra_engine.Sharded.t ->
   ?domains:int ->
+  ?engine:[ `Wide | `Slab of int ] ->
   ?status_outputs:string list ->
   Hydra_netlist.Netlist.t ->
   faults:fault list ->
@@ -93,12 +94,20 @@ val run :
     are excluded from the divergence comparison and instead sampled as
     ever-asserted per lane into {!verdict.status}.
 
-    At most 61 faults run per engine pass; larger lists chunk over a
-    sharded engine — [?sharded] reuses one (it must be compiled from
-    exactly this netlist with [~optimize:false ~relayout:false
-    ~fuse:false]; registered forces are cleared), otherwise one is
-    created with [?domains] and shut down afterwards.  A single-chunk
-    run without [?sharded]/[?domains] stays inline on one wide engine.
+    With the default [~engine:`Wide], at most 61 faults run per engine
+    pass; larger lists chunk over a sharded engine — [?sharded] reuses
+    one (it must be compiled from exactly this netlist with
+    [~optimize:false ~relayout:false ~fuse:false]; registered forces are
+    cleared), otherwise one is created with [?domains] and shut down
+    afterwards.  A single-chunk run without [?sharded]/[?domains] stays
+    inline on one wide engine.
+
+    With [~engine:(`Slab k)] the campaign runs on a K-word
+    {!Hydra_engine.Slab}: [62*k - 1] faults per engine pass (so a whole
+    [all_stuck_at] list often fits in one), chunked over a slab-sharded
+    driver built with [?domains].  [?sharded] is wide-only and rejected
+    in combination with [`Slab].  Verdicts are identical to the wide
+    engine's — only the packing changes.
 
     Raises [Invalid_argument] on an invalid netlist, an out-of-range or
     outport fault site, an SEU site that is not a dff, an intermittent

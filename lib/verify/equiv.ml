@@ -258,6 +258,130 @@ let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed)
   | p when p < max_int -> results.(p)
   | _ -> Seq_equivalent
 
+(* Engine-vs-engine sequential random equivalence: the same check as
+   {!wide_random_netlists}, but each side runs on an arbitrary
+   {!Hydra_engine.Engine_intf.S} handle, so a K-word {!Hydra_engine.Slab}
+   can be cross-checked against the 1-word wide engine (or any two
+   engines against each other).  The stimulus cube is materialized up
+   front per pass — [max words1 words2] packed words per input per cycle
+   — and an engine with fewer words consumes it in multiple reset+replay
+   rounds, so every global lane of the wider engine is compared against a
+   genuinely independent simulation on the narrower one. *)
+let engine_random_netlists ?(passes = 4) ?(cycles = 32) ?(seed = 0x5eed)
+    (e1 : (module Hydra_engine.Engine_intf.S))
+    (e2 : (module Hydra_engine.Engine_intf.S)) nl1 nl2 =
+  let module P = Hydra_core.Packed in
+  List.iter
+    (fun (which, nl) ->
+      match Hydra_analyze.Certify.validate nl with
+      | Ok () -> ()
+      | Error reason ->
+        invalid_arg
+          (Printf.sprintf
+             "Equiv.engine_random_netlists: invalid netlist %s (%s)" which
+             reason))
+    [ ("nl1", nl1); ("nl2", nl2) ];
+  let in_names = List.map fst nl1.Netlist.inputs in
+  if List.sort compare in_names <> List.sort compare (List.map fst nl2.Netlist.inputs)
+  then invalid_arg "Equiv.engine_random_netlists: input ports differ";
+  let out_names = List.map fst nl1.Netlist.outputs in
+  if
+    List.sort compare out_names
+    <> List.sort compare (List.map fst nl2.Netlist.outputs)
+  then invalid_arg "Equiv.engine_random_netlists: output ports differ";
+  let nout = List.length out_names in
+  let out_arr = Array.of_list out_names in
+  let module Run (E : Hydra_engine.Engine_intf.S) = struct
+    (* Replay the whole stimulus cube on [sim], [words sim] global word
+       indices per round, and return the output cube
+       [cube.(cycle).(out).(global_word)].  Global words beyond the cube
+       (when [wmax mod words <> 0]) are driven with 0 and ignored. *)
+    let collect sim ~wmax ~stim =
+      let we = E.words sim in
+      let rounds = (wmax + we - 1) / we in
+      let cube =
+        Array.init cycles (fun _ -> Array.make_matrix nout wmax 0)
+      in
+      for r = 0 to rounds - 1 do
+        E.reset sim;
+        for c = 0 to cycles - 1 do
+          List.iter
+            (fun (name, ws) ->
+              for lw = 0 to we - 1 do
+                let g = (r * we) + lw in
+                E.set_input_word sim name lw (if g < wmax then ws.(g) else 0)
+              done)
+            stim.(c);
+          E.settle sim;
+          for o = 0 to nout - 1 do
+            for lw = 0 to we - 1 do
+              let g = (r * we) + lw in
+              if g < wmax then
+                cube.(c).(o).(g) <- E.output_word sim out_arr.(o) lw
+            done
+          done;
+          E.tick sim
+        done
+      done;
+      cube
+  end in
+  let (module E1) = e1 and (module E2) = e2 in
+  let module R1 = Run (E1) in
+  let module R2 = Run (E2) in
+  let s1 = E1.create nl1 and s2 = E2.create nl2 in
+  let wmax = max (E1.words s1) (E2.words s2) in
+  let result = ref Seq_equivalent in
+  (try
+     for pass = 0 to passes - 1 do
+       (* same per-pass RNG derivation as wide_random_netlists: at
+          wmax = 1 the stimulus is identical to the wide check's *)
+       let st = Random.State.make [| seed; pass; cycles |] in
+       let stim =
+         Array.init cycles (fun _ ->
+             List.map
+               (fun name ->
+                 (name, Array.init wmax (fun _ -> P.random_word st)))
+               in_names)
+       in
+       let cube1 = R1.collect s1 ~wmax ~stim in
+       let cube2 = R2.collect s2 ~wmax ~stim in
+       for c = 0 to cycles - 1 do
+         for o = 0 to nout - 1 do
+           for g = 0 to wmax - 1 do
+             let w1 = cube1.(c).(o).(g) and w2 = cube2.(c).(o).(g) in
+             if w1 <> w2 then begin
+               let diff = w1 lxor w2 in
+               let rec first_bit l =
+                 if P.lane diff l then l else first_bit (l + 1)
+               in
+               let bit = first_bit 0 in
+               let streams =
+                 List.map
+                   (fun iname ->
+                     ( iname,
+                       List.init (c + 1) (fun cyc ->
+                           P.lane (List.assoc iname stim.(cyc)).(g) bit) ))
+                   in_names
+               in
+               result :=
+                 Seq_mismatch
+                   { output = out_arr.(o); cycle = c; inputs = streams };
+               raise Exit
+             end
+           done
+         done
+       done
+     done
+   with Exit -> ());
+  !result
+
+(* The acceptance check for the slab engine: K-word slab vs the 1-word
+   wide engine on the same netlist. *)
+let slab_vs_wide ?passes ?cycles ?seed ?(k = 8) ?gating nl =
+  engine_random_netlists ?passes ?cycles ?seed
+    (Hydra_engine.Slab.engine ?gating k)
+    Hydra_engine.Engine_intf.wide nl nl
+
 let seq_equivalent = function Seq_equivalent -> true | Seq_mismatch _ -> false
 
 let random ?(trials = 1000) ~inputs c1 c2 =

@@ -90,6 +90,44 @@ val wide_random_netlists :
     means the engines genuinely disagree and never that a generator
     emitted a corrupt netlist. *)
 
+val engine_random_netlists :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  (module Hydra_engine.Engine_intf.S) ->
+  (module Hydra_engine.Engine_intf.S) ->
+  Hydra_netlist.Netlist.t ->
+  Hydra_netlist.Netlist.t ->
+  seq_result
+(** Random sequential equivalence with each side on an arbitrary
+    word-parallel engine handle — {!wide_random_netlists} generalized so
+    a K-word {!Hydra_engine.Slab} can be cross-checked against the wide
+    engine (or any two engines against each other).  Each of [passes]
+    (default 4) passes materializes a stimulus cube of
+    [max words1 words2] packed words per input per cycle for [cycles]
+    (default 32) cycles; an engine with fewer words consumes it in
+    multiple reset+replay rounds, so every global lane of the wider
+    engine is compared against an independent simulation on the narrower
+    one.  Netlists are validated first, as in {!wide_random_netlists};
+    with 1-word engines on both sides the stimulus is identical to
+    {!wide_random_netlists} at the same [seed].  Passes run sequentially;
+    the reported mismatch is the first in (pass, cycle, output, word)
+    order. *)
+
+val slab_vs_wide :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  ?k:int ->
+  ?gating:bool ->
+  Hydra_netlist.Netlist.t ->
+  seq_result
+(** [slab_vs_wide nl]: {!engine_random_netlists} of the same netlist on
+    {!Hydra_engine.Slab} ([?k] words, default 8, with [?gating] as in
+    {!Hydra_engine.Slab.create}) versus {!Hydra_engine.Compiled_wide} —
+    the acceptance check that every slab word simulates exactly the wide
+    semantics. *)
+
 val seq_equivalent : seq_result -> bool
 
 val is_equivalent : result -> bool

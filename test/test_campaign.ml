@@ -90,11 +90,25 @@ let suite =
               ~fuse:false")
           (fun () -> W.set_forces fused [| { W.f_site = 1; force0 = 0; force1 = 2; flip = 0 } |]);
         let sim = W.create ~optimize:false ~relayout:false ~fuse:false nl in
+        let n = N.size nl in
         Alcotest.check_raises "site range"
-          (Invalid_argument "Compiled_wide.set_forces: site out of range")
+          (Invalid_argument
+             (Printf.sprintf
+                "Compiled_wide.set_forces: force site %d out of range (netlist \
+                 has %d components)"
+                n n))
           (fun () ->
             W.set_forces sim
-              [| { W.f_site = N.size nl; force0 = 0; force1 = 2; flip = 0 } |]));
+              [| { W.f_site = n; force0 = 0; force1 = 2; flip = 0 } |]);
+        Alcotest.check_raises "negative site"
+          (Invalid_argument
+             (Printf.sprintf
+                "Compiled_wide.set_forces: force site -1 out of range (netlist \
+                 has %d components)"
+                n))
+          (fun () ->
+            W.set_forces sim
+              [| { W.f_site = -1; force0 = 0; force1 = 0; flip = 1 } |]));
     (* ---- coverage bit-identity ---- *)
     tc "campaign: coverage bit-identical to recompile loop (combinational)"
       (fun () ->
@@ -468,4 +482,56 @@ let suite =
                  ~faults:[ C.Stuck_at { site = 1; value = true } ]
                  ~stimulus:[ ("zz", [ true ]) ]
                  ~cycles:1)));
+    (* ---- the slab-backed campaign: more than 61 faults per pass ---- *)
+    tc "campaign: slab engine verdicts = wide engine verdicts" (fun () ->
+        let nl = secded () in
+        let stimulus = C.random_stimulus ~seed:11 ~cycles:24 nl in
+        (* a mixed fault list well past one wide chunk: every stuck-at,
+           every SEU, and a few intermittents *)
+        let faults =
+          C.all_stuck_at nl
+          @ C.all_seu ~at_cycle:3 nl
+          @ List.map
+              (fun (site, seed) -> C.Intermittent { site; rate = 0.4; seed })
+              [ (1, 7); (3, 8); (5, 9) ]
+        in
+        check_bool "more than one wide chunk" true (List.length faults > 61);
+        let wide =
+          C.run ~status_outputs:[ "single"; "double" ] nl ~faults ~stimulus
+            ~cycles:24
+        in
+        List.iter
+          (fun k ->
+            let slab =
+              C.run ~engine:(`Slab k)
+                ~status_outputs:[ "single"; "double" ] nl ~faults ~stimulus
+                ~cycles:24
+            in
+            check_int (Printf.sprintf "k=%d detected" k) wide.C.detected
+              slab.C.detected;
+            check_bool
+              (Printf.sprintf "k=%d verdicts bit-identical" k)
+              true
+              (wide.C.verdicts = slab.C.verdicts))
+          [ 1; 2; 4 ];
+        (* k=4 fits the whole list in a single engine pass *)
+        check_bool "fits one slab pass" true (List.length faults <= (62 * 4) - 1));
+    tc "campaign: slab engine option validation" (fun () ->
+        let nl = fig1 () in
+        let faults = [ C.Stuck_at { site = 1; value = true } ] in
+        Alcotest.check_raises "k < 1"
+          (Invalid_argument "Campaign.run: slab k must be >= 1") (fun () ->
+            ignore (C.run ~engine:(`Slab 0) nl ~faults ~stimulus:[] ~cycles:1));
+        let sh =
+          Sharded.create ~optimize:false ~relayout:false ~fuse:false nl
+        in
+        Alcotest.check_raises "sharded + slab"
+          (Invalid_argument
+             "Campaign.run: ?sharded reuses a wide engine; pass ?domains with \
+              ~engine:(`Slab k) instead")
+          (fun () ->
+            ignore
+              (C.run ~sharded:sh ~engine:(`Slab 2) nl ~faults ~stimulus:[]
+                 ~cycles:1));
+        Sharded.shutdown sh);
   ]

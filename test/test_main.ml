@@ -13,6 +13,8 @@ let () =
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
       ("wide", Test_wide.suite);
+      ("slab", Test_slab.suite);
+      ("engine_laws", Test_engine_laws.suite);
       ("sharded", Test_sharded.suite);
       ("isa", Test_isa.suite);
       ("cpu", Test_cpu.suite);
