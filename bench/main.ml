@@ -1307,6 +1307,153 @@ let e24 ?(min_time = 0.2) () =
   row "  gating speedup on quiescent cpu: %.1fx (acceptance floor: 2x)\n"
     (t_idle_u /. t_idle_g)
 
+(* E25 ------------------------------------------------------------------ *)
+
+(* Rank-blocked kernels, cluster-granular gating and the C/simd backend.
+   Four measurements:
+
+   - wallace64 at k=16 (a slab too large for L2) swept over block sizes,
+     against the unblocked one-block-per-rank baseline — the cache
+     crossover the [Kernel.tuning] default sits on;
+   - the cluster-gating overhead on high-toggle wallace64 at equal total
+     lanes (acceptance: <= 1.05x time vs the ungated slab — block-scoped
+     hot mode is cheaper than the old rank-scoped one);
+   - the gating win on the quiescent CPU system, where a settled gated
+     cycle reduces to two bitset scans (acceptance: > 4.5x over the
+     ungated slab);
+   - the simd backend vs the pure-OCaml kernels at the same geometry,
+     stamped with the flavor this build probed (avx2/neon/scalar-c).
+
+   [--tuning SPEC] adds a custom-geometry row to the sweep. *)
+let cli_tuning : Hydra_engine.Kernel.tuning option ref = ref None
+
+let e25 ?(min_time = 0.2) () =
+  let module Slab = Hydra_engine.Slab in
+  let module Kernel = Hydra_engine.Kernel in
+  let module Simd = Hydra_engine.Simd in
+  section "E25"
+    "rank-blocked kernels: block-size sweep, cluster gating, simd backend";
+  row "  simd backend this build: %s\n" (Simd.flavor ());
+  record ~section:"E25" ~name:"simd backend (2=avx2, 1=neon, 0=scalar-c)"
+    ~value:(float_of_int (match Simd.flavor () with
+                          | "avx2" -> 2 | "neon" -> 1 | _ -> 0))
+    ~unit_:"kind" ();
+  let nl = wallace_netlist 64 in
+  let st = N.stats nl in
+  let gates = float_of_int st.N.gates in
+  let cycles = 5 in
+  let kk = 16 in
+  let lanes = Wide.lanes * kk in
+  row "  wallace64: %d gates at k=%d — %.1f MB of slab per settle\n"
+    st.N.gates kk
+    (float_of_int (N.size nl * kk * 8) /. 1e6);
+  let sample ?tuning ?(simd = false) ?(k = kk) name =
+    let slab = Slab.create ~k ?tuning ~simd nl in
+    let t =
+      time_per_run ~min_time (fun () ->
+          Slab.reset slab;
+          for _ = 1 to cycles do
+            Slab.step slab
+          done)
+    in
+    let lanes = Wide.lanes * k in
+    let rate = gates *. float_of_int (cycles * lanes) /. t in
+    record ~section:"E25" ~lanes ~name ~value:rate ~unit_:"gate-evals/s" ();
+    (name, rate, t)
+  in
+  (* one block per rank = the pre-blocking layout *)
+  let unblocked = { Kernel.default_tuning with Kernel.block_gates = max_int } in
+  let _, base_rate, _ = sample ~tuning:unblocked "wallace64 k=16 unblocked" in
+  row "  %-44s %12.3g gate-evals/s  (1.00x)\n" "unblocked (one block per rank)"
+    base_rate;
+  List.iter
+    (fun bw ->
+      let tuning = { Kernel.default_tuning with Kernel.block_words = bw } in
+      let name = Printf.sprintf "wallace64 k=16 block-words=%d" bw in
+      let _, rate, _ = sample ~tuning name in
+      row "  %-44s %12.3g gate-evals/s  (%4.2fx)\n"
+        (Printf.sprintf "block-words=%d (%d gates/block)" bw
+           (Kernel.gates_per_block ~k:kk tuning))
+        rate (rate /. base_rate))
+    [ 768; 1536; 3072; 6144; 12288; 49152 ];
+  (match !cli_tuning with
+  | None -> ()
+  | Some tuning ->
+    let _, rate, _ =
+      sample ~tuning
+        (Printf.sprintf "wallace64 k=16 --tuning %s"
+           (Kernel.tuning_to_spec tuning))
+    in
+    row "  %-44s %12.3g gate-evals/s  (%4.2fx)\n"
+      ("--tuning " ^ Kernel.tuning_to_spec tuning)
+      rate (rate /. base_rate));
+  (* simd backend at the default geometry, k=16 and k=8 *)
+  let _, ml16, _ = sample "wallace64 k=16 pure-OCaml" in
+  let _, c16, _ = sample ~simd:true "wallace64 k=16 simd" in
+  row "  %-44s %12.3g gate-evals/s  (%4.2fx vs OCaml)\n"
+    (Printf.sprintf "simd k=16 (%s)" (Simd.flavor ())) c16 (c16 /. ml16);
+  let _, ml8, _ = sample ~k:8 "wallace64 k=8 pure-OCaml" in
+  let _, c8, _ = sample ~k:8 ~simd:true "wallace64 k=8 simd" in
+  row "  %-44s %12.3g gate-evals/s  (%4.2fx vs OCaml)\n"
+    (Printf.sprintf "simd k=8 (%s)" (Simd.flavor ())) c8 (c8 /. ml8);
+  record ~section:"E25" ~lanes ~name:"simd speedup vs pure OCaml (k=16)"
+    ~value:(c16 /. ml16) ~unit_:"x" ();
+  (* cluster-gating overhead, high-toggle worst case at equal lanes *)
+  let in_names = List.map fst nl.N.inputs in
+  let rst = Random.State.make [| 0x25; kk |] in
+  let stim =
+    Array.init cycles (fun _ ->
+        List.map
+          (fun name ->
+            (name, Array.init kk (fun _ -> Hydra_core.Packed.random_word rst)))
+          in_names)
+  in
+  let drive slab () =
+    Slab.reset slab;
+    for c = 0 to cycles - 1 do
+      List.iter
+        (fun (name, ws) ->
+          Array.iteri (fun w v -> Slab.set_input_word slab name w v) ws)
+        stim.(c);
+      Slab.step slab
+    done
+  in
+  let t_u = time_per_run ~min_time (drive (Slab.create ~k:kk nl)) in
+  let t_g =
+    time_per_run ~min_time (drive (Slab.create ~k:kk ~gating:true nl))
+  in
+  record ~section:"E25" ~lanes ~name:"wallace64 cluster-gating overhead"
+    ~value:(t_g /. t_u) ~unit_:"x" ();
+  row "  cluster-gating overhead, high-toggle wallace64: %.3fx time \
+       (acceptance: <= 1.05x)\n"
+    (t_g /. t_u);
+  (* idle win: the CPU system held quiescent — a settled gated cycle is
+     two bitset scans *)
+  let sys_nl = cpu_netlist () in
+  let sys_st = N.stats sys_nl in
+  let k_idle = 4 in
+  let idle_cycles = 50 in
+  let lanes_idle = Wide.lanes * k_idle in
+  row "  cpu idle: %d gates held quiescent for %d cycles per run\n"
+    sys_st.N.gates idle_cycles;
+  let idle_time gating =
+    let slab = Slab.create ~k:k_idle ~gating sys_nl in
+    for _ = 1 to 4 do
+      Slab.step slab
+    done;
+    time_per_run ~min_time (fun () ->
+        for _ = 1 to idle_cycles do
+          Slab.step slab
+        done)
+  in
+  let t_idle_u = idle_time false in
+  let t_idle_g = idle_time true in
+  record ~section:"E25" ~lanes:lanes_idle
+    ~name:"cpu idle cluster-gating speedup" ~value:(t_idle_u /. t_idle_g)
+    ~unit_:"x" ();
+  row "  cluster-gating speedup on quiescent cpu: %.1fx (acceptance: > 4.5x)\n"
+    (t_idle_u /. t_idle_g)
+
 (* Smoke mode ----------------------------------------------------------- *)
 
 (* A ~2 s subset run from `dune runtest` (alias bench-smoke): asserts the
@@ -1372,19 +1519,37 @@ let smoke () =
         failwith (Printf.sprintf "smoke: sharded batch %d diverges" b))
     batches;
   print_endline "  sharded/wide batch agreement: ok";
-  (* slab engine: k=4 (gated and ungated) must match the wide engine on
-     every word of every output *)
+  (* slab engine: every k=4 flavor — plain, cluster-gated, simd, tiny
+     rank blocks — must match the wide engine on every word of every
+     output *)
   let module Slab = Hydra_engine.Slab in
+  let module Kernel = Hydra_engine.Kernel in
+  let tiny = { Kernel.default_tuning with Kernel.block_gates = 4 } in
   List.iter
-    (fun gating ->
-      match Equiv.slab_vs_wide ~passes:1 ~cycles:4 ~k:4 ~gating nl with
+    (fun (label, gating, simd, tuning) ->
+      match Equiv.slab_vs_wide ~passes:1 ~cycles:4 ~k:4 ~gating ~simd ?tuning nl with
       | Equiv.Seq_equivalent -> ()
       | Equiv.Seq_mismatch { output; cycle; _ } ->
         failwith
-          (Printf.sprintf "smoke: slab (gating=%b) diverges from wide at %s, cycle %d"
-             gating output cycle))
-    [ false; true ];
-  print_endline "  slab/wide agreement (k=4, gated and ungated): ok";
+          (Printf.sprintf "smoke: slab (%s) diverges from wide at %s, cycle %d"
+             label output cycle))
+    [
+      ("plain", false, false, None);
+      ("gated", true, false, None);
+      ("simd", false, true, None);
+      ("gated simd tiny-blocks", true, true, Some tiny);
+    ];
+  Printf.printf
+    "  slab/wide agreement (k=4: plain, gated, simd [%s], tiny blocks): ok\n"
+    (Hydra_engine.Simd.flavor ());
+  record ~section:"smoke" ~name:"simd backend (2=avx2, 1=neon, 0=scalar-c)"
+    ~value:
+      (float_of_int
+         (match Hydra_engine.Simd.flavor () with
+         | "avx2" -> 2
+         | "neon" -> 1
+         | _ -> 0))
+    ~unit_:"kind" ();
   let cycles = 5 in
   let t_scalar =
     time_per_run ~min_time:0.05 (fun () ->
@@ -1451,11 +1616,13 @@ let sections : (string * (unit -> unit)) list =
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", (fun () -> e20 ()));
     ("E21", (fun () -> e21 ())); ("E23", (fun () -> e23 ()));
     ("E24", (fun () -> e24 ()));
+    ("E25", (fun () -> e25 ()));
   ]
 
 let usage () =
   print_endline
-    "usage: main.exe [--smoke] [--json PATH] [--only E12,E20] [--list]";
+    "usage: main.exe [--smoke] [--json PATH] [--only E12,E20] [--list] \
+     [--tuning SPEC]";
   exit 2
 
 let () =
@@ -1471,6 +1638,12 @@ let () =
       parse rest
     | "--only" :: names :: rest ->
       only := Some (String.split_on_char ',' names);
+      parse rest
+    | "--tuning" :: spec :: rest ->
+      (try cli_tuning := Some (Hydra_engine.Kernel.tuning_of_spec spec)
+       with Invalid_argument msg ->
+         prerr_endline msg;
+         usage ());
       parse rest
     | "--list" :: _ ->
       List.iter (fun (id, _) -> print_endline id) sections;

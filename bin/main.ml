@@ -657,7 +657,24 @@ let equiv_cmd =
       & info [ "smoke" ]
           ~doc:"quick sweep (the CI job): one pass of 8 cycles")
   in
-  let run targets all ks passes cycles smoke =
+  let simd =
+    Arg.(
+      value & flag
+      & info [ "simd" ]
+          ~doc:
+            "also check the C-stub kernels (vectorized where the build \
+             supports it, scalar C elsewhere)")
+  in
+  let tuning =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tuning" ] ~docv:"SPEC"
+          ~doc:
+            "kernel tuning spec, e.g. block-words=1024,block-gates=0,\
+             hot-after=4,probe-period=128 (unset keys keep defaults)")
+  in
+  let run targets all ks passes cycles smoke simd tuning =
     let targets = (if all then lint_catalogue else []) @ targets in
     if targets = [] then begin
       prerr_endline
@@ -671,6 +688,16 @@ let equiv_cmd =
     end;
     let passes = if smoke then 1 else passes in
     let cycles = if smoke then 8 else cycles in
+    let tuning =
+      match tuning with
+      | None -> None
+      | Some spec -> (
+        try Some (Hydra_engine.Kernel.tuning_of_spec spec)
+        with Invalid_argument msg ->
+          prerr_endline ("equiv: " ^ msg);
+          exit 2)
+    in
+    let simds = if simd then [ false; true ] else [ false ] in
     let failed = ref false in
     List.iter
       (fun target ->
@@ -681,15 +708,22 @@ let equiv_cmd =
           (fun k ->
             List.iter
               (fun gating ->
-                incr nconfigs;
-                match E.slab_vs_wide ~passes ~cycles ~k ~gating nl with
-                | E.Seq_equivalent -> ()
-                | E.Seq_mismatch { output; cycle; _ } ->
-                  bad :=
-                    ( Printf.sprintf "k=%d%s" k
-                        (if gating then " gated" else ""),
-                      output, cycle )
-                    :: !bad)
+                List.iter
+                  (fun simd ->
+                    incr nconfigs;
+                    match
+                      E.slab_vs_wide ~passes ~cycles ~k ~gating ~simd ?tuning
+                        nl
+                    with
+                    | E.Seq_equivalent -> ()
+                    | E.Seq_mismatch { output; cycle; _ } ->
+                      bad :=
+                        ( Printf.sprintf "k=%d%s%s" k
+                            (if gating then " gated" else "")
+                            (if simd then " simd" else ""),
+                          output, cycle )
+                        :: !bad)
+                  simds)
               [ false; true ])
           ks;
         if !bad = [] then
@@ -713,7 +747,8 @@ let equiv_cmd =
          "Check the slab engine against the wide engine on named circuits \
           or saved netlist files (random sequential stimulus, every word, \
           gated and ungated); exits 1 on any mismatch")
-    Term.(const run $ targets $ all $ ks $ passes $ cycles $ smoke)
+    Term.(const run $ targets $ all $ ks $ passes $ cycles $ smoke $ simd
+          $ tuning)
 
 (* ---- algo ---- *)
 

@@ -103,8 +103,8 @@ let of_program prog =
   t
 
 let create ?(optimize = false) ?(relayout = true) ?(fuse = true)
-    ?(certify = false) netlist =
-  of_program (Kernel.compile ~optimize ~relayout ~fuse ~certify netlist)
+    ?(certify = false) ?(tuning = Kernel.default_tuning) netlist =
+  of_program (Kernel.compile ~optimize ~relayout ~fuse ~certify ~tuning ~k:1 netlist)
 
 (* A fresh engine over the same compiled circuit: shares every immutable
    compiled array, owns its own (padded) value state.  Safe to run in
@@ -166,74 +166,82 @@ let apply_forces values slot =
       ((((w land lnot f.force0) lor f.force1) lxor f.flip) land lane_mask)
   done
 
-(* The hot path: one branch-free loop per gate kind per rank. *)
+(* The hot path: one branch-free loop per gate kind per block.  Blocks
+   are the compile-time L1/L2 tiles of a rank ({!Kernel.tuning}); running
+   every kind's loop over one block before moving to the next re-walks a
+   cache-hot tile instead of streaming the whole rank per kind. *)
+let run_block values (k : Kernel.kernel) =
+  let dst = k.inv_dst and src = k.inv_src in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (lnot (Array.unsafe_get values (Array.unsafe_get src j)) land lane_mask)
+  done;
+  let dst = k.and_dst and s0 = k.and_s0 and s1 = k.and_s1 in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get s0 j)
+      land Array.unsafe_get values (Array.unsafe_get s1 j))
+  done;
+  let dst = k.or_dst and s0 = k.or_s0 and s1 = k.or_s1 in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get s0 j)
+      lor Array.unsafe_get values (Array.unsafe_get s1 j))
+  done;
+  let dst = k.xor_dst and s0 = k.xor_s0 and s1 = k.xor_s1 in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get s0 j)
+      lxor Array.unsafe_get values (Array.unsafe_get s1 j))
+  done;
+  let dst = k.andor_dst and a = k.andor_a and b = k.andor_b
+  and c = k.andor_c and d = k.andor_d in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get a j)
+       land Array.unsafe_get values (Array.unsafe_get b j)
+      lor (Array.unsafe_get values (Array.unsafe_get c j)
+          land Array.unsafe_get values (Array.unsafe_get d j)))
+  done;
+  let dst = k.orand_dst and a = k.orand_a and b = k.orand_b
+  and c = k.orand_c in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get a j)
+       land Array.unsafe_get values (Array.unsafe_get b j)
+      lor Array.unsafe_get values (Array.unsafe_get c j))
+  done;
+  let dst = k.xor3_dst and a = k.xor3_a and b = k.xor3_b and c = k.xor3_c in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get a j)
+      lxor Array.unsafe_get values (Array.unsafe_get b j)
+      lxor Array.unsafe_get values (Array.unsafe_get c j))
+  done;
+  let dst = k.out_dst and src = k.out_src in
+  for j = 0 to Array.length dst - 1 do
+    Array.unsafe_set values
+      (Array.unsafe_get dst j)
+      (Array.unsafe_get values (Array.unsafe_get src j))
+  done
+
 let settle t =
   let values = t.values in
-  let kernels = t.prog.Kernel.kernels in
+  let blocks = t.prog.Kernel.blocks in
+  let rfb = t.prog.Kernel.rank_first_block in
   let slots = t.force_slots in
   let forced = Array.length slots > 0 in
   if forced then apply_forces values (Array.unsafe_get slots 0);
-  for lvl = 0 to Array.length kernels - 1 do
-    let k : Kernel.kernel = Array.unsafe_get kernels lvl in
-    let dst = k.inv_dst and src = k.inv_src in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (lnot (Array.unsafe_get values (Array.unsafe_get src j)) land lane_mask)
-    done;
-    let dst = k.and_dst and s0 = k.and_s0 and s1 = k.and_s1 in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (Array.unsafe_get values (Array.unsafe_get s0 j)
-        land Array.unsafe_get values (Array.unsafe_get s1 j))
-    done;
-    let dst = k.or_dst and s0 = k.or_s0 and s1 = k.or_s1 in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (Array.unsafe_get values (Array.unsafe_get s0 j)
-        lor Array.unsafe_get values (Array.unsafe_get s1 j))
-    done;
-    let dst = k.xor_dst and s0 = k.xor_s0 and s1 = k.xor_s1 in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (Array.unsafe_get values (Array.unsafe_get s0 j)
-        lxor Array.unsafe_get values (Array.unsafe_get s1 j))
-    done;
-    let dst = k.andor_dst and a = k.andor_a and b = k.andor_b
-    and c = k.andor_c and d = k.andor_d in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (Array.unsafe_get values (Array.unsafe_get a j)
-         land Array.unsafe_get values (Array.unsafe_get b j)
-        lor (Array.unsafe_get values (Array.unsafe_get c j)
-            land Array.unsafe_get values (Array.unsafe_get d j)))
-    done;
-    let dst = k.orand_dst and a = k.orand_a and b = k.orand_b
-    and c = k.orand_c in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (Array.unsafe_get values (Array.unsafe_get a j)
-         land Array.unsafe_get values (Array.unsafe_get b j)
-        lor Array.unsafe_get values (Array.unsafe_get c j))
-    done;
-    let dst = k.xor3_dst and a = k.xor3_a and b = k.xor3_b and c = k.xor3_c in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (Array.unsafe_get values (Array.unsafe_get a j)
-        lxor Array.unsafe_get values (Array.unsafe_get b j)
-        lxor Array.unsafe_get values (Array.unsafe_get c j))
-    done;
-    let dst = k.out_dst and src = k.out_src in
-    for j = 0 to Array.length dst - 1 do
-      Array.unsafe_set values
-        (Array.unsafe_get dst j)
-        (Array.unsafe_get values (Array.unsafe_get src j))
+  for lvl = 0 to Array.length rfb - 2 do
+    for b = Array.unsafe_get rfb lvl to Array.unsafe_get rfb (lvl + 1) - 1 do
+      run_block values (Array.unsafe_get blocks b)
     done;
     if forced then apply_forces values (Array.unsafe_get slots (lvl + 1))
   done

@@ -15,7 +15,7 @@ val lanes : int
 val lane_mask : int
 
 val create : ?optimize:bool -> ?relayout:bool -> ?fuse:bool ->
-  ?certify:bool -> Hydra_netlist.Netlist.t -> t
+  ?certify:bool -> ?tuning:Kernel.tuning -> Hydra_netlist.Netlist.t -> t
 (** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
     circuit.  [~optimize:true] (default false) runs the
     {!Hydra_netlist.Optimize} pre-pass before compilation.
@@ -26,7 +26,9 @@ val create : ?optimize:bool -> ?relayout:bool -> ?fuse:bool ->
     translation-validates each pre-pass run with
     {!Hydra_analyze.Certify} — packed-random I/O equivalence for the
     optimizer, a complete permutation proof for the re-layout — and
-    raises {!Hydra_analyze.Certify.Certification_failed} on a lie. *)
+    raises {!Hydra_analyze.Certify.Certification_failed} on a lie.
+    [~tuning] (default {!Kernel.default_tuning}) sizes the rank blocks
+    ({!Kernel.tuning}); it never changes what is computed. *)
 
 val replicate : t -> t
 (** A fresh engine over the same compiled circuit: shares the immutable

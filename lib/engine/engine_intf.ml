@@ -52,4 +52,9 @@ let wide : (module S) =
     include Compiled_wide
 
     let name = "wide"
+
+    (* Re-bind create without the ?tuning parameter so the module keeps
+       matching [S] — the handle always compiles with default tuning. *)
+    let create ?optimize ?relayout ?fuse ?certify nl =
+      Compiled_wide.create ?optimize ?relayout ?fuse ?certify nl
   end)

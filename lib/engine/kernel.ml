@@ -37,18 +37,95 @@ type kernel = {
   out_src : int array;
 }
 
+type tuning = {
+  block_words : int;
+  block_gates : int;
+  hot_after : int;
+  probe_period : int;
+}
+
+let default_tuning =
+  { block_words = 3072; block_gates = 0; hot_after = 4; probe_period = 128 }
+
+let check_tuning t =
+  if t.block_words < 1 then invalid_arg "Kernel: tuning.block_words must be >= 1";
+  if t.block_gates < 0 then invalid_arg "Kernel: tuning.block_gates must be >= 0";
+  if t.hot_after < 1 then invalid_arg "Kernel: tuning.hot_after must be >= 1";
+  if t.probe_period < 1 then invalid_arg "Kernel: tuning.probe_period must be >= 1"
+
+let tuning_of_spec ?(base = default_tuning) spec =
+  let parse_kv acc kv =
+    match String.index_opt kv '=' with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Kernel.tuning_of_spec: expected key=int, got %S" kv)
+    | Some eq ->
+      let key =
+        String.map (function '_' -> '-' | c -> c) (String.sub kv 0 eq)
+      in
+      let v =
+        let s = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+        match int_of_string_opt s with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Kernel.tuning_of_spec: value of %s must be an integer, got %S"
+               key s)
+      in
+      (match key with
+      | "block-words" -> { acc with block_words = v }
+      | "block-gates" -> { acc with block_gates = v }
+      | "hot-after" -> { acc with hot_after = v }
+      | "probe-period" -> { acc with probe_period = v }
+      | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Kernel.tuning_of_spec: unknown key %S (expected block-words, \
+              block-gates, hot-after or probe-period)"
+             key))
+  in
+  let t =
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.fold_left (fun acc kv -> parse_kv acc (String.trim kv)) base
+  in
+  check_tuning t;
+  t
+
+let tuning_to_spec t =
+  Printf.sprintf "block-words=%d,block-gates=%d,hot-after=%d,probe-period=%d"
+    t.block_words t.block_gates t.hot_after t.probe_period
+
+(* Gates per block: explicit override, or derived so one block's value
+   traffic (~3 words touched per gate — dst plus two sources — times the
+   engine's K words per signal) fits the [block_words] cache target. *)
+let gates_per_block ~k t =
+  if t.block_gates > 0 then t.block_gates
+  else max 32 (t.block_words / (3 * k))
+
+let dffs_per_cluster_of ~k t = max 8 (t.block_words / (2 * k))
+
 type program = {
   netlist : Netlist.t;
   levels : Levelize.t;
-  kernels : kernel array;
+  blocks : kernel array;
+  block_rank : int array;
+  rank_first_block : int array;
   consts : (int * bool) array;
   dffs : int array;
   dff_src : int array;
   dff_init : bool array;
   fused : int;
+  tuning : tuning;
+  k : int;
+  dffs_per_cluster : int;
+  n_dff_clusters : int;
   input_index : (string, int) Hashtbl.t;
   output_index : (string, int) Hashtbl.t;
 }
+
+let n_ranks p = Array.length p.rank_first_block - 1
 
 (* How the outer gate at [dst] absorbs a fanout-1 inner gate. *)
 type fusion =
@@ -176,8 +253,33 @@ let plan_fusion (nl : Netlist.t) (levels : Levelize.t) =
     levels.Levelize.by_level;
   (fusion, consumed)
 
+(* Members of a rank that emit a kernel entry: gates and outports not
+   absorbed by fusion.  Inports, constants and dffs settle outside the
+   kernels; consumed inner gates are evaluated inside their outer fused
+   kernel and never stored. *)
+let emitting (nl : Netlist.t) (consumed : bool array) rank =
+  Array.of_list
+    (List.filter
+       (fun i ->
+         (not consumed.(i))
+         &&
+         match nl.Netlist.components.(i) with
+         | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> false
+         | _ -> true)
+       (Array.to_list rank))
+
+let chunk gpb arr =
+  let n = Array.length arr in
+  if n = 0 then []
+  else if gpb >= n then [ arr ] (* also dodges n + gpb overflow *)
+  else begin
+    let nchunks = (n + gpb - 1) / gpb in
+    List.init nchunks (fun c ->
+        Array.sub arr (c * gpb) (min gpb (n - (c * gpb))))
+  end
+
 let compile ?(optimize = false) ?(relayout = true) ?(fuse = true)
-    ?(certify = false) netlist =
+    ?(certify = false) ?(tuning = default_tuning) ?(k = 1) netlist =
   (* [?certify] translation-validates each pre-pass run
      ({!Hydra_analyze.Certify}): packed-random I/O equivalence for the
      optimizer's rewrites, a complete permutation proof for the
@@ -204,15 +306,31 @@ let compile ?(optimize = false) ?(relayout = true) ?(fuse = true)
     end
     else netlist
   in
+  check_tuning tuning;
+  if k < 1 then invalid_arg "Kernel.compile: ~k must be >= 1";
   let levels = Levelize.check netlist in
   let n = Netlist.size netlist in
   let fusion, consumed =
     if fuse then plan_fusion netlist levels
     else (Array.make n None, Array.make n false)
   in
-  let kernels =
-    Array.map (build_kernel netlist fusion consumed) levels.Levelize.by_level
-  in
+  let gpb = gates_per_block ~k tuning in
+  let nranks = Array.length levels.Levelize.by_level in
+  let rank_first_block = Array.make (nranks + 1) 0 in
+  let blocks_rev = ref [] and block_rank_rev = ref [] and nblocks = ref 0 in
+  Array.iteri
+    (fun rank members ->
+      rank_first_block.(rank) <- !nblocks;
+      List.iter
+        (fun sub ->
+          blocks_rev := build_kernel netlist fusion consumed sub :: !blocks_rev;
+          block_rank_rev := rank :: !block_rank_rev;
+          incr nblocks)
+        (chunk gpb (emitting netlist consumed members)))
+    levels.Levelize.by_level;
+  rank_first_block.(nranks) <- !nblocks;
+  let blocks = Array.of_list (List.rev !blocks_rev) in
+  let block_rank = Array.of_list (List.rev !block_rank_rev) in
   let consts = ref [] and dffs = ref [] in
   Array.iteri
     (fun i comp ->
@@ -235,22 +353,32 @@ let compile ?(optimize = false) ?(relayout = true) ?(fuse = true)
   List.iter (fun (s, i) -> Hashtbl.replace input_index s i) netlist.Netlist.inputs;
   List.iter (fun (s, i) -> Hashtbl.replace output_index s i) netlist.Netlist.outputs;
   let fused = Array.fold_left (fun a c -> if c then a + 1 else a) 0 consumed in
+  let dffs_per_cluster = dffs_per_cluster_of ~k tuning in
+  let n_dff_clusters =
+    (Array.length dffs + dffs_per_cluster - 1) / dffs_per_cluster
+  in
   {
     netlist;
     levels;
-    kernels;
+    blocks;
+    block_rank;
+    rank_first_block;
     consts = Array.of_list (List.rev !consts);
     dffs;
     dff_src;
     dff_init;
     fused;
+    tuning;
+    k;
+    dffs_per_cluster;
+    n_dff_clusters;
     input_index;
     output_index;
   }
 
 let size p = Netlist.size p.netlist
 
-let n_force_slots p = Array.length p.kernels + 1
+let n_force_slots p = n_ranks p + 1
 
 let force_slot ~what p site =
   let n = size p in
@@ -264,37 +392,71 @@ let force_slot ~what p site =
   | Netlist.Outport _ ->
     p.levels.Levelize.levels.(site) + 1
 
-(* Ranks that actually read each component, charged from the kernel
-   source arrays so that fused reads land on the outer gate's rank. *)
-let consumer_ranks p =
+(* Blocks that actually read each component, charged from the kernel
+   source arrays so that fused reads land on the outer gate's block. *)
+let consumer_blocks p =
   let n = size p in
   let acc : int list array = Array.make n [] in
-  let mark rank src =
+  let mark blk src =
     Array.iter
       (fun s -> match acc.(s) with
-        | r :: _ when r = rank -> ()  (* dedup the common repeat *)
-        | rs -> acc.(s) <- rank :: rs)
+        | b :: _ when b = blk -> ()  (* dedup the common repeat *)
+        | bs -> acc.(s) <- blk :: bs)
       src
   in
   Array.iteri
-    (fun rank k ->
-      mark rank k.inv_src;
-      mark rank k.and_s0;
-      mark rank k.and_s1;
-      mark rank k.or_s0;
-      mark rank k.or_s1;
-      mark rank k.xor_s0;
-      mark rank k.xor_s1;
-      mark rank k.andor_a;
-      mark rank k.andor_b;
-      mark rank k.andor_c;
-      mark rank k.andor_d;
-      mark rank k.orand_a;
-      mark rank k.orand_b;
-      mark rank k.orand_c;
-      mark rank k.xor3_a;
-      mark rank k.xor3_b;
-      mark rank k.xor3_c;
-      mark rank k.out_src)
-    p.kernels;
-  Array.map (fun rs -> Array.of_list (List.sort_uniq compare rs)) acc
+    (fun blk k ->
+      mark blk k.inv_src;
+      mark blk k.and_s0;
+      mark blk k.and_s1;
+      mark blk k.or_s0;
+      mark blk k.or_s1;
+      mark blk k.xor_s0;
+      mark blk k.xor_s1;
+      mark blk k.andor_a;
+      mark blk k.andor_b;
+      mark blk k.andor_c;
+      mark blk k.andor_d;
+      mark blk k.orand_a;
+      mark blk k.orand_b;
+      mark blk k.orand_c;
+      mark blk k.xor3_a;
+      mark blk k.xor3_b;
+      mark blk k.xor3_c;
+      mark blk k.out_src)
+    p.blocks;
+  Array.map (fun bs -> Array.of_list (List.sort_uniq compare bs)) acc
+
+(* Dff clusters whose latch phase reads each component: dff [j] reads
+   [dff_src.(j)] every tick, and lives in cluster [j / dffs_per_cluster].
+   The complement of {!consumer_blocks} for the sequential phase. *)
+let dff_sink_clusters p =
+  let n = size p in
+  let acc : int list array = Array.make n [] in
+  Array.iteri
+    (fun j src ->
+      let cl = j / p.dffs_per_cluster in
+      match acc.(src) with
+      | c :: _ when c = cl -> ()
+      | cs -> acc.(src) <- cl :: cs)
+    p.dff_src;
+  Array.map (fun cs -> Array.of_list (List.sort_uniq compare cs)) acc
+
+(* The block whose kernel stores each component, or -1 for components
+   settled outside the kernels (inports, constants, dffs, fused inner
+   gates). *)
+let comp_block p =
+  let owner = Array.make (size p) (-1) in
+  let claim blk dst = Array.iter (fun d -> owner.(d) <- blk) dst in
+  Array.iteri
+    (fun blk k ->
+      claim blk k.inv_dst;
+      claim blk k.and_dst;
+      claim blk k.or_dst;
+      claim blk k.xor_dst;
+      claim blk k.andor_dst;
+      claim blk k.orand_dst;
+      claim blk k.xor3_dst;
+      claim blk k.out_dst)
+    p.blocks;
+  owner

@@ -44,16 +44,66 @@ type kernel = {
   out_src : int array;
 }
 
+(** Cache-tiling and gating knobs shared by every engine compiled
+    through this module.  [block_words] is the target number of value
+    words one block's kernels touch per pass (dst plus sources, times
+    the engine's K words per signal) — size it to L1/L2;
+    [block_gates] > 0 overrides the derivation with an explicit
+    gates-per-block.  [hot_after] and [probe_period] drive {!Slab}'s
+    per-block hot/detect adaptation: a block that changes on
+    [hot_after] consecutive detect runs goes hot (plain kernels,
+    conservative consumer marking) for [probe_period] runs before being
+    re-probed with change detection. *)
+type tuning = {
+  block_words : int;  (** cache target in value words, default 3072 *)
+  block_gates : int;  (** explicit gates per block; 0 (default) derives *)
+  hot_after : int;  (** detect runs with changes before hot, default 4 *)
+  probe_period : int;  (** hot runs between re-probes, default 128 *)
+}
+
+val default_tuning : tuning
+
+val tuning_of_spec : ?base:tuning -> string -> tuning
+(** Parse a ["key=int,key=int"] spec (keys [block-words], [block-gates],
+    [hot-after], [probe-period]; underscores accepted) over [?base]
+    (default {!default_tuning}).  Raises a descriptive
+    [Invalid_argument] on unknown keys, non-integer values or
+    out-of-range results — the shared parser behind the [--tuning] CLI
+    knobs. *)
+
+val tuning_to_spec : tuning -> string
+(** Inverse of {!tuning_of_spec}: a spec string listing every field. *)
+
+val gates_per_block : k:int -> tuning -> int
+(** The block size [compile] will use for an engine with [k] words per
+    signal: [block_gates] when set, else derived from [block_words]. *)
+
 type program = {
   netlist : Hydra_netlist.Netlist.t;
       (** the netlist actually compiled (post-optimize, post-relayout) *)
   levels : Hydra_netlist.Levelize.t;
-  kernels : kernel array;  (** one per levelized rank *)
+  blocks : kernel array;
+      (** rank-major: every levelized rank tiled into consecutive blocks
+          of at most {!gates_per_block} gates.  Within a rank the split
+          is arbitrary but order-safe (all sources settle at strictly
+          lower ranks), so engines run blocks [rank_first_block.(r)] to
+          [rank_first_block.(r+1) - 1] in any order — ascending re-walks
+          a cache-hot tile instead of streaming the whole rank. *)
+  block_rank : int array;  (** owning rank of each block *)
+  rank_first_block : int array;
+      (** length rank-count + 1: blocks of rank [r] are
+          [rank_first_block.(r) .. rank_first_block.(r+1) - 1] *)
   consts : (int * bool) array;  (** component index, constant value *)
   dffs : int array;
   dff_src : int array;  (** driver of each dff, indexed like [dffs] *)
   dff_init : bool array;  (** power-up values, indexed like [dffs] *)
   fused : int;  (** gates evaluated inside a fused kernel (never stored) *)
+  tuning : tuning;  (** the tuning the blocks were sized with *)
+  k : int;  (** the words-per-signal the blocks were sized for *)
+  dffs_per_cluster : int;
+      (** dff latch gating granularity: dff [j] (index into [dffs])
+          belongs to cluster [j / dffs_per_cluster] *)
+  n_dff_clusters : int;
   input_index : (string, int) Hashtbl.t;
   output_index : (string, int) Hashtbl.t;
 }
@@ -63,6 +113,8 @@ val compile :
   ?relayout:bool ->
   ?fuse:bool ->
   ?certify:bool ->
+  ?tuning:tuning ->
+  ?k:int ->
   Hydra_netlist.Netlist.t ->
   program
 (** Raises {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
@@ -73,7 +125,12 @@ val compile :
     and-or / or-and / xor-chain kernels; [~certify:true] (default
     false) translation-validates each pre-pass run with
     {!Hydra_analyze.Certify} and raises
-    {!Hydra_analyze.Certify.Certification_failed} on a lie. *)
+    {!Hydra_analyze.Certify.Certification_failed} on a lie.
+    [~tuning] (default {!default_tuning}) and [~k] (the engine's
+    words-per-signal, default 1) size the rank blocks; they change only
+    how ranks are tiled, never what is computed. *)
+
+val n_ranks : program -> int
 
 val size : program -> int
 (** Component count of the compiled netlist. *)
@@ -90,11 +147,27 @@ val force_slot : what:string -> program -> int -> int
 val n_force_slots : program -> int
 (** Number of force slots: rank count + 1. *)
 
-val consumer_ranks : program -> int array array
-(** [consumer_ranks p] maps every component to the sorted list of ranks
-    whose kernels read it — computed from the kernel source arrays
-    themselves, so a fused inner gate's sources are charged to the
-    *outer* gate's rank (where the read actually happens).  Reads by the
-    dff latch phase are not ranks and are not included.  This is the
-    dependency metadata behind {!Slab}'s activity gating: when a
-    component's word changes, exactly these rank blocks must re-run. *)
+val consumer_blocks : program -> int array array
+(** [consumer_blocks p] maps every component to the sorted list of
+    blocks whose kernels read it — computed from the kernel source
+    arrays themselves, so a fused inner gate's sources are charged to
+    the *outer* gate's block (where the read actually happens).  Reads
+    by the dff latch phase are not blocks and are not included (see
+    {!dff_sink_clusters}).  This is the dependency metadata behind
+    {!Slab}'s cluster-granular activity gating: when a component's word
+    changes, exactly these blocks must re-run.  Every consumer block
+    lives at a strictly higher rank than the component, so one ascending
+    block sweep propagates the whole active cone. *)
+
+val dff_sink_clusters : program -> int array array
+(** [dff_sink_clusters p] maps every component to the sorted list of
+    dff clusters (see [dffs_per_cluster]) whose latch phase reads it —
+    the sequential-phase complement of {!consumer_blocks}: when a
+    component's word changes, exactly these clusters must re-latch on
+    the next tick. *)
+
+val comp_block : program -> int array
+(** [comp_block p] maps every component to the block whose kernel
+    stores it, or [-1] for components settled outside the kernels
+    (inports, constants, dffs and fused inner gates).  Lets gating
+    re-mark a site's own block when a force is installed or cleared. *)

@@ -1,0 +1,234 @@
+/* C kernels for the Slab engine's ~simd:true flavor.
+ *
+ * hydra_settle_block(values, desc) evaluates one compiled block of the
+ * shared Kernel program directly over the OCaml int-array slab.  The
+ * descriptor is a flat OCaml int array: [k | n_inv n_and n_or n_xor
+ * n_andor n_orand n_xor3 n_out | per-kind (dst, src...) tuples], with
+ * every index pre-scaled by k, so a gate's K words live at consecutive
+ * addresses and the inner w-loops vectorize.
+ *
+ * All arithmetic runs on the tagged representation (t = 2v + 1):
+ *   - and/or preserve the tag:   (2a+1) & (2b+1) = 2(a&b) + 1
+ *   - xor clears it:             (2a+1) ^ (2b+1) = 2(a^b), so re-| 1
+ *   - inv via the shifted mask:  ~(2a+1) = 2(~a); & (lane_mask << 1)
+ *     drops the sign/overflow bits, then | 1 re-tags
+ * so tagged words load straight into vector lanes: one AVX2 register
+ * holds 4 tagged 62-lane words, one NEON register holds 2.
+ *
+ * The stub never allocates, never touches the OCaml runtime and never
+ * releases the domain lock ([@@noalloc] on the OCaml side), so the
+ * arrays cannot move while it runs.  Vector paths are compile-time
+ * gated: -mavx2 comes from the dune probe rule (which requires the
+ * host to both compile and *run* AVX2), NEON is baseline on aarch64.
+ */
+
+#include <caml/mlvalues.h>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define HYDRA_SIMD_KIND 2
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#include <arm_neon.h>
+#define HYDRA_SIMD_KIND 1
+#else
+#define HYDRA_SIMD_KIND 0
+#endif
+
+/* lane_mask << 1: keeps the 62 payload bits of a tagged word, clears
+ * the tag and the two top bits. */
+#define M2 ((value)0x7FFFFFFFFFFFFFFEULL)
+
+CAMLprim value hydra_simd_kind(value unit)
+{
+  (void)unit;
+  return Val_long(HYDRA_SIMD_KIND);
+}
+
+CAMLprim value hydra_settle_block(value v_values, value v_desc)
+{
+  value *vals = Op_val(v_values);
+  const value *d = Op_val(v_desc);
+  const long k = Long_val(d[0]);
+  const value *p = d + 9;
+  long n, j, w;
+
+#if HYDRA_SIMD_KIND == 2
+  const __m256i vtag = _mm256_set1_epi64x(1);
+  const __m256i vm2 = _mm256_set1_epi64x((long long)M2);
+#define VLOAD(a, w) _mm256_loadu_si256((const __m256i *)((a) + (w)))
+#define VSTORE(a, w, x) _mm256_storeu_si256((__m256i *)((a) + (w)), (x))
+#define VEC_STEP 4
+#elif HYDRA_SIMD_KIND == 1
+  const int64x2_t vtag = vdupq_n_s64(1);
+  const int64x2_t vm2 = vdupq_n_s64((long long)M2);
+#define VLOAD(a, w) vld1q_s64((const int64_t *)((a) + (w)))
+#define VSTORE(a, w, x) vst1q_s64((int64_t *)((a) + (w)), (x))
+#define VEC_STEP 2
+#endif
+
+  /* inv: dst = (~src & M2) | 1 */
+  n = Long_val(d[1]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *src = vals + Long_val(p[1]);
+    p += 2;
+    w = 0;
+#if HYDRA_SIMD_KIND == 2
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             _mm256_or_si256(_mm256_andnot_si256(VLOAD(src, w), vm2), vtag));
+#elif HYDRA_SIMD_KIND == 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w, vorrq_s64(vbicq_s64(vm2, VLOAD(src, w)), vtag));
+#endif
+    for (; w < k; w++)
+      dst[w] = (~src[w] & M2) | 1;
+  }
+
+  /* and2: tags preserved */
+  n = Long_val(d[2]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *s0 = vals + Long_val(p[1]);
+    const value *s1 = vals + Long_val(p[2]);
+    p += 3;
+    w = 0;
+#if HYDRA_SIMD_KIND == 2
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w, _mm256_and_si256(VLOAD(s0, w), VLOAD(s1, w)));
+#elif HYDRA_SIMD_KIND == 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w, vandq_s64(VLOAD(s0, w), VLOAD(s1, w)));
+#endif
+    for (; w < k; w++)
+      dst[w] = s0[w] & s1[w];
+  }
+
+  /* or2: tags preserved */
+  n = Long_val(d[3]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *s0 = vals + Long_val(p[1]);
+    const value *s1 = vals + Long_val(p[2]);
+    p += 3;
+    w = 0;
+#if HYDRA_SIMD_KIND == 2
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w, _mm256_or_si256(VLOAD(s0, w), VLOAD(s1, w)));
+#elif HYDRA_SIMD_KIND == 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w, vorrq_s64(VLOAD(s0, w), VLOAD(s1, w)));
+#endif
+    for (; w < k; w++)
+      dst[w] = s0[w] | s1[w];
+  }
+
+  /* xor2: re-tag */
+  n = Long_val(d[4]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *s0 = vals + Long_val(p[1]);
+    const value *s1 = vals + Long_val(p[2]);
+    p += 3;
+    w = 0;
+#if HYDRA_SIMD_KIND == 2
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             _mm256_or_si256(_mm256_xor_si256(VLOAD(s0, w), VLOAD(s1, w)),
+                             vtag));
+#elif HYDRA_SIMD_KIND == 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w, vorrq_s64(veorq_s64(VLOAD(s0, w), VLOAD(s1, w)), vtag));
+#endif
+    for (; w < k; w++)
+      dst[w] = (s0[w] ^ s1[w]) | 1;
+  }
+
+  /* andor: dst = (a & b) | (c & e) — tags preserved */
+  n = Long_val(d[5]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *a = vals + Long_val(p[1]);
+    const value *b = vals + Long_val(p[2]);
+    const value *c = vals + Long_val(p[3]);
+    const value *e = vals + Long_val(p[4]);
+    p += 5;
+    w = 0;
+#if HYDRA_SIMD_KIND == 2
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             _mm256_or_si256(_mm256_and_si256(VLOAD(a, w), VLOAD(b, w)),
+                             _mm256_and_si256(VLOAD(c, w), VLOAD(e, w))));
+#elif HYDRA_SIMD_KIND == 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             vorrq_s64(vandq_s64(VLOAD(a, w), VLOAD(b, w)),
+                       vandq_s64(VLOAD(c, w), VLOAD(e, w))));
+#endif
+    for (; w < k; w++)
+      dst[w] = (a[w] & b[w]) | (c[w] & e[w]);
+  }
+
+  /* orand: dst = (a & b) | c — tags preserved */
+  n = Long_val(d[6]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *a = vals + Long_val(p[1]);
+    const value *b = vals + Long_val(p[2]);
+    const value *c = vals + Long_val(p[3]);
+    p += 4;
+    w = 0;
+#if HYDRA_SIMD_KIND == 2
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             _mm256_or_si256(_mm256_and_si256(VLOAD(a, w), VLOAD(b, w)),
+                             VLOAD(c, w)));
+#elif HYDRA_SIMD_KIND == 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             vorrq_s64(vandq_s64(VLOAD(a, w), VLOAD(b, w)), VLOAD(c, w)));
+#endif
+    for (; w < k; w++)
+      dst[w] = (a[w] & b[w]) | c[w];
+  }
+
+  /* xor3: dst = a ^ b ^ c — two xors leave the tag set */
+  n = Long_val(d[7]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *a = vals + Long_val(p[1]);
+    const value *b = vals + Long_val(p[2]);
+    const value *c = vals + Long_val(p[3]);
+    p += 4;
+    w = 0;
+#if HYDRA_SIMD_KIND == 2
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             _mm256_xor_si256(_mm256_xor_si256(VLOAD(a, w), VLOAD(b, w)),
+                              VLOAD(c, w)));
+#elif HYDRA_SIMD_KIND == 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w,
+             veorq_s64(veorq_s64(VLOAD(a, w), VLOAD(b, w)), VLOAD(c, w)));
+#endif
+    for (; w < k; w++)
+      dst[w] = a[w] ^ b[w] ^ c[w];
+  }
+
+  /* outports: plain copies */
+  n = Long_val(d[8]);
+  for (j = 0; j < n; j++) {
+    value *dst = vals + Long_val(p[0]);
+    const value *src = vals + Long_val(p[1]);
+    p += 2;
+    w = 0;
+#if HYDRA_SIMD_KIND >= 1
+    for (; w + VEC_STEP <= k; w += VEC_STEP)
+      VSTORE(dst, w, VLOAD(src, w));
+#endif
+    for (; w < k; w++)
+      dst[w] = src[w];
+  }
+
+  return Val_unit;
+}

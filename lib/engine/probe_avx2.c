@@ -1,0 +1,14 @@
+/* Build-time probe: does this host compile AND execute AVX2?  Compiled
+ * and run by probe_simd.sh; exits 0 only if a real AVX2 instruction
+ * retires, so a cross-build or an old CPU behind a new compiler both
+ * fall back to scalar. */
+#include <immintrin.h>
+
+int main(void)
+{
+  volatile long long x[4] = {1, 2, 3, 4};
+  __m256i a = _mm256_loadu_si256((const __m256i *)x);
+  __m256i b = _mm256_add_epi64(a, a);
+  _mm256_storeu_si256((__m256i *)x, b);
+  return x[0] == 2 ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Emits the extra C flags for kernel_stubs.c as a dune (:include ...)
+# sexp.  "(-mavx2)" only when the host both compiles and *runs* AVX2
+# (see probe_avx2.c); "()" otherwise, so the stubs build their portable
+# scalar (or baseline-NEON) paths.  HYDRA_SIMD=off forces "()".
+#
+# Usage: probe_simd.sh <probe.c> <cc> [cc-flags...]
+set -u
+src="${1:-probe_avx2.c}"
+shift 2>/dev/null || true
+if [ "$#" -eq 0 ]; then
+  set -- cc
+fi
+if [ "${HYDRA_SIMD:-}" = "off" ]; then
+  echo "()"
+  exit 0
+fi
+tmp="probe_avx2_exe.$$"
+if "$@" -mavx2 -O1 -o "$tmp" "$src" >/dev/null 2>&1 && "./$tmp" >/dev/null 2>&1; then
+  echo "(-mavx2)"
+else
+  echo "()"
+fi
+rm -f "$tmp"
+exit 0

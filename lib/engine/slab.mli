@@ -10,23 +10,41 @@
     layout, fusion and force-slot placement are identical; the slab
     engine only scales the index arrays by [k] at creation.
 
+    Since PR 7 the shared pipeline tiles each levelized rank into
+    {e blocks} of roughly [Kernel.tuning.block_words] slab words
+    ({!Kernel.gates_per_block}), and the hot loops walk block-major /
+    kind-minor, so a rank too large for cache is processed one
+    resident tile at a time.  [~tuning] picks the block geometry (and
+    the gating adaptation constants); it never changes what is
+    computed.
+
     On top of the wide words sits optional {e activity gating}
-    ([~gating:true]): every levelized rank carries a dirty bit, every
-    mutation (input/poke writes, the dff latch phase) change-detects
-    against the previous value and marks exactly the ranks that read the
-    changed component (from {!Kernel.consumer_ranks}), and [settle]
-    skips clean ranks entirely.  A circuit that has gone quiescent — an
-    idle CPU, a sorter whose inputs are held — costs almost nothing per
-    cycle.  Gating adapts per rank: one that changes on several
-    consecutive runs switches to a {e hot} mode running the plain
-    ungated kernels with conservative consumer marking (re-probing with
-    detection periodically), so a high-toggle circuit pays only the
-    dirty-bit scan — a few percent — rather than a per-gate
-    change-detection tax.  The hot/detect state is a performance cache:
-    it cannot affect simulated values and deliberately survives
-    {!reset}.  Gating is incompatible with {!set_forces} (a cleared
-    force could leave stale values in skipped ranks), which therefore
-    raises on a gated engine. *)
+    ([~gating:true]), now {e cluster-granular}: every block carries a
+    dirty bit (an int-word bitset), every mutation (input/poke writes,
+    the dff latch phase, force edits) change-detects against the
+    previous value and marks exactly the blocks that read the changed
+    component (from {!Kernel.consumer_blocks}), and [settle] skips
+    clean blocks entirely.  The dff latch phase is gated the same way
+    at {e cluster} granularity ({!Kernel} packs dffs into clusters of
+    [dffs_per_cluster]): a clean cluster's registers are not even
+    read.  A circuit that has gone quiescent — an idle CPU, a sorter
+    whose inputs are held — costs only two bitset scans per cycle.
+    Gating adapts per block: one that changes on several consecutive
+    runs switches to a {e hot} mode running the plain ungated kernels
+    with conservative consumer marking (re-probing with detection
+    periodically), so a high-toggle circuit pays only the bitset
+    scan — a few percent — rather than a per-gate change-detection
+    tax.  The hot/detect state is a performance cache: it cannot
+    affect simulated values and deliberately survives {!reset}.
+    Unlike the rank-granular PR 5 design, {!set_forces} now composes
+    with gating: force edits mark the affected sites' own blocks, dff
+    clusters and consumers, and a gated settle applies force slots
+    with change detection.
+
+    [~simd:true] swaps the portable OCaml block kernels for the C
+    stubs in {!Simd} (AVX2 / NEON when the build host supports them,
+    portable scalar C otherwise) — same block geometry, same results,
+    available on every build. *)
 
 type t
 
@@ -38,15 +56,23 @@ val lane_mask : int
 val create :
   ?k:int ->
   ?gating:bool ->
+  ?simd:bool ->
   ?optimize:bool ->
   ?relayout:bool ->
   ?fuse:bool ->
   ?certify:bool ->
+  ?tuning:Kernel.tuning ->
   Hydra_netlist.Netlist.t ->
   t
 (** [?k] (default 8, must be >= 1) words per signal — [62 * k] lanes per
-    settle pass.  [?gating] (default false) enables activity gating.
-    The remaining options are {!Compiled_wide.create}'s, compiled through
+    settle pass.  [?gating] (default false) enables cluster-granular
+    activity gating.  [?simd] (default false) runs blocks through the C
+    stubs ({!Simd} — vectorized when the build host supports it,
+    portable scalar C otherwise).  [?tuning] (default
+    {!Kernel.default_tuning}) sizes rank blocks and dff clusters and
+    sets the gating adaptation constants; see {!Kernel.tuning_of_spec}
+    for the ["block-words=3072,hot-after=4"] string form.  The
+    remaining options are {!Compiled_wide.create}'s, compiled through
     the shared {!Kernel} pipeline.  Raises
     {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
     circuit. *)
@@ -59,6 +85,11 @@ val lanes : t -> int
 (** [62 * k]: independent lanes per settle pass. *)
 
 val gated : t -> bool
+
+val simd : t -> bool
+(** Whether this engine runs its blocks through the {!Simd} C stubs
+    (regardless of whether that build vectorized — see
+    {!Simd.flavor}). *)
 
 val replicate : t -> t
 (** Fresh engine over the same compiled circuit: shares the immutable
@@ -103,7 +134,8 @@ val peek_word : t -> int -> int -> int
 val poke : t -> int -> int -> unit
 val poke_word : t -> int -> int -> int -> unit
 (** [poke_word t i w v].  On a gated engine pokes are change-detected and
-    mark the reader ranks dirty, so they compose with gating. *)
+    mark the reader blocks (and dff sink clusters) dirty, so they
+    compose with gating. *)
 
 type force = {
   f_site : int;  (** component index in {!netlist} *)
@@ -116,10 +148,14 @@ type force = {
     a campaign can re-seed per-cycle faults without re-registering. *)
 
 val set_forces : t -> force array -> unit
-(** As {!Compiled_wide.set_forces}.  Raises [Invalid_argument] on a fused
-    engine (build with [~fuse:false]), on a gated engine (gating would
-    skip ranks whose only change is a force edit), on a mask array whose
-    length is not [k], and — descriptively — on an out-of-range site. *)
+(** As {!Compiled_wide.set_forces}.  Composes with gating: installing,
+    replacing or clearing forces marks every affected site's own block,
+    its dff cluster (for forced register outputs) and its consumer
+    blocks dirty — for the {e old} force set as well as the new one, so
+    a dropped force heals — and a gated settle applies force slots with
+    change detection every pass.  Raises [Invalid_argument] on a fused
+    engine (build with [~fuse:false]), on a mask array whose length is
+    not [k], and — descriptively — on an out-of-range site. *)
 
 val clear_forces : t -> unit
 
@@ -141,7 +177,12 @@ val run_vectors : t -> bool array array -> bool array array
 (** Batched combinational testbench, [62 * k] vectors per settle pass:
     vector [j] of a pass rides word [j / 62], bit [j mod 62]. *)
 
-val engine : ?gating:bool -> int -> (module Engine_intf.S)
-(** [engine ?gating k]: this engine as a first-class
-    {!Engine_intf.S} with [k] and [gating] baked into [create] — the
-    handle {!Testbench}/{!Equiv} entry points take. *)
+val engine :
+  ?gating:bool -> ?simd:bool -> ?tuning:Kernel.tuning -> int ->
+  (module Engine_intf.S)
+(** [engine ?gating ?simd ?tuning k]: this engine as a first-class
+    {!Engine_intf.S} with the whole flavor baked into [create] — the
+    handle {!Testbench}/{!Equiv} entry points take.  The handle's
+    [name] spells the flavor out: ["slab(k=8,gated,simd)"], with a
+    non-default tuning appended as its {!Kernel.tuning_to_spec}
+    string. *)

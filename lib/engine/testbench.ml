@@ -269,6 +269,9 @@ let run_batched ?sharded ?engine ~cycles ~cases netlist =
       include Compiled_wide
 
       let name = "wide"
+
+      let create ?optimize ?relayout ?fuse ?certify nl =
+        Compiled_wide.create ?optimize ?relayout ?fuse ?certify nl
     end) in
     let nchunks = (ncases + Sharded.lanes - 1) / Sharded.lanes in
     Sharded.dispatch sh nchunks C.chunk

@@ -195,8 +195,12 @@ let slab_ops sim =
    [62 x words - 1] faults. *)
 let faults_per_chunk words = (W.lanes * words) - 1
 
-let run ?sharded ?domains ?(engine = `Wide) ?(status_outputs = []) nl ~faults
-    ~stimulus ~cycles =
+let run ?sharded ?domains ?(engine = `Wide) ?(gating = false)
+    ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
+  (match engine with
+  | `Wide when gating ->
+    invalid_arg "Campaign.run: ?gating requires ~engine:(`Slab k)"
+  | _ -> ());
   (match Netlist.validate nl with
   | Ok () -> ()
   | Error e -> invalid_arg ("Campaign.run: invalid netlist: " ^ e));
@@ -424,7 +428,9 @@ let run ?sharded ?domains ?(engine = `Wide) ?(status_outputs = []) nl ~faults
        ~engine:(`Slab k) instead"
   | `Slab k, None, _ ->
     if nchunks > 0 then begin
-      let base = Slab.create ~k ~optimize:false ~relayout:false ~fuse:false nl in
+      let base =
+        Slab.create ~k ~gating ~optimize:false ~relayout:false ~fuse:false nl
+      in
       let module SSh = Sharded.Slab_sharded in
       let ssh = SSh.of_base ?domains base in
       Fun.protect

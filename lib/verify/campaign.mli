@@ -80,6 +80,7 @@ val run :
   ?sharded:Hydra_engine.Sharded.t ->
   ?domains:int ->
   ?engine:[ `Wide | `Slab of int ] ->
+  ?gating:bool ->
   ?status_outputs:string list ->
   Hydra_netlist.Netlist.t ->
   faults:fault list ->
@@ -106,8 +107,12 @@ val run :
     {!Hydra_engine.Slab}: [62*k - 1] faults per engine pass (so a whole
     [all_stuck_at] list often fits in one), chunked over a slab-sharded
     driver built with [?domains].  [?sharded] is wide-only and rejected
-    in combination with [`Slab].  Verdicts are identical to the wide
-    engine's — only the packing changes.
+    in combination with [`Slab].  [~gating:true] (slab-only; rejected
+    with [`Wide]) runs the campaign engines with cluster-granular
+    activity gating — force installs mark the affected blocks, so
+    verdicts stay bit-identical while a mostly-quiescent circuit under
+    a local fault simulates much faster.  Verdicts are identical to the
+    wide engine's — only the packing changes.
 
     Raises [Invalid_argument] on an invalid netlist, an out-of-range or
     outport fault site, an SEU site that is not a dff, an intermittent

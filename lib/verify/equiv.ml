@@ -377,9 +377,9 @@ let engine_random_netlists ?(passes = 4) ?(cycles = 32) ?(seed = 0x5eed)
 
 (* The acceptance check for the slab engine: K-word slab vs the 1-word
    wide engine on the same netlist. *)
-let slab_vs_wide ?passes ?cycles ?seed ?(k = 8) ?gating nl =
+let slab_vs_wide ?passes ?cycles ?seed ?(k = 8) ?gating ?simd ?tuning nl =
   engine_random_netlists ?passes ?cycles ?seed
-    (Hydra_engine.Slab.engine ?gating k)
+    (Hydra_engine.Slab.engine ?gating ?simd ?tuning k)
     Hydra_engine.Engine_intf.wide nl nl
 
 let seq_equivalent = function Seq_equivalent -> true | Seq_mismatch _ -> false

@@ -120,13 +120,15 @@ val slab_vs_wide :
   ?seed:int ->
   ?k:int ->
   ?gating:bool ->
+  ?simd:bool ->
+  ?tuning:Hydra_engine.Kernel.tuning ->
   Hydra_netlist.Netlist.t ->
   seq_result
 (** [slab_vs_wide nl]: {!engine_random_netlists} of the same netlist on
-    {!Hydra_engine.Slab} ([?k] words, default 8, with [?gating] as in
-    {!Hydra_engine.Slab.create}) versus {!Hydra_engine.Compiled_wide} —
-    the acceptance check that every slab word simulates exactly the wide
-    semantics. *)
+    {!Hydra_engine.Slab} ([?k] words, default 8, with [?gating], [?simd]
+    and [?tuning] as in {!Hydra_engine.Slab.create}) versus
+    {!Hydra_engine.Compiled_wide} — the acceptance check that every slab
+    word of every flavor simulates exactly the wide semantics. *)
 
 val seq_equivalent : seq_result -> bool
 

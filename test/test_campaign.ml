@@ -514,6 +514,15 @@ let suite =
               true
               (wide.C.verdicts = slab.C.verdicts))
           [ 1; 2; 4 ];
+        (* cluster gating composes with the campaign's forces: same
+           verdicts, bit for bit *)
+        let gated =
+          C.run ~engine:(`Slab 2) ~gating:true
+            ~status_outputs:[ "single"; "double" ] nl ~faults ~stimulus
+            ~cycles:24
+        in
+        check_bool "gated verdicts bit-identical" true
+          (wide.C.verdicts = gated.C.verdicts);
         (* k=4 fits the whole list in a single engine pass *)
         check_bool "fits one slab pass" true (List.length faults <= (62 * 4) - 1));
     tc "campaign: slab engine option validation" (fun () ->
@@ -522,6 +531,10 @@ let suite =
         Alcotest.check_raises "k < 1"
           (Invalid_argument "Campaign.run: slab k must be >= 1") (fun () ->
             ignore (C.run ~engine:(`Slab 0) nl ~faults ~stimulus:[] ~cycles:1));
+        Alcotest.check_raises "gating on wide"
+          (Invalid_argument "Campaign.run: ?gating requires ~engine:(`Slab k)")
+          (fun () ->
+            ignore (C.run ~gating:true nl ~faults ~stimulus:[] ~cycles:1));
         let sh =
           Sharded.create ~optimize:false ~relayout:false ~fuse:false nl
         in

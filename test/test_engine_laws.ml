@@ -1,9 +1,11 @@
 (* A shared law battery over every simulation engine: the scalar
-   {!Compiled}, the 62-lane {!Compiled_wide} and the K-word {!Slab}
-   (gated and ungated) are all driven through one lane-level adapter, so
-   each law — poke/peek round-trip, reset-to-power-up, settle
-   idempotence, step determinism across replicas, force/clear — is
-   checked once and holds engine-independently. *)
+   {!Compiled}, the 62-lane {!Compiled_wide} and the K-word {!Slab} in
+   all its flavors — ungated, cluster-gated, simd, tiny rank blocks,
+   twitchy hot/detect adaptation — are all driven through one
+   lane-level adapter, so each law — poke/peek round-trip,
+   reset-to-power-up, settle idempotence, step determinism across
+   replicas, force/clear (including forces under gating) — is checked
+   once and holds engine-independently. *)
 
 open Util
 
@@ -13,6 +15,7 @@ module P = Hydra_core.Packed
 module C = Hydra_engine.Compiled
 module W = Hydra_engine.Compiled_wide
 module Slab = Hydra_engine.Slab
+module Kernel = Hydra_engine.Kernel
 
 (* The lane-level face the laws are written against.  [create] compiles
    without optimization passes so component indices are the caller's
@@ -90,14 +93,20 @@ end
 module Slab_adapter (K : sig
   val k : int
   val gating : bool
+  val simd : bool
+  val tuning : Kernel.tuning
 end) : LANE_ENGINE = struct
   type t = Slab.t
 
-  let name = Printf.sprintf "slab(k=%d%s)" K.k (if K.gating then ",gated" else "")
+  let name =
+    Printf.sprintf "slab(k=%d%s%s%s)" K.k
+      (if K.gating then ",gated" else "")
+      (if K.simd then ",simd" else "")
+      (if K.tuning <> Kernel.default_tuning then ",tuned" else "")
 
   let create nl =
-    Slab.create ~k:K.k ~gating:K.gating ~optimize:false ~relayout:false
-      ~fuse:false nl
+    Slab.create ~k:K.k ~gating:K.gating ~simd:K.simd ~tuning:K.tuning
+      ~optimize:false ~relayout:false ~fuse:false nl
 
   let lanes = Slab.lanes
   let reset = Slab.reset
@@ -114,7 +123,9 @@ end) : LANE_ENGINE = struct
     Slab.poke_word t i w (P.set_lane (Slab.peek_word t i w) (l mod P.lanes) v)
 
   let cycle = Slab.cycle
-  let has_forces = not K.gating
+
+  (* forces compose with gating since the cluster-gating PR *)
+  let has_forces = true
 
   let set_force t ~site ~value =
     Slab.set_forces t
@@ -130,24 +141,69 @@ end) : LANE_ENGINE = struct
   let clear_forces = Slab.clear_forces
 end
 
+(* Rank blocks of 2 gates: several blocks per rank even on the tiny law
+   circuits, so the blocked sweep and per-block gating really multi-block *)
+let tiny_blocks = { Kernel.default_tuning with Kernel.block_gates = 2 }
+
+(* hot_after = 1, probe_period = 2: the gating adaptation flips between
+   hot and detecting every couple of runs inside an 11-cycle law *)
+let twitchy =
+  { Kernel.block_gates = 2; block_words = 64; hot_after = 1; probe_period = 2 }
+
 module Slab1_adapter = Slab_adapter (struct
   let k = 1
   let gating = false
+  let simd = false
+  let tuning = Kernel.default_tuning
 end)
 
 module Slab3_adapter = Slab_adapter (struct
   let k = 3
   let gating = false
+  let simd = false
+  let tuning = Kernel.default_tuning
 end)
 
 module Slab4_adapter = Slab_adapter (struct
   let k = 4
   let gating = false
+  let simd = false
+  let tuning = Kernel.default_tuning
 end)
 
 module Slab4g_adapter = Slab_adapter (struct
   let k = 4
   let gating = true
+  let simd = false
+  let tuning = Kernel.default_tuning
+end)
+
+module Slab2b_adapter = Slab_adapter (struct
+  let k = 2
+  let gating = false
+  let simd = false
+  let tuning = tiny_blocks
+end)
+
+module Slab3gb_adapter = Slab_adapter (struct
+  let k = 3
+  let gating = true
+  let simd = false
+  let tuning = twitchy
+end)
+
+module Slab4s_adapter = Slab_adapter (struct
+  let k = 4
+  let gating = false
+  let simd = true
+  let tuning = Kernel.default_tuning
+end)
+
+module Slab2gs_adapter = Slab_adapter (struct
+  let k = 2
+  let gating = true
+  let simd = true
+  let tuning = tiny_blocks
 end)
 
 (* Circuits the laws run on: a combinational mixer and a registered
@@ -329,6 +385,10 @@ let cross_engine_lane0 () =
       (module Wide_adapter : LANE_ENGINE);
       (module Slab3_adapter);
       (module Slab4g_adapter);
+      (module Slab2b_adapter);
+      (module Slab3gb_adapter);
+      (module Slab4s_adapter);
+      (module Slab2gs_adapter);
     ]
 
 module Scalar_laws = Laws (Scalar_adapter)
@@ -336,8 +396,13 @@ module Wide_laws = Laws (Wide_adapter)
 module Slab1_laws = Laws (Slab1_adapter)
 module Slab4_laws = Laws (Slab4_adapter)
 module Slab4g_laws = Laws (Slab4g_adapter)
+module Slab2b_laws = Laws (Slab2b_adapter)
+module Slab3gb_laws = Laws (Slab3gb_adapter)
+module Slab4s_laws = Laws (Slab4s_adapter)
+module Slab2gs_laws = Laws (Slab2gs_adapter)
 
 let suite =
   Scalar_laws.tests @ Wide_laws.tests @ Slab1_laws.tests @ Slab4_laws.tests
-  @ Slab4g_laws.tests
+  @ Slab4g_laws.tests @ Slab2b_laws.tests @ Slab3gb_laws.tests
+  @ Slab4s_laws.tests @ Slab2gs_laws.tests
   @ [ tc "lane 0 agrees across engines" cross_engine_lane0 ]

@@ -12,6 +12,8 @@ module Packed = Hydra_core.Packed
 module Compiled = Hydra_engine.Compiled
 module Wide = Hydra_engine.Compiled_wide
 module Slab = Hydra_engine.Slab
+module Kernel = Hydra_engine.Kernel
+module Simd = Hydra_engine.Simd
 module Sharded = Hydra_engine.Sharded
 module Testbench = Hydra_engine.Testbench
 module Equiv = Hydra_verify.Equiv
@@ -235,13 +237,12 @@ let suite =
           (Invalid_argument
              "Slab.set_forces: requires an engine built with ~fuse:false")
           (fun () -> Slab.set_forces fused [| zero_force 0 |]);
+        (* a gated engine accepts forces since the cluster-gating PR *)
         let gated =
           Slab.create ~k:2 ~gating:true ~fuse:false ~relayout:false nl
         in
-        Alcotest.check_raises "gated"
-          (Invalid_argument
-             "Slab.set_forces: requires an engine built with ~gating:false")
-          (fun () -> Slab.set_forces gated [| zero_force 0 |]);
+        Slab.set_forces gated [| zero_force 0 |];
+        Slab.clear_forces gated;
         let plain = Slab.create ~k:3 ~fuse:false ~relayout:false nl in
         Alcotest.check_raises "mask arity"
           (Invalid_argument "Slab.set_forces: mask arrays must have k = 3 words")
@@ -310,6 +311,150 @@ let suite =
           Wide.tick wide_forced
         done;
         !ok);
+    qc ~count:15
+      "forces compose with gating: install, mutate in place, clear — all heal"
+      (Test_wide.gen_nodes Test_wide.dff_heavy_ops)
+      (fun nodes ->
+        let nl = Test_wide.netlist_of nodes in
+        (* tiny blocks so the force sites and their consumers span several
+           blocks even on a small random netlist *)
+        let tuning = { Kernel.default_tuning with Kernel.block_gates = 2 } in
+        let mk gating =
+          Slab.create ~k:2 ~gating ~tuning ~fuse:false ~relayout:false nl
+        in
+        let gated = mk true and plain = mk false in
+        let force () =
+          {
+            Slab.f_site = N.size nl / 2;
+            force0 = [| 0; 0 |];
+            force1 = [| 0; 0 |];
+            flip = [| 0; 0x155 |];
+          }
+        in
+        let gf = force () and pf = force () in
+        let st = Random.State.make [| 0xf06 |] in
+        let ok = ref true in
+        let phase ~toggling cycles =
+          for _ = 1 to cycles do
+            List.iter
+              (fun name ->
+                for w = 0 to 1 do
+                  let v = if toggling then random_word st else 0 in
+                  Slab.set_input_word gated name w v;
+                  Slab.set_input_word plain name w v
+                done)
+              [ "a"; "b"; "c" ];
+            Slab.settle gated;
+            Slab.settle plain;
+            List.iter
+              (fun (out, _) ->
+                for w = 0 to 1 do
+                  if Slab.output_word gated out w <> Slab.output_word plain out w
+                  then ok := false
+                done)
+              (outputs_of (Slab.netlist gated));
+            Slab.tick gated;
+            Slab.tick plain
+          done
+        in
+        phase ~toggling:true 10;
+        Slab.set_forces gated [| gf |];
+        Slab.set_forces plain [| pf |];
+        phase ~toggling:true 10;
+        (* quiescent inputs with a live force: gating must keep the
+           forced cone correct while skipping the rest *)
+        phase ~toggling:false 12;
+        (* in-place mask re-seed (the Campaign intermittent-fault path):
+           no set_forces call, detection alone must propagate it *)
+        gf.Slab.flip.(0) <- 0x2a;
+        pf.Slab.flip.(0) <- 0x2a;
+        phase ~toggling:false 12;
+        (* cleared forces must heal even while inputs are held *)
+        Slab.clear_forces gated;
+        Slab.clear_forces plain;
+        phase ~toggling:false 12;
+        phase ~toggling:true 8;
+        !ok);
+    qc ~count:15 "tiny rank blocks are value-transparent (tuning sweep)"
+      (Test_wide.gen_nodes Test_wide.dff_heavy_ops)
+      (fun nodes ->
+        let nl = Test_wide.netlist_of nodes in
+        List.for_all
+          (fun tuning ->
+            Equiv.seq_equivalent
+              (Equiv.slab_vs_wide ~passes:1 ~cycles:8 ~k:2 ~tuning nl)
+            && Equiv.seq_equivalent
+                 (Equiv.slab_vs_wide ~passes:1 ~cycles:8 ~k:2 ~gating:true
+                    ~tuning nl))
+          [
+            { Kernel.default_tuning with Kernel.block_gates = 1 };
+            { Kernel.default_tuning with Kernel.block_gates = 3 };
+            { Kernel.default_tuning with Kernel.block_words = 16 };
+            {
+              Kernel.block_words = 64;
+              block_gates = 0;
+              hot_after = 1;
+              probe_period = 2;
+            };
+          ]);
+    qc ~count:15 "simd kernels = pure OCaml kernels (all k, gating)"
+      (Test_wide.gen_nodes Test_wide.dff_heavy_ops)
+      (fun nodes ->
+        let nl = Test_wide.netlist_of nodes in
+        List.for_all
+          (fun k ->
+            Equiv.seq_equivalent
+              (Equiv.slab_vs_wide ~passes:1 ~cycles:8 ~k ~simd:true nl)
+            && Equiv.seq_equivalent
+                 (Equiv.slab_vs_wide ~passes:1 ~cycles:8 ~k ~simd:true
+                    ~gating:true nl))
+          (* 1 and 3: scalar-tail-only at any vector width; 8: full
+             vector bodies *)
+          [ 1; 3; 8 ]);
+    tc "Kernel tuning specs: parse, merge, print, reject" (fun () ->
+        let t = Kernel.tuning_of_spec "block-words=512,hot-after=2" in
+        check_int "block words" 512 t.Kernel.block_words;
+        check_int "hot after" 2 t.Kernel.hot_after;
+        check_int "probe period inherited"
+          Kernel.default_tuning.Kernel.probe_period t.Kernel.probe_period;
+        let t2 = Kernel.tuning_of_spec ~base:t "block_gates=7" in
+        check_int "underscores normalize" 7 t2.Kernel.block_gates;
+        check_int "base carried through" 512 t2.Kernel.block_words;
+        check_bool "spec roundtrip" true
+          (Kernel.tuning_of_spec (Kernel.tuning_to_spec t2) = t2);
+        check_int "derived gates per block honors override" 7
+          (Kernel.gates_per_block ~k:4 t2);
+        check_int "derived gates per block from block words" 42
+          (Kernel.gates_per_block ~k:4
+             { t2 with Kernel.block_gates = 0; block_words = 512 });
+        Alcotest.check_raises "unknown key"
+          (Invalid_argument
+             "Kernel.tuning_of_spec: unknown key \"block\" (expected \
+              block-words, block-gates, hot-after or probe-period)")
+          (fun () -> ignore (Kernel.tuning_of_spec "block=3"));
+        Alcotest.check_raises "non-integer"
+          (Invalid_argument
+             "Kernel.tuning_of_spec: value of hot-after must be an integer, \
+              got \"soon\"")
+          (fun () -> ignore (Kernel.tuning_of_spec "hot-after=soon"));
+        Alcotest.check_raises "missing ="
+          (Invalid_argument
+             "Kernel.tuning_of_spec: expected key=int, got \"3072\"")
+          (fun () -> ignore (Kernel.tuning_of_spec "3072"));
+        Alcotest.check_raises "range check"
+          (Invalid_argument "Kernel: tuning.block_words must be >= 1")
+          (fun () -> ignore (Kernel.tuning_of_spec "block-words=0"));
+        (* the engine handle spells the whole flavor out *)
+        let (module E) =
+          Slab.engine ~gating:true ~simd:true
+            ~tuning:{ Kernel.default_tuning with Kernel.block_gates = 9 }
+            4
+        in
+        check_string "engine name"
+          "slab(k=4,gated,simd,block-words=3072,block-gates=9,hot-after=4,probe-period=128)"
+          E.name;
+        let (module D) = Slab.engine ~tuning:Kernel.default_tuning 2 in
+        check_string "default tuning elided" "slab(k=2)" D.name);
     tc "word index range errors are descriptive" (fun () ->
         let a = G.input "a" in
         let nl = N.extract ~inputs:[ a ] ~outputs:[ ("y", G.inv a) ] in
