@@ -1454,6 +1454,57 @@ let e25 ?(min_time = 0.2) () =
   row "  cluster-gating speedup on quiescent cpu: %.1fx (acceptance: > 4.5x)\n"
     (t_idle_u /. t_idle_g)
 
+(* E26: fixpoint dataflow analyses and the certified sweep they license.
+   Two costs matter: the analysis itself (three worklist fixpoints plus
+   partition refinement) must stay interactive on the big netlists, and
+   the sweep must buy a real component reduction once translation
+   validation is included in the bill. *)
+
+let e26 () =
+  let module Dataflow = Hydra_analyze.Dataflow in
+  let module Sweep = Hydra_analyze.Sweep in
+  let module Certify = Hydra_analyze.Certify in
+  section "E26" "fixpoint dataflow analyses + certified sweep";
+  List.iter
+    (fun (name, nl) ->
+      let n = N.size nl in
+      let t0 = Unix.gettimeofday () in
+      let df = Dataflow.create nl in
+      let stats = Dataflow.stats df in
+      let classes = Dataflow.classes df in
+      let t_analyze = Unix.gettimeofday () -. t0 in
+      let visits =
+        List.fold_left (fun a (_, s) -> a + s.Dataflow.visits) 0 stats
+      in
+      row
+        "  %-10s %6d comps: 3 fixpoints + classes in %.3f s (%d worklist \
+         visits)\n"
+        name n t_analyze visits;
+      row "    stuck registers=%d  constants=%d  masked=%d  classes=%d\n"
+        (List.length (Dataflow.stuck_registers df))
+        (List.length (Dataflow.constant_components df))
+        (List.length (Dataflow.masked df))
+        (List.length classes);
+      record ~section:"E26" ~name:(name ^ " analysis time") ~value:t_analyze
+        ~unit_:"s" ();
+      let t0 = Unix.gettimeofday () in
+      let post, report, oc = Certify.sweep nl in
+      let t_sweep = Unix.gettimeofday () -. t0 in
+      if not (Certify.certified oc) then
+        failwith ("E26: sweep refuted on " ^ name ^ ": " ^ Certify.describe oc);
+      row "    certified sweep: %s in %.3f s (%.1f%% smaller)\n"
+        (Sweep.describe report) t_sweep
+        (100.
+        *. float_of_int (report.Sweep.before - report.Sweep.after)
+        /. float_of_int report.Sweep.before);
+      record ~section:"E26" ~name:(name ^ " sweep+certify time")
+        ~value:t_sweep ~unit_:"s" ();
+      record ~section:"E26" ~name:(name ^ " sweep component reduction")
+        ~value:(float_of_int (report.Sweep.before - report.Sweep.after))
+        ~unit_:"components" ();
+      ignore post)
+    [ ("wallace64", wallace_netlist 64); ("cpu", cpu_netlist ()) ]
+
 (* Smoke mode ----------------------------------------------------------- *)
 
 (* A ~2 s subset run from `dune runtest` (alias bench-smoke): asserts the
@@ -1617,6 +1668,7 @@ let sections : (string * (unit -> unit)) list =
     ("E21", (fun () -> e21 ())); ("E23", (fun () -> e23 ()));
     ("E24", (fun () -> e24 ()));
     ("E25", (fun () -> e25 ()));
+    ("E26", e26);
   ]
 
 let usage () =

@@ -5,14 +5,17 @@
      dis      disassemble hex words
      run      assemble and execute a program on the gate-level processor
      netlist  emit a named circuit's netlist (paper tuple, dot, verilog)
+     lint     static lint rules over named circuits or saved netlists
+     analyze  fixpoint dataflow analyses and the certified sweep
      timing   static timing/size report for a named circuit
      faults   fault-injection campaigns (stuck-at, SEU, intermittent)
      equiv    slab-vs-wide engine equivalence sweep over named circuits
      algo     print the processor's control algorithm (paper section 6.2)
 
-   Named circuits for netlist/timing/faults: fig1, mux1, regfile1:<k>,
-   ripple:<n>, cla-sklansky:<n>, cla-brent-kung:<n>, cla-kogge-stone:<n>,
-   alu:<n>, sorter:<n>x<w>, secded, cpu:<mem_bits>. *)
+   Named circuits for netlist/lint/analyze/timing/faults: fig1, mux1,
+   regfile1:<k>, ripple:<n>, cla-sklansky:<n>, cla-brent-kung:<n>,
+   cla-kogge-stone:<n>, alu:<n>, sorter:<n>x<w>, secded, wallace:<n>,
+   cpu:<mem_bits>. *)
 
 open Cmdliner
 
@@ -121,6 +124,15 @@ let circuit_of_name name =
         (List.mapi (fun i s -> (Printf.sprintf "p%d" i, s)) dec
         @ [ ("single", single); ("double", double) ]
         @ List.mapi (fun i s -> (Printf.sprintf "u%d" i, s)) plain)
+  | "wallace" ->
+    (* registered Wallace-tree multiplier: the deep-cone benchmark
+       circuit, here for `analyze --sweep` and timing runs *)
+    let n = p 16 in
+    let module W = Hydra_circuits.Wallace.Make (G) in
+    let prod = W.multw (inputs "x" n) (inputs "y" n) in
+    let regd = List.map G.dff prod in
+    N.of_graph
+      ~outputs:(List.mapi (fun i s -> (Printf.sprintf "p%d" i, s)) regd)
   | "cpu" ->
     let mem_bits = p 6 in
     let module Sys_g = Hydra_cpu.System.Make (G) in
@@ -147,7 +159,7 @@ let circuit_of_name name =
     failwith
       (Printf.sprintf
          "unknown circuit %S (try fig1, mux1, ripple:8, cla-sklansky:16, \
-          alu:16, regfile1:4, sorter:4x4, secded, cpu:6)"
+          alu:16, regfile1:4, sorter:4x4, secded, wallace:16, cpu:6)"
          name)
 
 (* ---- asm ---- *)
@@ -455,6 +467,11 @@ let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit machine-readable JSON")
   in
+  let sarif =
+    Arg.(
+      value & flag
+      & info [ "sarif" ] ~doc:"emit SARIF 2.1.0 (for code-review tooling)")
+  in
   let fanout_threshold =
     Arg.(
       value
@@ -482,11 +499,16 @@ let lint_cmd =
             "also translation-validate Optimize and Layout.rank_major on \
              each circuit")
   in
-  let run targets all json fanout_threshold path_budget xsim_cycles certify =
+  let run targets all json sarif fanout_threshold path_budget xsim_cycles
+      certify =
     let config = { Lint.fanout_threshold; path_budget; xsim_cycles } in
     let targets =
       (if all then lint_catalogue else []) @ targets
     in
+    if json && sarif then begin
+      prerr_endline "lint: --json and --sarif are mutually exclusive";
+      exit 2
+    end;
     if targets = [] then begin
       prerr_endline
         "lint: no targets (name circuits/files, or use --all for the \
@@ -494,6 +516,7 @@ let lint_cmd =
       exit 2
     end;
     let failed = ref false in
+    let sarif_acc = ref [] in
     let json_blocks =
       List.map
         (fun target ->
@@ -520,7 +543,11 @@ let lint_cmd =
           if D.count_errors diags > 0 then failed := true;
           if List.exists (fun c -> not (Certify.certified c)) certs then
             failed := true;
-          if json then
+          if sarif then begin
+            sarif_acc := (target, diags) :: !sarif_acc;
+            ""
+          end
+          else if json then
             Printf.sprintf
               "{\"target\":%s,\"components\":%d,\"diagnostics\":%s,\"certificates\":[%s]}"
               (D.json_string target) (N.size nl)
@@ -546,6 +573,8 @@ let lint_cmd =
           end)
         targets
     in
+    if sarif then
+      print_endline (D.to_sarif ~tool:"hydra-lint" (List.rev !sarif_acc));
     if json then
       Printf.printf "{\"version\":1,\"results\":[%s]}\n"
         (String.concat "," json_blocks);
@@ -558,8 +587,197 @@ let lint_cmd =
           certify their transforms); exits 1 on any error-severity \
           diagnostic")
     Term.(
-      const run $ targets $ all $ json $ fanout_threshold $ path_budget
-      $ xsim_cycles $ certify)
+      const run $ targets $ all $ json $ sarif $ fanout_threshold
+      $ path_budget $ xsim_cycles $ certify)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let module D = Hydra_analyze.Diagnostic in
+  let module Df = Hydra_analyze.Dataflow in
+  let module Sweep = Hydra_analyze.Sweep in
+  let module Certify = Hydra_analyze.Certify in
+  let targets =
+    Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT|FILE")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"analyze the whole named-circuit catalogue")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit machine-readable JSON")
+  in
+  let sarif =
+    Arg.(
+      value & flag
+      & info [ "sarif" ] ~doc:"emit SARIF 2.1.0 (for code-review tooling)")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "run the dataflow-driven sweep and translation-validate the \
+             result (exits 1 if any run is refuted)")
+  in
+  let passes =
+    Arg.(
+      value & opt int 2
+      & info [ "passes" ] ~doc:"random-stimulus passes for cross-checking")
+  in
+  let cycles =
+    Arg.(value & opt int 16 & info [ "cycles" ] ~doc:"cycles per pass")
+  in
+  let seed =
+    Arg.(value & opt int 0xdf1 & info [ "seed" ] ~doc:"stimulus seed")
+  in
+  let no_crosscheck =
+    Arg.(
+      value & flag
+      & info [ "no-crosscheck" ]
+          ~doc:"skip the simulation cross-check of the analysis verdicts")
+  in
+  let run targets all json sarif sweep passes cycles seed no_crosscheck =
+    let targets = (if all then lint_catalogue else []) @ targets in
+    if json && sarif then begin
+      prerr_endline "analyze: --json and --sarif are mutually exclusive";
+      exit 2
+    end;
+    if targets = [] then begin
+      prerr_endline
+        "analyze: no targets (name circuits/files, or use --all for the \
+         catalogue)";
+      exit 2
+    end;
+    let failed = ref false in
+    let sarif_acc = ref [] in
+    let json_blocks =
+      List.map
+        (fun target ->
+          let nl = load_target ~cmd:"analyze" target in
+          let df =
+            try Df.create nl
+            with Invalid_argument m ->
+              Printf.eprintf "analyze: %s: %s\n" target m;
+              exit 1
+          in
+          let stuck = Df.stuck_registers df in
+          let consts = Df.constant_components df in
+          let unobs = Df.masked df in
+          let classes = Df.classes df in
+          let rx_outputs = Df.reaching_x_outputs df in
+          let cross =
+            if no_crosscheck then None
+            else Some (Df.crosscheck ~passes ~cycles ~seed df)
+          in
+          (match cross with Some (Error _) -> failed := true | _ -> ());
+          let swept =
+            if sweep then begin
+              let _post, report, outcome =
+                Certify.sweep ~passes ~cycles ~seed nl
+              in
+              if not (Certify.certified outcome) then failed := true;
+              Some (report, outcome)
+            end
+            else None
+          in
+          if sarif then begin
+            sarif_acc := (target, Df.diagnostics df) :: !sarif_acc;
+            ""
+          end
+          else if json then begin
+            let pair_json (i, b) =
+              Printf.sprintf "{\"component\":%d,\"value\":%d}" i
+                (Bool.to_int b)
+            in
+            let ints l = String.concat "," (List.map string_of_int l) in
+            Printf.sprintf
+              "{\"target\":%s,\"components\":%d,\"stuck_registers\":[%s],\"constants\":[%s],\"unobservable\":[%s],\"classes\":[%s],\"reaching_x_outputs\":[%s],\"crosscheck\":%s%s}"
+              (D.json_string target) (N.size nl)
+              (String.concat "," (List.map pair_json stuck))
+              (String.concat "," (List.map pair_json consts))
+              (ints unobs)
+              (String.concat ","
+                 (List.map (fun c -> "[" ^ ints c ^ "]") classes))
+              (String.concat "," (List.map D.json_string rx_outputs))
+              (D.json_string
+                 (match cross with
+                 | None -> "skipped"
+                 | Some (Ok ()) -> "ok"
+                 | Some (Error m) -> "failed: " ^ m))
+              (match swept with
+              | None -> ""
+              | Some (r, outcome) ->
+                Printf.sprintf
+                  ",\"sweep\":{\"before\":%d,\"after\":%d,\"constants\":%d,\"merged\":%d,\"certified\":%b}"
+                  r.Sweep.before r.Sweep.after r.Sweep.constants
+                  r.Sweep.merged
+                  (Certify.certified outcome))
+          end
+          else begin
+            Printf.printf "== %s (%d components) ==\n" target (N.size nl);
+            (match stuck with
+            | [] -> print_endline "  stuck registers: none"
+            | l ->
+              Printf.printf "  stuck registers: %d (%s)\n" (List.length l)
+                (String.concat ", "
+                   (List.map
+                      (fun (i, b) ->
+                        Printf.sprintf "%s=%d" (N.describe nl i)
+                          (Bool.to_int b))
+                      (take 8 l))));
+            Printf.printf "  sequential constants: %d component(s)\n"
+              (List.length consts);
+            Printf.printf "  unobservable logic: %d component(s)\n"
+              (List.length unobs);
+            Printf.printf
+              "  equivalence classes: %d class(es), %d mergeable duplicate(s)\n"
+              (List.length classes)
+              (List.fold_left (fun acc c -> acc + List.length c - 1) 0 classes);
+            (match rx_outputs with
+            | [] -> print_endline "  reaching-X outputs: none"
+            | l ->
+              Printf.printf "  reaching-X outputs: %s\n"
+                (String.concat ", " l));
+            List.iter
+              (fun (name, s) ->
+                Printf.printf "  fixpoint %-10s %d visits, %d updates\n" name
+                  s.Df.visits s.Df.updates)
+              (Df.stats df);
+            (match cross with
+            | None -> print_endline "  crosscheck: skipped"
+            | Some (Ok ()) ->
+              Printf.printf "  crosscheck: ok (%d pass(es) x %d cycles)\n"
+                passes cycles
+            | Some (Error m) -> Printf.printf "  crosscheck: FAILED — %s\n" m);
+            (match swept with
+            | None -> ()
+            | Some (r, outcome) ->
+              Printf.printf "  sweep: %s\n" (Sweep.describe r);
+              Printf.printf "  certify: %s\n" (Certify.describe outcome));
+            ""
+          end)
+        targets
+    in
+    if sarif then
+      print_endline (D.to_sarif ~tool:"hydra-analyze" (List.rev !sarif_acc));
+    if json then
+      Printf.printf "{\"version\":1,\"results\":[%s]}\n"
+        (String.concat "," json_blocks);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Fixpoint dataflow analyses (sequential constants, observability, \
+          reaching-X, equivalence classes) over named circuits or saved \
+          netlist files, cross-checked against simulation; optionally run \
+          the certified sweep.  Exits 1 on a failed cross-check or a \
+          refuted sweep")
+    Term.(
+      const run $ targets $ all $ json $ sarif $ sweep $ passes $ cycles
+      $ seed $ no_crosscheck)
 
 (* ---- timing ---- *)
 
@@ -767,5 +985,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ asm_cmd; dis_cmd; run_cmd; netlist_cmd; lint_cmd; timing_cmd;
-            faults_cmd; equiv_cmd; sim_cmd; algo_cmd ]))
+          [ asm_cmd; dis_cmd; run_cmd; netlist_cmd; lint_cmd; analyze_cmd;
+            timing_cmd; faults_cmd; equiv_cmd; sim_cmd; algo_cmd ]))

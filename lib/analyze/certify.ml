@@ -246,3 +246,9 @@ let optimize ?passes ?cycles ?seed nl =
 let rank_major nl =
   let post, perm = Hydra_netlist.Layout.rank_major_permutation nl in
   (post, check_permutation ~transform:"Layout.rank_major" ~pre:nl ~post ~perm)
+
+let sweep ?passes ?cycles ?seed nl =
+  let post, report = Sweep.run nl in
+  ( post,
+    report,
+    check ?passes ?cycles ?seed ~transform:"Sweep.run" ~pre:nl ~post () )

@@ -81,3 +81,13 @@ val optimize :
 val rank_major : Hydra_netlist.Netlist.t -> Hydra_netlist.Netlist.t * outcome
 (** Run {!Hydra_netlist.Layout.rank_major_permutation} and certify the
     permutation. *)
+
+val sweep :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  Hydra_netlist.Netlist.t ->
+  Hydra_netlist.Netlist.t * Sweep.report * outcome
+(** Run the dataflow-driven {!Sweep.run} and translation-validate the
+    result against the original: a refutation carries a replayable
+    per-lane counterexample input stream. *)

@@ -65,3 +65,42 @@ let to_json d =
 let list_to_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"
 
 let count_errors ds = List.length (List.filter is_error ds)
+
+(* SARIF 2.1.0, the static-analysis interchange format most code-review
+   tooling ingests.  One run per call; each (target, diagnostics) pair
+   becomes results tagged with the target as a logical location.  Only
+   the minimal required subset of the schema is emitted — version, tool
+   driver with a rule table, and results with ruleId / level /
+   message / logicalLocations. *)
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let to_sarif ?(tool = "hydra") targets =
+  let rules =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, ds) -> List.map (fun d -> d.rule) ds) targets)
+  in
+  let rule_json r = Printf.sprintf "{\"id\":%s}" (json_string r) in
+  let result_json target d =
+    let text =
+      match d.witness with
+      | [] -> d.message
+      | w -> d.message ^ " [" ^ String.concat " -> " w ^ "]"
+    in
+    Printf.sprintf
+      "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[{\"logicalLocations\":[{\"fullyQualifiedName\":%s}]}]}"
+      (json_string d.rule)
+      (json_string (sarif_level d.severity))
+      (json_string text) (json_string target)
+  in
+  let results =
+    List.concat_map (fun (target, ds) -> List.map (result_json target) ds)
+      targets
+  in
+  Printf.sprintf
+    "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":%s,\"rules\":[%s]}},\"results\":[%s]}]}"
+    (json_string tool)
+    (String.concat "," (List.map rule_json rules))
+    (String.concat "," results)

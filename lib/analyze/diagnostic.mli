@@ -25,3 +25,12 @@ val to_json : t -> string
 
 val list_to_json : t list -> string
 val count_errors : t list -> int
+
+val to_sarif : ?tool:string -> (string * t list) list -> string
+(** SARIF 2.1.0 document (minimal subset: tool driver with a rule table,
+    results with ruleId/level/message/logicalLocations) for a list of
+    [(target, diagnostics)] pairs; the target name becomes each
+    result's logical location.  [Error]/[Warning]/[Info] map to SARIF
+    levels [error]/[warning]/[note].  The shape is part of the
+    [--sarif] CLI contract and is smoke-tested by a round-trip parse in
+    CI. *)

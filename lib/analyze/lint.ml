@@ -40,6 +40,9 @@ type ctx = {
   tern_zero : T.t array Lazy.t;
       (* inputs 0, state from X, after xsim_cycles: X here means the
          power-up unknowns survive *)
+  df_diags : Diagnostic.t list Lazy.t;
+      (* the Dataflow fixpoint findings (stuck-register,
+         unobservable-logic, redundant-logic), computed once *)
 }
 
 type rule = {
@@ -358,6 +361,36 @@ let path_budget_rule =
           end);
   }
 
+(* The fixpoint rules: thin front-ends over {!Dataflow.diagnostics},
+   which does the real work (and documents the message formats).  They
+   are strictly stronger than their structural cousins — stuck-register
+   sees through feedback loops const-dff cannot, unobservable-logic
+   subsumes nothing but sharpens dead-logic's "reaches no output" to
+   "reaches outputs only through constants" — and every verdict they
+   rest on is simulation-falsifiable via Dataflow.crosscheck. *)
+let dataflow_rule name about =
+  {
+    name;
+    about;
+    check =
+      (fun ctx ->
+        List.filter
+          (fun d -> d.Diagnostic.rule = name)
+          (Lazy.force ctx.df_diags));
+  }
+
+let stuck_register_rule =
+  dataflow_rule "stuck-register"
+    "flip flop provably holds its power-up value forever"
+
+let unobservable_logic_rule =
+  dataflow_rule "unobservable-logic"
+    "logic reaches outputs only through constant-masked paths"
+
+let redundant_logic_rule =
+  dataflow_rule "redundant-logic"
+    "component provably equivalent to an earlier one (mergeable)"
+
 (* The registry, in report order. *)
 let rules =
   [
@@ -366,6 +399,9 @@ let rules =
     dead_logic_rule;
     const_gate_rule;
     const_dff_rule;
+    stuck_register_rule;
+    unobservable_logic_rule;
+    redundant_logic_rule;
     uninit_state_rule;
     fanout_hotspot_rule;
     path_budget_rule;
@@ -399,6 +435,14 @@ let run ?(config = default_config) nl =
           lazy
             (Sim.ternary_values ~inputs:T.F ~respect_init:false
                ~cycles:config.xsim_cycles nl);
+        df_diags = lazy (Dataflow.diagnostics (Dataflow.create nl));
       }
     in
+    (* Deterministic output contract: stable sort by rule name, then by
+       the involved component indices — the order tools and the pinned
+       JSON fixtures can rely on, independent of registry order. *)
     List.concat_map (fun r -> r.check ctx) rules
+    |> List.stable_sort (fun a b ->
+           match compare a.Diagnostic.rule b.Diagnostic.rule with
+           | 0 -> compare a.Diagnostic.components b.Diagnostic.components
+           | c -> c)

@@ -5,10 +5,11 @@
 
     Rules: [comb-cycle] (ordered witness cycle), [floating-input],
     [dead-logic], [const-gate] and [const-dff] (ternary abstract
-    evaluation), [uninit-state] (X-propagation from power-up),
-    [fanout-hotspot], and [path-budget] (only when a budget is
-    configured).  A malformed netlist short-circuits to a single
-    [invalid-netlist] error. *)
+    evaluation), [stuck-register], [unobservable-logic] and
+    [redundant-logic] (the {!Dataflow} fixpoint analyses),
+    [uninit-state] (X-propagation from power-up), [fanout-hotspot], and
+    [path-budget] (only when a budget is configured).  A malformed
+    netlist short-circuits to a single [invalid-netlist] error. *)
 
 type config = {
   fanout_threshold : int;  (** hotspot rule: warn above this fanout (64) *)
@@ -25,4 +26,6 @@ val rule_names : (string * string) list
 
 val run : ?config:config -> Hydra_netlist.Netlist.t -> Diagnostic.t list
 (** Run every rule; never raises on malformed input (reports
-    [invalid-netlist] instead). *)
+    [invalid-netlist] instead).  Output is deterministic: stable-sorted
+    by rule name, then by involved component indices — the order the
+    pinned JSON fixtures rely on. *)

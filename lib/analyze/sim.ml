@@ -22,6 +22,24 @@ module P = Hydra_core.Packed
 
 (* Ternary evaluation ---------------------------------------------------- *)
 
+(* THE ternary abstract transfer function over netlist components: one
+   Kleene gate evaluation, reading fanin values through [fi].  This is the
+   single shared implementation behind the lint rules' abstract
+   evaluation ({!ternary_values}) and every {!Dataflow} forward domain —
+   a soundness bug here would poison both, which is why test_dataflow
+   checks the gate laws (monotonicity w.r.t. {!T.leq}) by QCheck.
+   [None] for components that are not combinational functions of their
+   fanin (ports, constants, flip flops): their values are boundary
+   conditions of whichever analysis is running. *)
+let ternary_gate (c : Netlist.component) (fi : int -> T.t) : T.t option =
+  match c with
+  | Netlist.Invc -> Some (T.inv (fi 0))
+  | Netlist.And2c -> Some (T.and2 (fi 0) (fi 1))
+  | Netlist.Or2c -> Some (T.or2 (fi 0) (fi 1))
+  | Netlist.Xor2c -> Some (T.xor2 (fi 0) (fi 1))
+  | Netlist.Outport _ -> Some (fi 0)
+  | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> None
+
 (* Settled component values after [cycles] clock ticks, with every input
    port held at [inputs] and flip flops powered up at X (or their declared
    value with [respect_init]).  Components on combinational cycles are
@@ -50,15 +68,9 @@ let ternary_values ?(inputs = T.X) ?(respect_init = false) ?(cycles = 0) nl =
     Array.iter
       (fun i ->
         let fi k = values.(nl.Netlist.fanin.(i).(k)) in
-        values.(i) <-
-          (match nl.Netlist.components.(i) with
-          | Netlist.Invc -> T.inv (fi 0)
-          | Netlist.And2c -> T.and2 (fi 0) (fi 1)
-          | Netlist.Or2c -> T.or2 (fi 0) (fi 1)
-          | Netlist.Xor2c -> T.xor2 (fi 0) (fi 1)
-          | Netlist.Outport _ -> fi 0
-          | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ ->
-            values.(i)))
+        match ternary_gate nl.Netlist.components.(i) fi with
+        | Some v -> values.(i) <- v
+        | None -> ())
       lv.Levelize.order
   in
   settle ();
@@ -162,3 +174,8 @@ let packed_output t name =
 
 let packed_outputs t =
   List.map (fun (s, i) -> (s, t.values.(i))) t.nl.Netlist.outputs
+
+(* Settled word of any component, by index — Dataflow's cross-check reads
+   every component, not just ports, to compare analysis verdicts against
+   what the lanes actually did. *)
+let packed_value t i = t.values.(i)

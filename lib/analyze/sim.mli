@@ -5,6 +5,18 @@
     with the compiled engines, so a bug in their optimizer or re-layout
     passes cannot hide in the checker. *)
 
+val ternary_gate :
+  Hydra_netlist.Netlist.component ->
+  (int -> Hydra_core.Ternary.t) ->
+  Hydra_core.Ternary.t option
+(** The one ternary abstract transfer function, shared by
+    {!ternary_values} and every forward {!Dataflow} domain.  Evaluates a
+    combinational component (gate or outport) over Kleene logic, reading
+    fanin slot [k]'s value through the callback; [None] for components
+    that are not combinational functions of their fanin (inports,
+    constants, flip flops) — their values are boundary conditions of the
+    calling analysis. *)
+
 val ternary_values :
   ?inputs:Hydra_core.Ternary.t ->
   ?respect_init:bool ->
@@ -28,3 +40,8 @@ val packed_settle : packed -> unit
 val packed_tick : packed -> unit
 val packed_output : packed -> string -> int
 val packed_outputs : packed -> (string * int) list
+
+val packed_value : packed -> int -> int
+(** Settled word of component [i] (any component, not just a port) —
+    {!Dataflow.crosscheck} compares per-component analysis verdicts
+    against simulated lane words. *)

@@ -1,0 +1,62 @@
+(* Certified sweep optimization driven by the dataflow analyses.
+
+   Where Optimize folds what is *structurally* evident (a gate fed by a
+   constant component), Sweep deletes what Dataflow *proves*: gates and
+   flip flops that are sequential constants become constant components,
+   every non-representative member of an equivalence class is rewired to
+   its representative, and logic that was only ever observable through
+   constant-masked paths loses its last reference and falls away in the
+   rebuild's liveness walk — no separate pass needed.
+
+   The aliases are behaviour-affecting surgery, so each run is meant to
+   be translation-validated: use {!Certify.sweep}, which checks the
+   result against the original on the independent reference simulator
+   and yields a replayable counterexample if the analysis (or this
+   file) ever lies. *)
+
+module Netlist = Hydra_netlist.Netlist
+module Optimize = Hydra_netlist.Optimize
+module T = Hydra_core.Ternary
+
+type report = {
+  before : int;
+  after : int;
+  constants : int;  (* components rewritten to a constant *)
+  merged : int;  (* components rewired onto a class representative *)
+}
+
+let aliases df =
+  let nl = Dataflow.netlist df in
+  let alias = Array.make (Netlist.size nl) Optimize.Self in
+  let constants = ref 0 and merged = ref 0 in
+  List.iter
+    (fun (i, b) ->
+      alias.(i) <- Optimize.Const b;
+      incr constants)
+    (Dataflow.constant_components df);
+  (* classes exclude known constants, so the two alias sources never
+     collide; representatives stay Self, so [To] chains are one hop *)
+  List.iter
+    (fun members ->
+      match members with
+      | rep :: rest ->
+        List.iter
+          (fun i ->
+            alias.(i) <- Optimize.To rep;
+            incr merged)
+          rest
+      | [] -> ())
+    (Dataflow.classes df);
+  (alias, !constants, !merged)
+
+let run nl =
+  let df = Dataflow.create nl in
+  let alias, constants, merged = aliases df in
+  let post = Optimize.apply_aliases nl alias in
+  (post, { before = Netlist.size nl; after = Netlist.size post; constants; merged })
+
+let describe r =
+  Printf.sprintf
+    "swept %d -> %d components (%d constant, %d merged, %d dropped)"
+    r.before r.after r.constants r.merged
+    (r.before - r.after)

@@ -1,0 +1,24 @@
+(** Certified sweep optimization: delete what {!Dataflow} proves
+    removable.  Sequentially constant gates and flip flops become
+    constant components, equivalence-class duplicates are rewired onto
+    their representative, and unobservable logic loses its last
+    reference and is dropped by the rebuild.  Behaviour-affecting —
+    validate every run with {!Certify.sweep}. *)
+
+type report = {
+  before : int;  (** component count going in *)
+  after : int;  (** component count coming out *)
+  constants : int;  (** components rewritten to a constant *)
+  merged : int;  (** components rewired onto a class representative *)
+}
+
+val aliases : Dataflow.t -> Hydra_netlist.Optimize.alias array * int * int
+(** The alias map Sweep would apply, with its (constants, merged)
+    counts.  Exposed for tests that corrupt it to prove refutation
+    works. *)
+
+val run : Hydra_netlist.Netlist.t -> Hydra_netlist.Netlist.t * report
+(** Analyze and sweep.  Raises [Invalid_argument] on a malformed
+    netlist (via {!Dataflow.create}). *)
+
+val describe : report -> string

@@ -49,3 +49,14 @@ let to_string w = String.init (List.length w) (fun i -> to_char (List.nth w i))
 (* Refinement order: X is below both 0 and 1.  [refines a b] holds when
    [b] is consistent with [a] (either equal or [a] was unknown). *)
 let refines a b = a = X || a = b
+
+(* The same poset read as a lattice, both ways round.  [leq a b] is the
+   information order used by X-propagation fixpoints (X at the bottom,
+   values become more known going up); [join] is the least upper bound of
+   the *constant-propagation* order, where X sits at the top ("not a
+   constant") and joining two different constants loses the fact.  The
+   two orders are mutual duals; the gates are monotone for both, which is
+   what makes every Dataflow fixpoint terminate — test_dataflow checks
+   the laws by QCheck. *)
+let leq a b = a = X || a = b
+let join a b = if a = b then a else X

@@ -20,3 +20,14 @@ val to_string : t list -> string
 val refines : t -> t -> bool
 (** [refines a b]: [b] is consistent with [a] — equal, or [a] was [X].
     Gates are monotone with respect to this order. *)
+
+val leq : t -> t -> bool
+(** The information order ([X] at the bottom, [0]/[1] incomparable above
+    it): [leq a b] iff [a = X] or [a = b].  Every gate transfer function
+    is monotone for it — the termination argument of every
+    {!Hydra_analyze.Dataflow} fixpoint. *)
+
+val join : t -> t -> t
+(** Least upper bound of the constant-propagation lattice ([X] read as
+    "not a constant", at the top): equal values stay, different ones
+    become [X].  Commutative, associative, idempotent (QCheck-tested). *)

@@ -197,6 +197,49 @@ let rebuild (nl : Netlist.t) resolve =
     outputs = List.map (fun (s, i) -> (s, remap.(i))) nl.Netlist.outputs;
   }
 
+(* Public alias application: the rebuild machinery above, driven by a
+   caller-supplied alias map instead of fold_and_dedup's.  This is the
+   netlist-layer half of Hydra_analyze.Sweep: the analysis computes which
+   components are constant / duplicated / invisible, this function does
+   the (behaviour-affecting, therefore Certify-checked) surgery.  Alias
+   chains are followed with path compression; a [To] loop in a
+   hand-built map is a caller bug and raises rather than spinning. *)
+let apply_aliases (nl : Netlist.t) (alias : alias array) =
+  let n = Netlist.size nl in
+  if Array.length alias <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Optimize.apply_aliases: %d aliases for %d components"
+         (Array.length alias) n);
+  let alias = Array.copy alias in
+  let rec resolve ?(fuel = n) i =
+    if fuel < 0 then
+      invalid_arg "Optimize.apply_aliases: alias cycle"
+    else
+      match alias.(i) with
+      | Self -> (
+          match nl.Netlist.components.(i) with
+          | Netlist.Constant b -> `Const b
+          | _ -> `Comp i)
+      | Const b -> `Const b
+      | To j -> (
+          match resolve ~fuel:(fuel - 1) j with
+          | `Comp k as r ->
+            if k <> j then alias.(i) <- To k;
+            r
+          | `Const _ as r -> r)
+  in
+  (match
+     List.find_opt
+       (fun (_, i) -> alias.(i) <> Self)
+       (nl.Netlist.inputs @ nl.Netlist.outputs)
+   with
+  | Some (name, _) ->
+    invalid_arg
+      ("Optimize.apply_aliases: port component " ^ name ^ " is aliased")
+  | None -> ());
+  rebuild nl (fun i -> resolve i)
+
 let once nl =
   let _alias, resolve, changed = fold_and_dedup nl in
   (rebuild nl resolve, changed)

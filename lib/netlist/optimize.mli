@@ -3,6 +3,21 @@
     fixed point.  Behaviour-preserving (checked against the original on
     random circuits in the test suite) and never larger. *)
 
+type alias = Self | To of int | Const of bool
+(** What a component's output is equivalent to: itself, another
+    component's output, or a constant. *)
+
+val apply_aliases : Netlist.t -> alias array -> Netlist.t
+(** Rebuild the netlist under an alias map: every fanin is redirected to
+    its canonical representative (alias chains are followed), needed
+    constants are materialized, and components no longer reachable from
+    an output are dropped (declared inputs are kept).  This is the
+    mechanism behind both the internal folding pass and
+    [Hydra_analyze.Sweep]; the caller asserts the aliases are
+    behaviour-preserving — validate each run with
+    [Hydra_analyze.Certify].  Raises [Invalid_argument] on a length
+    mismatch, an aliased port component, or a [To] cycle. *)
+
 val once : Netlist.t -> Netlist.t * bool
 (** One folding/dedup pass followed by a rebuild; the flag reports whether
     any rewriting happened. *)

@@ -17,14 +17,59 @@ type violation = {
 
 type result = Holds | Violated of violation
 
-(* State snapshot = dff values. *)
-let snapshot sim =
-  let dffs = Compiled.dff_indices sim in
-  Array.to_list (Array.map (fun i -> Compiled.peek sim i) dffs)
+(* Invariant support: dff component indices proven stuck at their
+   power-up value (e.g. by [Hydra_analyze.Dataflow.stuck_registers]) can
+   be assumed by the search.  Pinned dffs are omitted from snapshots —
+   collapsing states that differ only in provably-constant bits — and
+   re-checked at every snapshot: a pinned dff caught off its value means
+   the supplied analysis was wrong and the pruning unsound, so the
+   tripwire fails hard rather than silently exploring a wrong space. *)
+let validate_invariants netlist invariants =
+  List.iter
+    (fun (i, b) ->
+      if i < 0 || i >= Netlist.size netlist then
+        invalid_arg (Printf.sprintf "Bmc: invariant index %d out of range" i);
+      match netlist.Netlist.components.(i) with
+      | Netlist.Dffc init ->
+        if init <> b then
+          invalid_arg
+            (Printf.sprintf
+               "Bmc: invariant pins dff %d at %b but it powers up at %b" i b
+               init)
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "Bmc: invariant index %d is not a flip flop" i))
+    invariants
 
-let restore sim state =
+(* State snapshot = dff values, minus the pinned ones (tripwired). *)
+let snapshot ?(invariants = []) sim =
   let dffs = Compiled.dff_indices sim in
-  List.iteri (fun j b -> Compiled.poke sim dffs.(j) b) state
+  List.filter_map
+    (fun i ->
+      match List.assoc_opt i invariants with
+      | None -> Some (Compiled.peek sim i)
+      | Some b ->
+        if Compiled.peek sim i <> b then
+          failwith
+            (Printf.sprintf
+               "Bmc: invariant violated: dff %d left its pinned value %b" i b);
+        None)
+    (Array.to_list dffs)
+
+let restore ?(invariants = []) sim state =
+  let dffs = Compiled.dff_indices sim in
+  let rest = ref state in
+  Array.iter
+    (fun i ->
+      match List.assoc_opt i invariants with
+      | Some b -> Compiled.poke sim i b
+      | None -> (
+        match !rest with
+        | b :: tl ->
+          rest := tl;
+          Compiled.poke sim i b
+        | [] -> assert false))
+    dffs
 
 (* [check ~netlist ~property ~depth]: drive the circuit with every input
    sequence of length [depth] (exhaustive over the circuit's inputs per
@@ -32,8 +77,11 @@ let restore sim state =
    settling.  Breadth-first over deduplicated dff states, so a reported
    violation is at the earliest possible depth.  Exponential in inputs:
    intended for control-style circuits with few inputs. *)
-let check ?(max_states = 200_000) ~property ~depth netlist =
+let check ?(max_states = 200_000) ?(invariants = []) ~property ~depth netlist =
+  validate_invariants netlist invariants;
   let sim = Compiled.create netlist in
+  let snapshot sim = snapshot ~invariants sim in
+  let restore sim st = restore ~invariants sim st in
   let input_names = List.map fst netlist.Netlist.inputs in
   let vectors = Hydra_core.Bit.vectors (List.length input_names) in
   let seen = Hashtbl.create 256 in
@@ -76,8 +124,11 @@ let check ?(max_states = 200_000) ~property ~depth netlist =
 
 (* Reachable state count via BFS from the power-up state, driving all
    input combinations at every step.  For small sequential circuits. *)
-let reachable_states ?(limit = 100_000) netlist =
+let reachable_states ?(limit = 100_000) ?(invariants = []) netlist =
+  validate_invariants netlist invariants;
   let sim = Compiled.create netlist in
+  let snapshot sim = snapshot ~invariants sim in
+  let restore sim st = restore ~invariants sim st in
   let input_names = List.map fst netlist.Netlist.inputs in
   let vectors = Hydra_core.Bit.vectors (List.length input_names) in
   let seen = Hashtbl.create 256 in

@@ -11,15 +11,34 @@ type violation = {
 type result = Holds | Violated of violation
 
 val check :
-  ?max_states:int -> property:string -> depth:int -> Hydra_netlist.Netlist.t -> result
+  ?max_states:int ->
+  ?invariants:(int * bool) list ->
+  property:string ->
+  depth:int ->
+  Hydra_netlist.Netlist.t ->
+  result
 (** Drive every input sequence up to [depth] cycles (breadth-first over
     deduplicated states, so violations are found at minimal depth) and
     fail if the output named [property] is ever 0 after settling.
-    Exponential in the number of inputs. *)
+    Exponential in the number of inputs.
 
-val reachable_states : ?limit:int -> Hydra_netlist.Netlist.t -> int * bool
+    [invariants] assumes flip flops (by component index) stuck at a
+    value — use [Hydra_analyze.Dataflow.stuck_registers] — shrinking
+    the snapshot key space.  Each pinned dff must power up at the
+    claimed value ([Invalid_argument] otherwise) and is tripwired at
+    every snapshot: if simulation ever catches one off its pinned
+    value, the search aborts with [Failure] instead of exploring
+    unsoundly. *)
+
+val reachable_states :
+  ?limit:int ->
+  ?invariants:(int * bool) list ->
+  Hydra_netlist.Netlist.t ->
+  int * bool
 (** Reachable flip-flop states from power-up under all inputs; the flag
-    reports truncation at [limit]. *)
+    reports truncation at [limit].  [invariants] as in {!check}: pinned
+    dffs drop out of the state key, so the count ranges over the
+    non-constant state bits only. *)
 
 val equiv_sequential :
   ?max_states:int ->

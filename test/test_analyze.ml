@@ -154,106 +154,6 @@ let random_netlist nodes =
   N.extract ~inputs:[ a; b; c ]
     ~outputs:(List.mapi (fun i o -> (Printf.sprintf "o%d" i, o)) outs)
 
-(* A tiny JSON well-formedness scanner: enough to check the --json
-   contract parses (balanced structure, legal strings/numbers), without
-   pulling a JSON library into the build. *)
-let json_parses (s : string) : bool =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail = ref false in
-  let expect c =
-    if peek () = Some c then advance () else fail := true
-  in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\n' | '\t' | '\r') -> advance (); skip_ws ()
-    | _ -> ()
-  in
-  let rec value () =
-    if !fail then ()
-    else begin
-      skip_ws ();
-      match peek () with
-      | Some '{' -> obj ()
-      | Some '[' -> arr ()
-      | Some '"' -> string_lit ()
-      | Some ('0' .. '9' | '-') -> number ()
-      | Some 't' -> keyword "true"
-      | Some 'f' -> keyword "false"
-      | Some 'n' -> keyword "null"
-      | _ -> fail := true
-    end
-  and keyword k =
-    String.iter (fun c -> expect c) k
-  and number () =
-    let continue = ref true in
-    while !continue do
-      match peek () with
-      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> advance ()
-      | _ -> continue := false
-    done
-  and string_lit () =
-    expect '"';
-    let continue = ref true in
-    while !continue && not !fail do
-      match peek () with
-      | Some '"' -> advance (); continue := false
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
-        | Some 'u' ->
-          advance ();
-          for _ = 1 to 4 do
-            match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-            | _ -> fail := true
-          done
-        | _ -> fail := true)
-      | Some _ -> advance ()
-      | None -> fail := true
-    done
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then advance ()
-    else begin
-      let continue = ref true in
-      while !continue && not !fail do
-        skip_ws ();
-        string_lit ();
-        skip_ws ();
-        expect ':';
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' -> advance ()
-        | Some '}' -> advance (); continue := false
-        | _ -> fail := true
-      done
-    end
-  and arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then advance ()
-    else begin
-      let continue = ref true in
-      while !continue && not !fail do
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' -> advance ()
-        | Some ']' -> advance (); continue := false
-        | _ -> fail := true
-      done
-    end
-  in
-  value ();
-  skip_ws ();
-  (not !fail) && !pos = n
-
 (* ----------------------------------------------------------------------- *)
 
 let suite =
@@ -349,7 +249,25 @@ let suite =
         check_bool "inside budget is quiet" false
           (List.mem "path-budget" (rules_fired ~config:generous nl)));
     tc "rule registry lists every rule" (fun () ->
-        check_int "registry size" 8 (List.length Lint.rule_names));
+        check_int "registry size" 11 (List.length Lint.rule_names));
+    tc "lint output is deterministically ordered" (fun () ->
+        (* stable sort by (rule, components): the same netlist must
+           produce byte-identical diagnostic lists run-to-run, and the
+           list must actually be sorted by the pinned key *)
+        let nl = ripple_netlist 12 in
+        let config = { Lint.default_config with Lint.path_budget = Some 8 } in
+        let ds1 = Lint.run ~config nl and ds2 = Lint.run ~config nl in
+        check_bool "identical across runs" true (ds1 = ds2);
+        let key d = (d.D.rule, d.D.components) in
+        let rec sorted = function
+          | a :: (b :: _ as rest) -> key a <= key b && sorted rest
+          | _ -> true
+        in
+        check_bool "sorted by rule then site" true (sorted ds1);
+        check_bool "sorted on the broken fixtures too" true
+          (List.for_all
+             (fun nl -> sorted (Lint.run nl))
+             [ fx_cycle; fx_floating; fx_dead; fx_const_gate; fx_uninit ]));
     (* --- catalogue hygiene: shipped circuits are error-clean --- *)
     tc "catalogue is lint-clean (no errors)" (fun () ->
         List.iter

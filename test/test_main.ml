@@ -30,6 +30,7 @@ let () =
       ("gaps", Test_gaps.suite);
       ("transform", Test_transform.suite);
       ("analyze", Test_analyze.suite);
+      ("dataflow", Test_dataflow.suite);
       ("campaign", Test_campaign.suite);
       ("cache", Test_cache.suite);
     ]

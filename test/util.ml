@@ -30,3 +30,103 @@ let eval2 ~width f x y =
   Bitvec.to_int (f xs ys)
 
 let mask width = (1 lsl width) - 1
+
+(* A tiny JSON well-formedness scanner: enough to check the --json and
+   --sarif contracts parse (balanced structure, legal strings/numbers),
+   without pulling a JSON library into the build. *)
+let json_parses (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail = ref false in
+  let expect c =
+    if peek () = Some c then advance () else fail := true
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some ('0' .. '9' | '-') -> number ()
+      | Some 't' -> keyword "true"
+      | Some 'f' -> keyword "false"
+      | Some 'n' -> keyword "null"
+      | _ -> fail := true
+    end
+  and keyword k =
+    String.iter (fun c -> expect c) k
+  and number () =
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> advance ()
+      | _ -> continue := false
+    done
+  and string_lit () =
+    expect '"';
+    let continue = ref true in
+    while !continue && not !fail do
+      match peek () with
+      | Some '"' -> advance (); continue := false
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail := true
+          done
+        | _ -> fail := true)
+      | Some _ -> advance ()
+      | None -> fail := true
+    done
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some '}' -> advance (); continue := false
+        | _ -> fail := true
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some ']' -> advance (); continue := false
+        | _ -> fail := true
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
