@@ -38,18 +38,24 @@ let row fmt = Printf.printf fmt
 let host_cores = Domain.recommended_domain_count ()
 
 let results :
-    (string * string * float * string * int option * int option * int option)
+    (string * string * float * string * int option * int option * int option
+    * float option * int option)
     list ref =
   ref []
 
-let record ?domains ?lanes ?host_cores:hc ~section:sec ~name ~value ~unit_ () =
+(* [?wall_s] is the wall-clock spent producing the row and [?warmup] the
+   number of warm-up iterations discarded before measuring — new rows
+   must stamp both (the E27 convention extending [host_cores] from PR 5)
+   so single-core CI numbers are interpretable. *)
+let record ?domains ?lanes ?host_cores:hc ?wall_s ?warmup ~section:sec ~name
+    ~value ~unit_ () =
   let hc =
     match (hc, domains) with
     | (Some _ as h), _ -> h
     | None, Some _ -> Some host_cores
     | None, None -> None
   in
-  results := (sec, name, value, unit_, domains, lanes, hc) :: !results
+  results := (sec, name, value, unit_, domains, lanes, hc, wall_s, warmup) :: !results
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -74,15 +80,20 @@ let write_json path =
   Printf.fprintf oc "{\n  \"results\": [\n";
   let rows = List.rev !results in
   List.iteri
-    (fun i (sec, name, value, unit_, domains, lanes, hc) ->
+    (fun i (sec, name, value, unit_, domains, lanes, hc, wall_s, warmup) ->
       let opt key = function
         | None -> ""
         | Some v -> Printf.sprintf ", \"%s\": %d" key v
       in
+      let optf key = function
+        | None -> ""
+        | Some v -> Printf.sprintf ", \"%s\": %.6g" key v
+      in
       Printf.fprintf oc
-        "    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"%s%s%s}%s\n"
+        "    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"%s%s%s%s%s}%s\n"
         (json_escape sec) (json_escape name) value (json_escape unit_)
         (opt "domains" domains) (opt "lanes" lanes) (opt "host_cores" hc)
+        (optf "wall_s" wall_s) (opt "warmup" warmup)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n  \"host_cores\": %d" host_cores;
@@ -1505,6 +1516,155 @@ let e26 () =
       ignore post)
     [ ("wallace64", wallace_netlist 64); ("cpu", cpu_netlist ()) ]
 
+(* E27: the unified scheduler, the compiled-circuit cache and
+   incremental recompilation.  Three measurements:
+
+   - a catalogue re-run (14 circuits x 3 engine flavors) cold vs warm —
+     a warm {!Cache} hit must skip compilation entirely (acceptance:
+     >= 10x end-to-end);
+   - patch-vs-full recompile on a single-gate edit of wallace64, with
+     the recompiled-component fraction (acceptance: < 10%);
+   - a mixed fault-campaign + equivalence workload on one shared
+     scheduler team + cache vs each tool owning its engines, asserting
+     bit-identical results.
+
+   Every row here is stamped with [wall_s] and [warmup] (the bench
+   hygiene convention for new rows). *)
+let e27 ?(min_time = 0.2) () =
+  let module Cache = Hydra_engine.Cache in
+  let module Scheduler = Hydra_engine.Scheduler in
+  let module Kernel = Hydra_engine.Kernel in
+  section "E27"
+    "unified scheduler + compiled-circuit cache + incremental recompilation";
+  (* catalogue: 14 circuits x 3 flavors (program, wide replica, slab k=4) *)
+  let catalogue =
+    [
+      ("ripple8", ripple_netlist 8);
+      ("ripple32", ripple_netlist 32);
+      ("ripple64", ripple_netlist 64);
+      ("cla16 sklansky", cla_netlist ~network:P.Sklansky 16);
+      ("cla32 brent-kung", cla_netlist ~network:P.Brent_kung 32);
+      ("cla32 kogge-stone", cla_netlist ~network:P.Kogge_stone 32);
+      ("cla64 kogge-stone", cla_netlist ~network:P.Kogge_stone 64);
+      ("wallace8", wallace_netlist 8);
+      ("wallace16", wallace_netlist 16);
+      ("wallace24", wallace_netlist 24);
+      ("wallace32", wallace_netlist 32);
+      ("wide-adder 8x16", wide_adder_netlist ~copies:8 ~width:16);
+      ("wide-adder 16x8", wide_adder_netlist ~copies:16 ~width:8);
+      ("cpu", cpu_netlist ());
+    ]
+  in
+  row "  catalogue: %d circuits x 3 engine flavors\n" (List.length catalogue);
+  let cache = Cache.create () in
+  let touch () =
+    List.iter
+      (fun (_, nl) ->
+        ignore (Cache.compile cache nl);
+        ignore (Cache.wide cache nl);
+        ignore (Cache.slab cache ~k:4 nl))
+      catalogue
+  in
+  let t0 = Unix.gettimeofday () in
+  touch ();
+  let t_cold = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  touch ();
+  let t_warm = Unix.gettimeofday () -. t0 in
+  let cst = Cache.stats cache in
+  row "  cold catalogue: %.3f s   warm re-run: %.4f s   speedup %.0fx \
+       (acceptance floor: 10x)\n"
+    t_cold t_warm (t_cold /. t_warm);
+  row "  cache counters: %d hits, %d misses, %d evictions, %d entries\n"
+    cst.Cache.hits cst.Cache.misses cst.Cache.evictions cst.Cache.entries;
+  record ~section:"E27" ~name:"catalogue cold compile" ~value:t_cold
+    ~unit_:"s" ~wall_s:t_cold ~warmup:0 ();
+  record ~section:"E27" ~name:"catalogue warm re-run" ~value:t_warm ~unit_:"s"
+    ~wall_s:t_warm ~warmup:1 ();
+  record ~section:"E27" ~name:"catalogue warm-cache speedup"
+    ~value:(t_cold /. t_warm) ~unit_:"x" ~wall_s:(t_cold +. t_warm) ~warmup:1
+    ();
+  if t_cold < 10.0 *. t_warm then
+    row "  WARNING: warm-cache speedup is below the 10x acceptance floor\n";
+  (* patch vs full recompile on a single-gate edit of wallace64; the
+     edit is expressed in the program's own (post-relayout) index space,
+     so the full-recompile comparison also skips relayout *)
+  let nl64 = wallace_netlist 64 in
+  let prog = Kernel.compile nl64 in
+  let pnl = prog.Kernel.netlist in
+  let ands = ref [] in
+  Array.iteri
+    (fun i c -> if c = N.And2c then ands := i :: !ands)
+    pnl.N.components;
+  let ands = Array.of_list (List.rev !ands) in
+  let site = ands.(Array.length ands / 2) in
+  let components = Array.copy pnl.N.components in
+  components.(site) <- N.Or2c;
+  let nl' = { pnl with N.components } in
+  let t0 = Unix.gettimeofday () in
+  let t_full =
+    time_per_run ~min_time (fun () ->
+        ignore (Kernel.compile ~relayout:false nl'))
+  in
+  let t_patch =
+    time_per_run ~min_time (fun () ->
+        ignore (Kernel.patch prog nl' ~edited:[ site ]))
+  in
+  let wall_patch = Unix.gettimeofday () -. t0 in
+  let _, pst = Kernel.patch prog nl' ~edited:[ site ] in
+  let frac =
+    float_of_int pst.Kernel.p_comps_recompiled
+    /. float_of_int pst.Kernel.p_comps_total
+  in
+  row "  wallace64 single-gate edit: full recompile %.4f s, patch %.5f s \
+       (%.0fx)\n"
+    t_full t_patch (t_full /. t_patch);
+  row "  patch recompiled %d of %d components (%.1f%%; acceptance: < 10%%), \
+       %d of %d ranks\n"
+    pst.Kernel.p_comps_recompiled pst.Kernel.p_comps_total (100. *. frac)
+    pst.Kernel.p_ranks_rebuilt pst.Kernel.p_ranks_total;
+  record ~section:"E27" ~name:"wallace64 full recompile" ~value:t_full
+    ~unit_:"s" ~wall_s:wall_patch ~warmup:1 ();
+  record ~section:"E27" ~name:"wallace64 single-gate patch" ~value:t_patch
+    ~unit_:"s" ~wall_s:wall_patch ~warmup:1 ();
+  record ~section:"E27" ~name:"wallace64 patch speedup vs full"
+    ~value:(t_full /. t_patch) ~unit_:"x" ~wall_s:wall_patch ~warmup:1 ();
+  record ~section:"E27" ~name:"wallace64 patch recompiled fraction"
+    ~value:frac ~unit_:"fraction" ~wall_s:wall_patch ~warmup:1 ();
+  (* mixed fault + equivalence workload: each tool owning its engines vs
+     both draining one scheduler team through one cache *)
+  let module C = Hydra_verify.Campaign in
+  let nl16 = wallace_netlist 16 in
+  let faults = C.all_stuck_at nl16 in
+  let stimulus = C.random_stimulus ~seed:9 ~cycles:4 nl16 in
+  let opt16 = Hydra_netlist.Optimize.optimize nl16 in
+  let t0 = Unix.gettimeofday () in
+  let rep_seq = C.run nl16 ~faults ~stimulus ~cycles:4 in
+  let eq_seq = Equiv.wide_random_netlists ~passes:4 ~cycles:8 nl16 opt16 in
+  let t_seq = Unix.gettimeofday () -. t0 in
+  let sch = Scheduler.create ~domains:2 () in
+  let t0 = Unix.gettimeofday () in
+  let rep_sch =
+    C.run ~scheduler:sch ~cache nl16 ~faults ~stimulus ~cycles:4
+  in
+  let eq_sch =
+    Equiv.wide_random_netlists ~scheduler:sch ~cache ~passes:4 ~cycles:8 nl16
+      opt16
+  in
+  let t_sch = Unix.gettimeofday () -. t0 in
+  Scheduler.shutdown sch;
+  if rep_seq <> rep_sch then failwith "E27: campaign diverges under scheduler";
+  if eq_seq <> eq_sch then failwith "E27: equiv diverges under scheduler";
+  let nwork = float_of_int (List.length faults + 4) in
+  row "  mixed fault+equiv (%d faults + 4 equiv passes), bit-identical: \
+       dedicated %.3f s vs one shared team %.3f s\n"
+    (List.length faults) t_seq t_sch;
+  record ~section:"E27" ~name:"mixed fault+equiv dedicated engines"
+    ~value:(nwork /. t_seq) ~unit_:"jobs/s" ~wall_s:t_seq ~warmup:0 ();
+  record ~section:"E27" ~domains:2 ~lanes:Wide.lanes
+    ~name:"mixed fault+equiv one shared team" ~value:(nwork /. t_sch)
+    ~unit_:"jobs/s" ~wall_s:t_sch ~warmup:0 ()
+
 (* Smoke mode ----------------------------------------------------------- *)
 
 (* A ~2 s subset run from `dune runtest` (alias bench-smoke): asserts the
@@ -1669,17 +1829,114 @@ let sections : (string * (unit -> unit)) list =
     ("E24", (fun () -> e24 ()));
     ("E25", (fun () -> e25 ()));
     ("E26", e26);
+    ("E27", (fun () -> e27 ()));
   ]
+
+(* Baseline comparison: re-read a previous [--json] file (our own
+   format, one row per line) and fail on a >10% regression of any
+   pinned throughput row — sections E20/E24, unit ending in "/s" —
+   that this run also produced with the same domain count. *)
+let scan_baseline path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "error: cannot read baseline %s (%s)\n" path msg;
+      exit 2
+  in
+  let field line key =
+    (* values we wrote: "key": "string" or "key": number *)
+    let pat = Printf.sprintf "\"%s\": " key in
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length line then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let stop = ref start in
+      let quoted = line.[start] = '"' in
+      let start = if quoted then start + 1 else start in
+      stop := start;
+      while
+        !stop < String.length line
+        &&
+        if quoted then line.[!stop] <> '"'
+        else not (List.mem line.[!stop] [ ','; '}'; ' ' ])
+      do
+        incr stop
+      done;
+      Some (String.sub line start (!stop - start))
+  in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         (field line "section", field line "name", field line "value",
+          field line "unit")
+       with
+       | Some sec, Some name, Some v, Some unit_ ->
+         rows :=
+           (sec, name, unit_, float_of_string v,
+            Option.map int_of_string (field line "domains"))
+           :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  !rows
+
+let pinned_row (sec, _, _, unit_, _, _, _, _, _) =
+  (sec = "E20" || sec = "E24")
+  && String.length unit_ >= 2
+  && String.sub unit_ (String.length unit_ - 2) 2 = "/s"
+
+let compare_baseline path =
+  let base = scan_baseline path in
+  let compared = ref 0 and regressions = ref [] in
+  List.iter
+    (fun ((sec, name, value, _, domains, _, _, _, _) as r) ->
+      if pinned_row r then
+        match
+          List.find_opt
+            (fun (bsec, bname, _, _, bdomains) ->
+              bsec = sec && bname = name && bdomains = domains)
+            base
+        with
+        | None -> ()
+        | Some (_, _, _, bvalue, _) ->
+          incr compared;
+          if value < 0.9 *. bvalue then
+            regressions :=
+              Printf.sprintf "  %s: %-40s %.3g -> %.3g (%.1f%% down)" sec
+                name bvalue value
+                (100. *. (1. -. (value /. bvalue)))
+              :: !regressions)
+    (List.rev !results);
+  Printf.printf "\nbaseline %s: %d pinned E20/E24 row(s) compared\n" path
+    !compared;
+  if !compared = 0 then
+    print_endline
+      "  warning: no comparable rows (run E20/E24 in both runs on the same \
+       host)";
+  match !regressions with
+  | [] -> print_endline "  no >10% regression"
+  | rs ->
+    print_endline "  REGRESSION (>10% below baseline):";
+    List.iter print_endline (List.rev rs);
+    exit 1
 
 let usage () =
   print_endline
-    "usage: main.exe [--smoke] [--json PATH] [--only E12,E20] [--list] \
-     [--tuning SPEC]";
+    "usage: main.exe [--smoke] [--json PATH] [--baseline PATH] \
+     [--only E12,E20] [--list] [--tuning SPEC]";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = ref None and only = ref None and smoke_mode = ref false in
+  let baseline = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -1687,6 +1944,9 @@ let () =
       parse rest
     | "--json" :: path :: rest ->
       json := Some path;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline := Some path;
       parse rest
     | "--only" :: names :: rest ->
       only := Some (String.split_on_char ',' names);
@@ -1725,4 +1985,5 @@ let () =
     Printf.printf "\nAll sections completed in %.1f s\n"
       (Unix.gettimeofday () -. t0)
   end;
-  match !json with None -> () | Some path -> write_json path
+  (match !json with None -> () | Some path -> write_json path);
+  match !baseline with None -> () | Some path -> compare_baseline path

@@ -88,6 +88,11 @@ let apply_initial t =
 let pad = 8
 
 let of_program prog =
+  if prog.Kernel.k <> 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Compiled_wide.of_program: program compiled for k=%d, need k=1"
+         prog.Kernel.k);
   let t =
     {
       prog;
@@ -105,6 +110,8 @@ let of_program prog =
 let create ?(optimize = false) ?(relayout = true) ?(fuse = true)
     ?(certify = false) ?(tuning = Kernel.default_tuning) netlist =
   of_program (Kernel.compile ~optimize ~relayout ~fuse ~certify ~tuning ~k:1 netlist)
+
+let program t = t.prog
 
 (* A fresh engine over the same compiled circuit: shares every immutable
    compiled array, owns its own (padded) value state.  Safe to run in

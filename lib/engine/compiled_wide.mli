@@ -30,6 +30,15 @@ val create : ?optimize:bool -> ?relayout:bool -> ?fuse:bool ->
     [~tuning] (default {!Kernel.default_tuning}) sizes the rank blocks
     ({!Kernel.tuning}); it never changes what is computed. *)
 
+val of_program : Kernel.program -> t
+(** Build an engine over an already-compiled {!Kernel.program} (from
+    {!Kernel.compile}, {!Kernel.patch} or {!Cache}), skipping every
+    compile-time pass: only the per-instance value state is allocated.
+    Requires a program compiled with [k = 1]. *)
+
+val program : t -> Kernel.program
+(** The shared compiled program this engine runs. *)
+
 val replicate : t -> t
 (** A fresh engine over the same compiled circuit: shares the immutable
     compiled arrays, owns its own value state (at power-up), padded so

@@ -106,6 +106,12 @@ let gates_per_block ~k t =
 
 let dffs_per_cluster_of ~k t = max 8 (t.block_words / (2 * k))
 
+(* How the outer gate at [dst] absorbs a fanout-1 inner gate. *)
+type fusion =
+  | Andor of int * int * int * int
+  | Orand of int * int * int
+  | Xor3 of int * int * int
+
 type program = {
   netlist : Netlist.t;
   levels : Levelize.t;
@@ -117,6 +123,9 @@ type program = {
   dff_src : int array;
   dff_init : bool array;
   fused : int;
+  fusion : fusion option array;
+  consumed : bool array;
+  consumed_by : int array;
   tuning : tuning;
   k : int;
   dffs_per_cluster : int;
@@ -126,12 +135,6 @@ type program = {
 }
 
 let n_ranks p = Array.length p.rank_first_block - 1
-
-(* How the outer gate at [dst] absorbs a fanout-1 inner gate. *)
-type fusion =
-  | Andor of int * int * int * int
-  | Orand of int * int * int
-  | Xor3 of int * int * int
 
 let build_kernel (nl : Netlist.t) (fusion : fusion option array)
     (consumed : bool array) rank =
@@ -202,6 +205,7 @@ let plan_fusion (nl : Netlist.t) (levels : Levelize.t) =
     nl.Netlist.fanin;
   let fusion : fusion option array = Array.make n None in
   let consumed = Array.make n false in
+  let consumed_by = Array.make n (-1) in
   let inner kind x =
     fanout_count.(x) = 1
     && (not consumed.(x))
@@ -224,34 +228,40 @@ let plan_fusion (nl : Netlist.t) (levels : Levelize.t) =
               let fx = nl.Netlist.fanin.(x) and fy = nl.Netlist.fanin.(y) in
               fusion.(i) <- Some (Andor (fx.(0), fx.(1), fy.(0), fy.(1)));
               consumed.(x) <- true;
-              consumed.(y) <- true
+              consumed_by.(x) <- i;
+              consumed.(y) <- true;
+              consumed_by.(y) <- i
             end
             else if inner `And x then begin
               let fx = nl.Netlist.fanin.(x) in
               fusion.(i) <- Some (Orand (fx.(0), fx.(1), y));
-              consumed.(x) <- true
+              consumed.(x) <- true;
+              consumed_by.(x) <- i
             end
             else if inner `And y then begin
               let fy = nl.Netlist.fanin.(y) in
               fusion.(i) <- Some (Orand (fy.(0), fy.(1), x));
-              consumed.(y) <- true
+              consumed.(y) <- true;
+              consumed_by.(y) <- i
             end
           | Netlist.Xor2c ->
             let x = fi.(0) and y = fi.(1) in
             if inner `Xor x then begin
               let fx = nl.Netlist.fanin.(x) in
               fusion.(i) <- Some (Xor3 (fx.(0), fx.(1), y));
-              consumed.(x) <- true
+              consumed.(x) <- true;
+              consumed_by.(x) <- i
             end
             else if inner `Xor y then begin
               let fy = nl.Netlist.fanin.(y) in
               fusion.(i) <- Some (Xor3 (fy.(0), fy.(1), x));
-              consumed.(y) <- true
+              consumed.(y) <- true;
+              consumed_by.(y) <- i
             end
           | _ -> ())
         rank)
     levels.Levelize.by_level;
-  (fusion, consumed)
+  (fusion, consumed, consumed_by)
 
 (* Members of a rank that emit a kernel entry: gates and outports not
    absorbed by fusion.  Inports, constants and dffs settle outside the
@@ -310,9 +320,9 @@ let compile ?(optimize = false) ?(relayout = true) ?(fuse = true)
   if k < 1 then invalid_arg "Kernel.compile: ~k must be >= 1";
   let levels = Levelize.check netlist in
   let n = Netlist.size netlist in
-  let fusion, consumed =
+  let fusion, consumed, consumed_by =
     if fuse then plan_fusion netlist levels
-    else (Array.make n None, Array.make n false)
+    else (Array.make n None, Array.make n false, Array.make n (-1))
   in
   let gpb = gates_per_block ~k tuning in
   let nranks = Array.length levels.Levelize.by_level in
@@ -368,6 +378,9 @@ let compile ?(optimize = false) ?(relayout = true) ?(fuse = true)
     dff_src;
     dff_init;
     fused;
+    fusion;
+    consumed;
+    consumed_by;
     tuning;
     k;
     dffs_per_cluster;
@@ -441,6 +454,302 @@ let dff_sink_clusters p =
       | cs -> acc.(src) <- cl :: cs)
     p.dff_src;
   Array.map (fun cs -> Array.of_list (List.sort_uniq compare cs)) acc
+
+(* Incremental recompilation ------------------------------------------- *)
+
+(* Re-levelize after a small edit: recompute levels only along paths
+   reachable from the edited sites, by chaotic iteration to the unique
+   fixpoint (the level equations on an acyclic graph have exactly one
+   solution).  If levels refuse to settle — the edit plausibly closed a
+   combinational cycle — defer to the full algorithm, which either
+   raises the proper [Combinational_cycle] witness or supplies exact
+   levels.  Returns the rebuilt {!Levelize.t} plus a per-component
+   changed flag; [by_level] ranks list members in index order, a valid
+   (and behaviorally equivalent) alternative to the full algorithm's
+   queue order. *)
+let relevel (nl : Netlist.t) (old : Levelize.t) ~seeds =
+  let n = Netlist.size nl in
+  let levels = Array.copy old.Levelize.levels in
+  let fanout = Netlist.fanout nl in
+  let is_source i =
+    match nl.Netlist.components.(i) with
+    | Netlist.Inport _ | Netlist.Constant _ | Netlist.Dffc _ -> true
+    | _ -> false
+  in
+  let level_of i =
+    1 + Array.fold_left (fun a d -> max a levels.(d)) (-1) nl.Netlist.fanin.(i)
+  in
+  let changed = Array.make n false in
+  let q = Queue.create () in
+  let inq = Array.make n false in
+  let updates = ref 0 in
+  let budget = (4 * n) + 16 in
+  let push i =
+    if not (inq.(i) || is_source i) then begin
+      inq.(i) <- true;
+      Queue.add i q
+    end
+  in
+  List.iter push seeds;
+  (try
+     while not (Queue.is_empty q) do
+       let i = Queue.pop q in
+       inq.(i) <- false;
+       let l = level_of i in
+       if l <> levels.(i) then begin
+         incr updates;
+         if !updates > budget then raise Exit;
+         levels.(i) <- l;
+         changed.(i) <- true;
+         List.iter
+           (fun (sink, _port) ->
+             match nl.Netlist.components.(sink) with
+             | Netlist.Dffc _ -> ()
+             | _ -> push sink)
+           fanout.(i)
+       end
+     done
+   with Exit ->
+     let full = Levelize.check nl in
+     Array.iteri
+       (fun i l ->
+         if levels.(i) <> l then changed.(i) <- true;
+         levels.(i) <- l)
+       full.Levelize.levels);
+  let max_level = Array.fold_left max 0 levels in
+  let buckets = Array.make (max_level + 1) [] in
+  for i = n - 1 downto 0 do
+    if not (is_source i) then buckets.(levels.(i)) <- i :: buckets.(levels.(i))
+  done;
+  let by_level = Array.map Array.of_list buckets in
+  let order = Array.concat (Array.to_list by_level) in
+  let critical = ref 0 in
+  for i = 0 to n - 1 do
+    match nl.Netlist.components.(i) with
+    | Netlist.Outport _ | Netlist.Dffc _ ->
+      Array.iter
+        (fun drv -> if levels.(drv) > !critical then critical := levels.(drv))
+        nl.Netlist.fanin.(i)
+    | _ -> ()
+  done;
+  ( { Levelize.levels; order; by_level; critical_path = !critical; cyclic = [] },
+    changed )
+
+(* Every destination component a compiled kernel writes — the block's
+   emitting members, in no particular order. *)
+let kernel_dsts k f =
+  Array.iter f k.inv_dst;
+  Array.iter f k.and_dst;
+  Array.iter f k.or_dst;
+  Array.iter f k.xor_dst;
+  Array.iter f k.andor_dst;
+  Array.iter f k.orand_dst;
+  Array.iter f k.xor3_dst;
+  Array.iter f k.out_dst
+
+type patch_stats = {
+  p_edited : int;
+  p_defused : int;
+  p_ranks_rebuilt : int;
+  p_ranks_total : int;
+  p_comps_recompiled : int;
+  p_comps_total : int;
+}
+
+let patch (p : program) (nl' : Netlist.t) ~edited =
+  let nl = p.netlist in
+  let n = Netlist.size nl in
+  if Netlist.size nl' <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Kernel.patch: edited netlist has %d components, program has %d"
+         (Netlist.size nl') n);
+  (match Netlist.validate nl' with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Kernel.patch: " ^ msg));
+  let edited = List.sort_uniq compare edited in
+  let in_edit = Array.make n false in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= n then
+        invalid_arg
+          (Printf.sprintf "Kernel.patch: edited site %d out of range" e);
+      (match (nl.Netlist.components.(e), nl'.Netlist.components.(e)) with
+      | ( (Netlist.Invc | Netlist.And2c | Netlist.Or2c | Netlist.Xor2c),
+          (Netlist.Invc | Netlist.And2c | Netlist.Or2c | Netlist.Xor2c) ) -> ()
+      | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Kernel.patch: site %d is not a combinational gate on both \
+              sides (%s -> %s); only gate edits can be patched"
+             e
+             (Netlist.component_name nl.Netlist.components.(e))
+             (Netlist.component_name nl'.Netlist.components.(e))));
+      in_edit.(e) <- true)
+    edited;
+  Array.iteri
+    (fun i c ->
+      if
+        (not in_edit.(i))
+        && (c <> nl'.Netlist.components.(i)
+           || nl.Netlist.fanin.(i) <> nl'.Netlist.fanin.(i))
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Kernel.patch: component %d differs but is not listed in ~edited"
+             i))
+    nl.Netlist.components;
+  let levels', level_changed = relevel nl' p.levels ~seeds:edited in
+  (* Fusion repair: an edited site invalidates any fusion it participates
+     in.  If the edit turned the site into (or away from) something a
+     fused outer absorbed, or gave a consumed inner a second reader, the
+     outer's kernel would compute a stale function — so un-fuse: the
+     outer falls back to its plain kernel and every inner it absorbed is
+     materialized again.  Patching never *adds* fusion; a full recompile
+     re-fuses. *)
+  let fusion' = Array.copy p.fusion in
+  let consumed' = Array.copy p.consumed in
+  let consumed_by' = Array.copy p.consumed_by in
+  let dirty = Array.make n false in
+  let defused = ref 0 in
+  let outer_inners =
+    lazy
+      (let acc = Array.make n [] in
+       Array.iteri (fun i o -> if o >= 0 then acc.(o) <- i :: acc.(o))
+         p.consumed_by;
+       acc)
+  in
+  let defuse o =
+    match fusion'.(o) with
+    | None -> ()
+    | Some _ ->
+      fusion'.(o) <- None;
+      incr defused;
+      dirty.(o) <- true;
+      List.iter
+        (fun i ->
+          if consumed_by'.(i) = o then begin
+            consumed'.(i) <- false;
+            consumed_by'.(i) <- -1;
+            dirty.(i) <- true
+          end)
+        (Lazy.force outer_inners).(o)
+  in
+  List.iter
+    (fun e ->
+      dirty.(e) <- true;
+      let o = consumed_by'.(e) in
+      if o >= 0 then defuse o;
+      defuse e;
+      Array.iter
+        (fun s ->
+          let o = consumed_by'.(s) in
+          if o >= 0 then defuse o)
+        nl'.Netlist.fanin.(e))
+    edited;
+  Array.iteri (fun i c -> if c then dirty.(i) <- true) level_changed;
+  (* Ranks needing a rebuild: every dirty component taints both its old
+     and its new rank (membership or kernel content changed there); all
+     other ranks reuse their compiled blocks by reference. *)
+  let nranks_old = Array.length p.levels.Levelize.by_level in
+  let nranks' = Array.length levels'.Levelize.by_level in
+  let dirty_rank = Array.make (max nranks_old nranks') false in
+  Array.iteri
+    (fun i d ->
+      if d then begin
+        let old_l = p.levels.Levelize.levels.(i)
+        and new_l = levels'.Levelize.levels.(i) in
+        if old_l >= 0 then dirty_rank.(old_l) <- true;
+        if new_l >= 0 then dirty_rank.(new_l) <- true
+      end)
+    dirty;
+  let gpb = gates_per_block ~k:p.k p.tuning in
+  let rank_first_block = Array.make (nranks' + 1) 0 in
+  let blocks_rev = ref [] and block_rank_rev = ref [] and nblocks = ref 0 in
+  let recompiled = ref 0 and ranks_rebuilt = ref 0 in
+  (* Rank-stamped scratch (allocated once): [present_at.(i) = rank] iff
+     [i] emits in [rank]'s new membership, [covered_at.(i) = rank] iff a
+     reused block already owns it there. *)
+  let present_at = Array.make n (-1) and covered_at = Array.make n (-1) in
+  for rank = 0 to nranks' - 1 do
+    rank_first_block.(rank) <- !nblocks;
+    if rank < nranks_old && not dirty_rank.(rank) then
+      for b = p.rank_first_block.(rank) to p.rank_first_block.(rank + 1) - 1 do
+        blocks_rev := p.blocks.(b) :: !blocks_rev;
+        block_rank_rev := rank :: !block_rank_rev;
+        incr nblocks
+      done
+    else begin
+      let members =
+        emitting nl' consumed' levels'.Levelize.by_level.(rank)
+      in
+      (* Within a rank, blocks are an unordered partition of mutually
+         independent components (fusion inners live in strictly lower
+         ranks), so any old block whose members are all clean and still
+         emitting here computes exactly what a rebuild would — reuse it
+         by reference even though the edit shifted the rank's membership
+         (defusing materializes inners).  A clean member's entry cannot
+         have changed: its kind, fanin and fusion are untouched, and a
+         source whose materialization flipped implies a dirty reader.
+         Only the leftovers — new arrivals plus members of non-reusable
+         blocks — are re-chunked and recompiled. *)
+      Array.iter (fun i -> present_at.(i) <- rank) members;
+      if rank < nranks_old then
+        for b = p.rank_first_block.(rank) to p.rank_first_block.(rank + 1) - 1
+        do
+          let k = p.blocks.(b) in
+          let ok = ref true in
+          kernel_dsts k (fun i ->
+              if dirty.(i) || present_at.(i) <> rank then ok := false);
+          if !ok then begin
+            kernel_dsts k (fun i -> covered_at.(i) <- rank);
+            blocks_rev := k :: !blocks_rev;
+            block_rank_rev := rank :: !block_rank_rev;
+            incr nblocks
+          end
+        done;
+      let rest =
+        Array.of_seq
+          (Seq.filter
+             (fun i -> covered_at.(i) <> rank)
+             (Array.to_seq members))
+      in
+      if Array.length rest > 0 then begin
+        incr ranks_rebuilt;
+        List.iter
+          (fun sub ->
+            recompiled := !recompiled + Array.length sub;
+            blocks_rev := build_kernel nl' fusion' consumed' sub :: !blocks_rev;
+            block_rank_rev := rank :: !block_rank_rev;
+            incr nblocks)
+          (chunk gpb rest)
+      end
+    end
+  done;
+  rank_first_block.(nranks') <- !nblocks;
+  let fused' =
+    Array.fold_left (fun a c -> if c then a + 1 else a) 0 consumed'
+  in
+  ( {
+      p with
+      netlist = nl';
+      levels = levels';
+      blocks = Array.of_list (List.rev !blocks_rev);
+      block_rank = Array.of_list (List.rev !block_rank_rev);
+      rank_first_block;
+      fused = fused';
+      fusion = fusion';
+      consumed = consumed';
+      consumed_by = consumed_by';
+    },
+    {
+      p_edited = List.length edited;
+      p_defused = !defused;
+      p_ranks_rebuilt = !ranks_rebuilt;
+      p_ranks_total = nranks';
+      p_comps_recompiled = !recompiled;
+      p_comps_total = n;
+    } )
 
 (* The block whose kernel stores each component, or -1 for components
    settled outside the kernels (inports, constants, dffs, fused inner

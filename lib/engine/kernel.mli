@@ -78,6 +78,14 @@ val gates_per_block : k:int -> tuning -> int
 (** The block size [compile] will use for an engine with [k] words per
     signal: [block_gates] when set, else derived from [block_words]. *)
 
+(** How the outer gate at [dst] absorbed a fanout-1 inner gate (the
+    fusion plan is carried in the program so {!patch} can undo it
+    locally). *)
+type fusion =
+  | Andor of int * int * int * int  (** dst = (a & b) | (c & d) *)
+  | Orand of int * int * int  (** dst = (a & b) | c *)
+  | Xor3 of int * int * int  (** dst = a ^ b ^ c *)
+
 type program = {
   netlist : Hydra_netlist.Netlist.t;
       (** the netlist actually compiled (post-optimize, post-relayout) *)
@@ -98,6 +106,13 @@ type program = {
   dff_src : int array;  (** driver of each dff, indexed like [dffs] *)
   dff_init : bool array;  (** power-up values, indexed like [dffs] *)
   fused : int;  (** gates evaluated inside a fused kernel (never stored) *)
+  fusion : fusion option array;
+      (** per component: the fusion its kernel entry uses, if any *)
+  consumed : bool array;
+      (** per component: absorbed into an outer fused kernel, never
+          stored *)
+  consumed_by : int array;
+      (** per component: the outer gate that absorbed it, or -1 *)
   tuning : tuning;  (** the tuning the blocks were sized with *)
   k : int;  (** the words-per-signal the blocks were sized for *)
   dffs_per_cluster : int;
@@ -134,6 +149,38 @@ val n_ranks : program -> int
 
 val size : program -> int
 (** Component count of the compiled netlist. *)
+
+(** What {!patch} actually did, for perf accounting: the edit set size,
+    fusions undone, ranks rebuilt vs reused, and kernel entries
+    recompiled vs the component total. *)
+type patch_stats = {
+  p_edited : int;
+  p_defused : int;
+  p_ranks_rebuilt : int;
+  p_ranks_total : int;
+  p_comps_recompiled : int;
+  p_comps_total : int;
+}
+
+val patch :
+  program -> Hydra_netlist.Netlist.t -> edited:int list -> program * patch_stats
+(** Incremental recompilation: rebuild only what a small edit invalidated
+    instead of recompiling from scratch.  The edited netlist must share
+    the program's index space — same size, every component outside
+    [~edited] identical (kind and fanin), and every edited site a
+    combinational gate ([Invc]/[And2c]/[Or2c]/[Xor2c]) on both sides —
+    because the edit is expressed against [program.netlist] (the
+    post-optimize/post-relayout netlist the blocks index into).
+    Re-levelizes incrementally from the edit, un-fuses any fused kernel
+    the edit touches (fusion is never *added* by a patch), and rebuilds
+    exactly the ranks whose membership or kernel content changed; every
+    other rank's blocks are reused by reference.  Raises
+    [Invalid_argument] on contract violations and
+    {!Hydra_netlist.Levelize.Combinational_cycle} (with witness) when
+    the edit closes a combinational loop.  The patched program is a
+    normal immutable {!program}: engines build from it as usual, and
+    {!Hydra_verify.Equiv.certify_patch} checks it against a fresh full
+    compile. *)
 
 val force_slot : what:string -> program -> int -> int
 (** The rank-boundary slot at which a forced value on the given

@@ -1,0 +1,360 @@
+(* Unified job-graph scheduler: the one fan-out layer every tool chunks
+   through (Campaign, Equiv, Fault, Testbench, bench).
+
+   A scheduler owns (or borrows) one {!Pool} domain team.  Clients
+   submit jobs — a name, a priority, dependencies, a task count and a
+   [body ~member task] — and [run] drains the whole graph on the team:
+   each member claims tasks one at a time from the highest-priority
+   ready job, so independent jobs interleave on one set of domains
+   instead of each spinning up its own pool.  [member] indexes the
+   claiming team member (0 .. domains-1), which is how engine clients
+   pick a per-member replica: replicas built over [pool t] line up with
+   the member indices handed to bodies.
+
+   Scheduling state lives behind one mutex; bodies run outside it.
+   That coarse lock is deliberate: tasks here are chunk-sized (one
+   62·K-lane engine pass, a whole equivalence pass), so the per-claim
+   lock is noise next to the work, and it keeps cancellation, failure
+   propagation and the dependency bookkeeping obviously correct. *)
+
+module Pool = Hydra_parallel.Pool
+
+exception Dependency_cycle of string list
+
+type status = Pending | Running | Done | Failed of exn | Cancelled
+
+type job = {
+  id : int;
+  name : string;
+  priority : int;
+  tasks : int;
+  body : member:int -> int -> unit;
+  progress : (done_:int -> total:int -> unit) option;
+  mutable deps : job list;
+  mutable state : status;
+  mutable next : int;  (* next unclaimed task *)
+  mutable completed : int;
+  mutable inflight : int;
+}
+
+type t = {
+  pool : Pool.t;
+  owns_pool : bool;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable jobs : job list;  (* newest first *)
+  mutable seq : int;
+  mutable running : bool;
+  mutable stuck : string list option;
+}
+
+let create ?domains () =
+  {
+    pool = Pool.create ?domains ();
+    owns_pool = true;
+    m = Mutex.create ();
+    cv = Condition.create ();
+    jobs = [];
+    seq = 0;
+    running = false;
+    stuck = None;
+  }
+
+let of_pool pool =
+  {
+    pool;
+    owns_pool = false;
+    m = Mutex.create ();
+    cv = Condition.create ();
+    jobs = [];
+    seq = 0;
+    running = false;
+    stuck = None;
+  }
+
+let pool t = t.pool
+let domains t = Pool.size t.pool
+let shutdown t = if t.owns_pool then Pool.shutdown t.pool
+let job_name j = j.name
+
+let status t j =
+  Mutex.lock t.m;
+  let s = j.state in
+  Mutex.unlock t.m;
+  s
+
+let submit ?(name = "job") ?(priority = 0) ?progress ?(deps = []) t ~tasks
+    body =
+  if tasks < 0 then invalid_arg "Scheduler.submit: tasks must be >= 0";
+  Mutex.lock t.m;
+  let j =
+    {
+      id = t.seq;
+      name;
+      priority;
+      tasks;
+      body;
+      progress;
+      deps;
+      state = Pending;
+      next = 0;
+      completed = 0;
+      inflight = 0;
+    }
+  in
+  t.seq <- t.seq + 1;
+  t.jobs <- j :: t.jobs;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  j
+
+let depend t ~job ~on =
+  Mutex.lock t.m;
+  job.deps <- on @ job.deps;
+  Mutex.unlock t.m
+
+let cancel t j =
+  Mutex.lock t.m;
+  (match j.state with
+  | Pending | Running ->
+    j.state <- Cancelled;
+    j.next <- j.tasks;
+    Condition.broadcast t.cv
+  | Done | Failed _ | Cancelled -> ());
+  Mutex.unlock t.m
+
+(* A job is settled when nothing about it will change again: terminal
+   state and no body still executing. *)
+let terminal j =
+  match j.state with Done | Failed _ | Cancelled -> true | Pending | Running -> false
+
+let settled j = terminal j && j.inflight = 0
+
+let dep_done d = d.state = Done
+
+let dep_doomed d =
+  match d.state with Failed _ | Cancelled -> true | _ -> false
+
+(* Depth-first search for a dependency cycle among unsettled jobs; the
+   witness lists the job names along the cycle, each depending on the
+   next (and the last on the first).  Caller holds the lock. *)
+let find_cycle jobs =
+  let color : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let witness = ref None in
+  let rec visit path j =
+    if !witness = None && not (terminal j) then
+      match Hashtbl.find_opt color j.id with
+      | Some 2 -> ()
+      | Some 1 ->
+        (* [path] runs newest-first from the current job back to the
+           root, with [j] itself at the head (just re-encountered); the
+           cycle is everything from the head down to [j]'s previous
+           visit, that occurrence included *)
+        let rec take acc = function
+          | [] -> acc
+          | x :: _ when x.id = j.id -> x.name :: acc
+          | x :: rest -> take (x.name :: acc) rest
+        in
+        witness := Some (match path with _ :: rest -> take [] rest | [] -> [])
+      | Some _ | None ->
+        Hashtbl.replace color j.id 1;
+        List.iter (fun d -> visit (d :: path) d) j.deps;
+        Hashtbl.replace color j.id 2
+  in
+  List.iter (fun j -> visit [ j ] j) jobs;
+  !witness
+
+(* One scheduling decision, lock held: settle what can settle, then
+   either claim a task, finish (all settled), or park on the condvar. *)
+type claim = Task of job * int | Finish | Park
+
+let scan t =
+  (* propagate cancellation through doomed dependencies and settle ready
+     zero-task jobs, to a fixpoint *)
+  let changed = ref false in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun j ->
+        match j.state with
+        | Pending ->
+          if List.exists dep_doomed j.deps then begin
+            j.state <- Cancelled;
+            j.next <- j.tasks;
+            progressed := true;
+            changed := true
+          end
+          else if j.tasks = 0 && List.for_all dep_done j.deps then begin
+            j.state <- Done;
+            progressed := true;
+            changed := true
+          end
+        | _ -> ())
+      t.jobs
+  done;
+  if !changed then Condition.broadcast t.cv;
+  let best = ref None in
+  List.iter
+    (fun j ->
+      match j.state with
+      | (Pending | Running)
+        when j.next < j.tasks && List.for_all dep_done j.deps -> (
+        match !best with
+        | Some b
+          when b.priority > j.priority
+               || (b.priority = j.priority && b.id < j.id) -> ()
+        | _ -> best := Some j)
+      | _ -> ())
+    t.jobs;
+  match !best with
+  | Some j ->
+    if j.state = Pending then j.state <- Running;
+    let i = j.next in
+    j.next <- i + 1;
+    j.inflight <- j.inflight + 1;
+    Task (j, i)
+  | None ->
+    if List.for_all settled t.jobs then Finish
+    else if List.exists (fun j -> j.inflight > 0) t.jobs then Park
+    else begin
+      (* nothing claimable, nothing running, unsettled jobs remain: a
+         dependency cycle slipped in after [run]'s up-front check (jobs
+         submitted mid-run).  Cancel the stragglers so every member can
+         exit, and let [run] raise the witness. *)
+      if t.stuck = None then
+        t.stuck <-
+          Some (Option.value ~default:[] (find_cycle t.jobs));
+      List.iter
+        (fun j -> if not (terminal j) then j.state <- Cancelled)
+        t.jobs;
+      Condition.broadcast t.cv;
+      Finish
+    end
+
+let worker t member =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.m;
+    let rec decide () =
+      match scan t with
+      | Park ->
+        Condition.wait t.cv t.m;
+        decide ()
+      | (Task _ | Finish) as c -> c
+    in
+    match decide () with
+    | Park -> assert false
+    | Finish ->
+      Mutex.unlock t.m;
+      continue_ := false
+    | Task (j, i) ->
+      Mutex.unlock t.m;
+      (* body and progress run unlocked; an exception from either fails
+         the job (siblings and unrelated jobs are unaffected — their
+         claims continue; dependents get cancelled by the scan) *)
+      let err =
+        try
+          j.body ~member i;
+          (match j.progress with
+          | Some p ->
+            Mutex.lock t.m;
+            let d = j.completed + 1 in
+            Mutex.unlock t.m;
+            p ~done_:d ~total:j.tasks
+          | None -> ());
+          None
+        with e -> Some e
+      in
+      Mutex.lock t.m;
+      j.inflight <- j.inflight - 1;
+      (match err with
+      | None ->
+        j.completed <- j.completed + 1;
+        if j.state = Running && j.completed = j.tasks then j.state <- Done
+      | Some e -> (
+        match j.state with
+        | Pending | Running ->
+          j.state <- Failed e;
+          j.next <- j.tasks
+        | Done | Failed _ | Cancelled -> ()));
+      Condition.broadcast t.cv;
+      Mutex.unlock t.m
+  done
+
+let run t =
+  Mutex.lock t.m;
+  if t.running then begin
+    Mutex.unlock t.m;
+    invalid_arg "Scheduler.run: already running"
+  end;
+  (match find_cycle t.jobs with
+  | Some w ->
+    (* reject the whole submitted graph (nothing has started, so there
+       is nothing partial to preserve) and leave the scheduler empty and
+       reusable *)
+    List.iter
+      (fun j ->
+        if not (terminal j) then begin
+          j.state <- Cancelled;
+          j.next <- j.tasks
+        end)
+      t.jobs;
+    t.jobs <- [];
+    Mutex.unlock t.m;
+    raise (Dependency_cycle w)
+  | None -> ());
+  t.running <- true;
+  t.stuck <- None;
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.running <- false;
+      Mutex.unlock t.m)
+    (fun () -> Pool.run_team t.pool (fun member -> worker t member));
+  Mutex.lock t.m;
+  let stuck = t.stuck in
+  t.jobs <- List.filter (fun j -> not (settled j)) t.jobs;
+  Mutex.unlock t.m;
+  match stuck with Some w -> raise (Dependency_cycle w) | None -> ()
+
+let run_tasks t ?name ?priority n body =
+  if n > 0 then begin
+    let j = submit t ?name ?priority ~tasks:n body in
+    run t;
+    match j.state with
+    | Done -> ()
+    | Failed e -> raise e
+    | Cancelled ->
+      failwith
+        (Printf.sprintf "Scheduler.run_tasks: job %S was cancelled" j.name)
+    | Pending | Running -> assert false
+  end
+
+(* Chunking policy ------------------------------------------------------ *)
+
+(* The one lane-packing computation (previously triplicated across
+   Campaign, Equiv and Testbench): split [total] cases into chunks of
+   [lanes - reserved] so each chunk fills one engine instance's lanes,
+   minus any lanes the client keeps for itself (Campaign reserves lane 0
+   of every chunk for the golden run). *)
+type chunks = { count : int; per_chunk : int; bounds : int -> int * int }
+
+let chunking ?(reserved = 0) ~lanes total =
+  if reserved < 0 then invalid_arg "Scheduler.chunking: reserved must be >= 0";
+  if lanes <= reserved then
+    invalid_arg
+      (Printf.sprintf
+         "Scheduler.chunking: lanes (%d) must exceed reserved lanes (%d)"
+         lanes reserved);
+  let per_chunk = lanes - reserved in
+  let count = if total <= 0 then 0 else (total + per_chunk - 1) / per_chunk in
+  {
+    count;
+    per_chunk;
+    bounds =
+      (fun c ->
+        let lo = c * per_chunk in
+        (lo, min total (lo + per_chunk)));
+  }

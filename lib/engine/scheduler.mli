@@ -1,0 +1,127 @@
+(** Unified job-graph scheduler over one shared {!Hydra_parallel.Pool}
+    domain team.
+
+    Every fan-out client in the repo — {!Hydra_verify.Campaign},
+    {!Hydra_verify.Equiv}, {!Hydra_verify.Fault},
+    {!Testbench.run_batched} and the bench harness — used to hand-roll
+    its own chunking over [Sharded.run_tasks]/[Pool]; this module is the
+    one substrate they all drain through.  Jobs carry a priority,
+    dependencies, a cancellation handle and an optional progress
+    callback; {!run} executes the whole graph on the team, each member
+    claiming tasks from the highest-priority ready job, so independent
+    jobs (a fault campaign and an equivalence sweep, say) interleave on
+    one set of domains with per-job lane packing instead of competing
+    pools.
+
+    The [member] index passed to every task body identifies the claiming
+    team member (0 .. {!domains} - 1): engine clients build one replica
+    per member over {!pool} (e.g. [Sharded.of_base ~pool]) and index
+    replicas by it — the member indices line up by construction.
+
+    Submission and [run] are intended to be driven from one thread (the
+    one that owns the scheduler); task bodies run on the team and may
+    safely call {!submit} and {!cancel}. *)
+
+type t
+
+type job
+
+exception Dependency_cycle of string list
+(** Raised by {!run} when the submitted jobs' dependencies form a cycle;
+    the payload is a witness: job names along the cycle, each depending
+    on the next (and the last on the first). *)
+
+type status =
+  | Pending  (** submitted, no task claimed yet *)
+  | Running  (** at least one task claimed *)
+  | Done  (** every task completed *)
+  | Failed of exn  (** a task body (or progress callback) raised *)
+  | Cancelled
+      (** cancelled explicitly, or transitively via a failed/cancelled
+          dependency *)
+
+val create : ?domains:int -> unit -> t
+(** A scheduler owning a fresh pool of [?domains] total parallelism
+    (default {!Hydra_parallel.Pool.create}'s).  {!shutdown} joins it. *)
+
+val of_pool : Hydra_parallel.Pool.t -> t
+(** A scheduler borrowing an existing pool: {!shutdown} leaves the pool
+    alive (the lender owns it). *)
+
+val pool : t -> Hydra_parallel.Pool.t
+(** The team this scheduler executes on — build per-member engine
+    replicas over it so [member] indices line up. *)
+
+val domains : t -> int
+(** Team size = {!Hydra_parallel.Pool.size} of {!pool}. *)
+
+val submit :
+  ?name:string ->
+  ?priority:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?deps:job list ->
+  t ->
+  tasks:int ->
+  (member:int -> int -> unit) ->
+  job
+(** Submit a job of [tasks] independent tasks; the body receives the
+    claiming team member and the task index (0 .. tasks-1).  Higher
+    [?priority] (default 0) is claimed first; ties go to the earlier
+    submission.  [?deps] must all be [Done] before any task is claimed;
+    a failed or cancelled dependency cancels this job.  A job with
+    [tasks = 0] is a pure join point: it completes as soon as its
+    dependencies do.  [?progress] is called after each completed task
+    with an (approximate, racy under concurrency) completion count; an
+    exception from it fails the job like a body exception.  Jobs may be
+    submitted while {!run} is executing (from task bodies). *)
+
+val depend : t -> job:job -> on:job list -> unit
+(** Add dependencies to a submitted job (before its first task is
+    claimed, typically right after {!submit}). *)
+
+val cancel : t -> job -> unit
+(** Cancel a pending or running job: unclaimed tasks are never claimed,
+    in-flight task bodies finish undisturbed, and dependent jobs are
+    cancelled transitively.  Terminal jobs are left alone.  Safe to call
+    from task bodies; the scheduler and its pool stay fully reusable. *)
+
+val run : t -> unit
+(** Execute every submitted job on the team until all are settled
+    (Done, Failed or Cancelled).  Job failures do {e not} raise here —
+    an exception in one job must not poison its siblings; inspect
+    {!status} (and see {!run_tasks} for the one-job convenience that
+    does re-raise).  Raises {!Dependency_cycle} with a witness if the
+    dependency graph is cyclic; the submitted jobs are all cancelled, so
+    the scheduler (and its pool) stay reusable.  After [run] returns the
+    scheduler is empty and reusable. *)
+
+val status : t -> job -> status
+
+val job_name : job -> string
+
+val run_tasks :
+  t -> ?name:string -> ?priority:int -> int -> (member:int -> int -> unit) -> unit
+(** [run_tasks t n body] = submit one job of [n] tasks, {!run}, and
+    re-raise the job's failure (if any) in the caller — the drop-in
+    replacement for [Sharded.run_tasks]-style fan-out.  Note that {!run}
+    drains {e all} pending jobs, so other submissions ride along on the
+    same team. *)
+
+val shutdown : t -> unit
+(** Join the pool iff this scheduler owns it ({!create}); a borrowed
+    pool ({!of_pool}) is left to its owner. *)
+
+(** {2 Chunking policy} *)
+
+(** How [total] independent cases pack into the lanes of one engine
+    instance: [count] chunks of at most [per_chunk] cases, chunk [c]
+    covering cases [bounds c = (lo, hi)] (half-open). *)
+type chunks = { count : int; per_chunk : int; bounds : int -> int * int }
+
+val chunking : ?reserved:int -> lanes:int -> int -> chunks
+(** The one lane-packing computation shared by Campaign, Equiv and
+    Testbench (each used to hand-roll its own): pack [total] cases
+    [per_chunk = lanes - reserved] at a time, where [?reserved]
+    (default 0) lanes per chunk stay with the client — Campaign reserves
+    lane 0 of every chunk for the golden (fault-free) run.  Raises
+    [Invalid_argument] unless [0 <= reserved < lanes]. *)

@@ -64,6 +64,7 @@ module type S = sig
   type t
 
   val of_base : ?domains:int -> ?pool:Pool.t -> engine -> t
+  val pool : t -> Pool.t
   val domains : t -> int
   val base : t -> engine
   val replica : t -> int -> engine
@@ -104,6 +105,7 @@ module Make (E : ENGINE) = struct
     in
     { pool; owns_pool; replicas }
 
+  let pool t = t.pool
   let domains t = Pool.size t.pool
   let base t = t.replicas.(0)
   let replica t m = t.replicas.(m)
@@ -166,10 +168,10 @@ module Make (E : ENGINE) = struct
     let words = E.words t.replicas.(0) in
     let per_pass = lanes t in
     let results = Array.make nvec [||] in
-    let npasses = (nvec + per_pass - 1) / per_pass in
-    dispatch t npasses (fun sim p ->
-        let bse = p * per_pass in
-        let count = min per_pass (nvec - bse) in
+    let ch = Scheduler.chunking ~lanes:per_pass nvec in
+    dispatch t ch.Scheduler.count (fun sim p ->
+        let bse, hi = ch.Scheduler.bounds p in
+        let count = hi - bse in
         E.reset sim;
         for j = 0 to nin - 1 do
           let name = fst in_ports.(j) in
@@ -242,6 +244,7 @@ let create ?optimize ?relayout ?fuse ?certify ?domains ?pool netlist =
     (W.create ?optimize ?relayout ?fuse ?certify netlist)
 
 let of_base = Wide_sharded.of_base
+let pool = Wide_sharded.pool
 let domains = Wide_sharded.domains
 let base = Wide_sharded.base
 let replica = Wide_sharded.replica

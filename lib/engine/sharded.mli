@@ -54,6 +54,11 @@ module type S = sig
       (default {!Hydra_parallel.Pool.default_domains}) is created and
       owned. *)
 
+  val pool : t -> Hydra_parallel.Pool.t
+  (** The pool the replicas are aligned with — hand it to
+      {!Scheduler.of_pool} to drive this engine's members from a job
+      graph. *)
+
   val domains : t -> int
   (** Pool size = replica count. *)
 
@@ -141,6 +146,7 @@ val create :
 val of_base : ?domains:int -> ?pool:Hydra_parallel.Pool.t -> Compiled_wide.t -> t
 (** Wrap an already-compiled wide engine (see {!S.of_base}). *)
 
+val pool : t -> Hydra_parallel.Pool.t
 val domains : t -> int
 val base : t -> Compiled_wide.t
 val replica : t -> int -> Compiled_wide.t

@@ -140,6 +140,7 @@ type t = {
 
 let k t = t.k
 let words t = t.k
+let program t = t.prog
 let lanes t = lanes_per_word * t.k
 let gated t = t.gating
 let simd t = t.simd
@@ -379,11 +380,11 @@ let simd_descriptor k (kn : Kernel.kernel) =
   assert (!pos = len);
   d
 
-let create ?(k = 8) ?(gating = false) ?(simd = false) ?(optimize = false)
-    ?(relayout = true) ?(fuse = true) ?(certify = false)
-    ?(tuning = Kernel.default_tuning) netlist =
-  if k < 1 then invalid_arg "Slab.create: k must be >= 1";
-  let prog = Kernel.compile ~optimize ~relayout ~fuse ~certify ~tuning ~k netlist in
+(* Build an engine over an already-compiled program (the slab's K is the
+   program's k): no compile-time pass re-runs, only the per-instance
+   value state plus the gating/simd metadata derived from [prog]. *)
+let of_program ?(gating = false) ?(simd = false) prog =
+  let k = prog.Kernel.k in
   let consumers = Kernel.consumer_blocks prog in
   let dff_sinks = Kernel.dff_sink_clusters prog in
   let nblocks = Array.length prog.Kernel.blocks in
@@ -436,6 +437,13 @@ let create ?(k = 8) ?(gating = false) ?(simd = false) ?(optimize = false)
   bitset_fill t.dff_dirty prog.Kernel.n_dff_clusters;
   apply_initial t;
   t
+
+let create ?(k = 8) ?(gating = false) ?(simd = false) ?(optimize = false)
+    ?(relayout = true) ?(fuse = true) ?(certify = false)
+    ?(tuning = Kernel.default_tuning) netlist =
+  if k < 1 then invalid_arg "Slab.create: k must be >= 1";
+  of_program ~gating ~simd
+    (Kernel.compile ~optimize ~relayout ~fuse ~certify ~tuning ~k netlist)
 
 let replicate t =
   let nblocks = Array.length t.prog.Kernel.blocks in

@@ -77,6 +77,15 @@ val create :
     {!Hydra_netlist.Levelize.Combinational_cycle} on an invalid
     circuit. *)
 
+val of_program : ?gating:bool -> ?simd:bool -> Kernel.program -> t
+(** Build an engine over an already-compiled {!Kernel.program} (from
+    {!Kernel.compile}, {!Kernel.patch} or {!Cache}), skipping every
+    compile-time pass; the slab's K is the program's [k].  Only the
+    per-instance value state and the gating/simd metadata are built. *)
+
+val program : t -> Kernel.program
+(** The shared compiled program this engine runs. *)
+
 val k : t -> int
 val words : t -> int
 (** = {!k}: words per signal (the {!Engine_intf.S} accessor). *)

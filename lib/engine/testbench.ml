@@ -157,8 +157,10 @@ let run ?(engine = `Compiled) ~cycles ~stimuli ~expectations netlist =
    the same checking code serves {!Compiled_wide} (the default, 62 cases
    per chunk) and any [?engine] handle such as {!Slab.engine} (62*K cases
    per chunk).  With [?sharded], the 62-case chunks become sharded jobs
-   on the wide engine's persistent per-domain replicas. *)
-let run_batched ?sharded ?engine ~cycles ~cases netlist =
+   on the wide engine's persistent per-domain replicas; with
+   [?scheduler], they become tasks of one job on the scheduler's team
+   (per-member replicas aligned by member index). *)
+let run_batched ?scheduler ?sharded ?engine ~cycles ~cases netlist =
   let ncases = Array.length cases in
   let out_names = List.map fst netlist.Netlist.outputs in
   let reports = Array.make ncases { cycles_run = 0; failures = []; observed = [] } in
@@ -265,6 +267,11 @@ let run_batched ?sharded ?engine ~cycles ~cases netlist =
   | Some _, Some _ ->
     invalid_arg "Testbench.run_batched: pass either ?sharded or ?engine, not both"
   | Some sh, None ->
+    (match scheduler with
+    | Some sch when Scheduler.pool sch != Sharded.pool sh ->
+      invalid_arg
+        "Testbench.run_batched: ?scheduler and ?sharded must share one pool"
+    | _ -> ());
     let module C = Run (struct
       include Compiled_wide
 
@@ -273,17 +280,30 @@ let run_batched ?sharded ?engine ~cycles ~cases netlist =
       let create ?optimize ?relayout ?fuse ?certify nl =
         Compiled_wide.create ?optimize ?relayout ?fuse ?certify nl
     end) in
-    let nchunks = (ncases + Sharded.lanes - 1) / Sharded.lanes in
-    Sharded.dispatch sh nchunks C.chunk
+    let ch = Scheduler.chunking ~lanes:Sharded.lanes ncases in
+    (match scheduler with
+    | Some sch ->
+      Scheduler.run_tasks sch ~name:"testbench" ch.Scheduler.count
+        (fun ~member c -> C.chunk (Sharded.replica sh member) c)
+    | None -> Sharded.dispatch sh ch.Scheduler.count C.chunk)
   | None, eng ->
     let (module E) = Option.value eng ~default:Engine_intf.wide in
     let module C = Run (E) in
     let sim = E.create netlist in
     let lanes = Hydra_core.Packed.lanes * E.words sim in
-    let nchunks = (ncases + lanes - 1) / lanes in
-    for c = 0 to nchunks - 1 do
-      C.chunk sim c
-    done);
+    let ch = Scheduler.chunking ~lanes ncases in
+    (match scheduler with
+    | Some sch when Scheduler.domains sch > 1 && ch.Scheduler.count > 1 ->
+      let sims =
+        Array.init (Scheduler.domains sch) (fun i ->
+            if i = 0 then sim else E.replicate sim)
+      in
+      Scheduler.run_tasks sch ~name:"testbench" ch.Scheduler.count
+        (fun ~member c -> C.chunk sims.(member) c)
+    | _ ->
+      for c = 0 to ch.Scheduler.count - 1 do
+        C.chunk sim c
+      done));
   reports
 
 let report_string r =

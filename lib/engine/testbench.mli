@@ -40,6 +40,7 @@ val run :
   report
 
 val run_batched :
+  ?scheduler:Scheduler.t ->
   ?sharded:Sharded.t ->
   ?engine:(module Engine_intf.S) ->
   cycles:int ->
@@ -55,8 +56,14 @@ val run_batched :
     wider.  With [?sharded] — which must have been created from the same
     netlist, and is mutually exclusive with [?engine] — the 62-case
     chunks become sharded jobs on the wide engine's persistent
-    per-domain replicas.  Report [k] matches what {!run} would return
-    for case [k] on the compiled engine. *)
+    per-domain replicas.  With [?scheduler], chunks run as tasks of one
+    job on the scheduler's team: alone it shards the default (or
+    [?engine]) simulation over per-member replicas; combined with
+    [?sharded] the two must share one pool ([Scheduler.pool] physically
+    equal to [Sharded.pool], e.g. [Sharded.of_base ~pool:(Scheduler.pool
+    sch)]) so member indices line up — otherwise [Invalid_argument].
+    Results are bit-identical in every mode.  Report [k] matches what
+    {!run} would return for case [k] on the compiled engine. *)
 
 val report_string : report -> string
 (** "PASS (...)" or the failure list plus ASCII waveforms. *)

@@ -250,6 +250,137 @@ let fanout t =
     t.fanin;
   Array.map List.rev out
 
+(* Content digest ------------------------------------------------------- *)
+
+(* A stable content hash: equal for netlists that differ only in
+   component numbering or port-list order, different (modulo hash
+   collisions) when the observable circuit differs.
+
+   Components are renumbered canonically by an iterative post-order DFS
+   over fanin edges, rooted at the output ports in name order and then
+   the input ports in name order.  The traversal is determined solely by
+   port names, per-component port order, and graph structure — all
+   invariant under index permutations such as [Layout.rank_major] and
+   under [Serial] round-trips (which may re-sort the port lists by
+   component index).  Back edges through feedback loops are skipped
+   exactly as in [extract], so the walk terminates on circular fanin.
+
+   Components unreachable from any port (dead logic) contribute only
+   per-kind counts: they cannot affect observable behaviour, but their
+   presence still distinguishes the netlist.  Labels ([names]) travel
+   with their component and are hashed too. *)
+let compute_digest t =
+  let n = size t in
+  let canon = Array.make n (-1) in
+  let on_stack = Array.make n false in
+  let next = ref 0 in
+  let rev_order = ref [] in
+  let visit root =
+    if canon.(root) < 0 && not on_stack.(root) then begin
+      on_stack.(root) <- true;
+      let stack = ref [ (root, 0) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (i, port) :: rest ->
+          let fi = t.fanin.(i) in
+          if port < Array.length fi then begin
+            stack := (i, port + 1) :: rest;
+            let c = fi.(port) in
+            if canon.(c) < 0 && not on_stack.(c) then begin
+              on_stack.(c) <- true;
+              stack := (c, 0) :: !stack
+            end
+          end
+          else begin
+            on_stack.(i) <- false;
+            canon.(i) <- !next;
+            incr next;
+            rev_order := i :: !rev_order;
+            stack := rest
+          end
+      done
+    end
+  in
+  let by_name l = List.stable_sort (fun (a, _) (b, _) -> compare a b) l in
+  List.iter (fun (_, i) -> visit i) (by_name t.outputs);
+  List.iter (fun (_, i) -> visit i) (by_name t.inputs);
+  let token = function
+    | Dffc b -> if b then "dff1" else "dff0"
+    | c -> component_name c
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "hydra-digest 1\n";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf (token t.components.(i));
+      Array.iter
+        (fun c ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int canon.(c)))
+        t.fanin.(i);
+      List.iter
+        (fun nm ->
+          Buffer.add_string buf " !";
+          Buffer.add_string buf nm)
+        t.names.(i);
+      Buffer.add_char buf '\n')
+    (List.rev !rev_order);
+  let port label l =
+    List.iter
+      (fun (s, i) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %d\n" label s canon.(i)))
+      (by_name l)
+  in
+  port "input" t.inputs;
+  port "output" t.outputs;
+  let orphans = Hashtbl.create 8 in
+  Array.iteri
+    (fun i c ->
+      if canon.(i) < 0 then begin
+        let tok = token c in
+        Hashtbl.replace orphans tok
+          (1 + Option.value ~default:0 (Hashtbl.find_opt orphans tok))
+      end)
+    t.components;
+  List.iter
+    (fun (tok, count) ->
+      Buffer.add_string buf (Printf.sprintf "orphan %s %d\n" tok count))
+    (List.sort compare
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) orphans []));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* The canonical traversal + MD5 above costs milliseconds on the big
+   netlists — enough to dominate a warm compiled-circuit cache lookup —
+   so memoize per physical netlist value.  Netlist values are only ever
+   mutated while being constructed (builders patch fresh arrays before
+   publishing the record), so physical identity implies content
+   identity; the ephemeron keeps the memo from outliving its netlist,
+   and the lock makes it safe from concurrent scheduler task bodies. *)
+module Digest_memo = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let digest_memo : string Digest_memo.t = Digest_memo.create 32
+let digest_memo_lock = Mutex.create ()
+
+let digest t =
+  Mutex.lock digest_memo_lock;
+  let cached = Digest_memo.find_opt digest_memo t in
+  Mutex.unlock digest_memo_lock;
+  match cached with
+  | Some d -> d
+  | None ->
+    let d = compute_digest t in
+    Mutex.lock digest_memo_lock;
+    Digest_memo.replace digest_memo t d;
+    Mutex.unlock digest_memo_lock;
+    d
+
 (* [of_graph ~outputs] extracts the netlist reachable from [outputs];
    [extract ~inputs ~outputs] additionally declares input ports explicitly,
    so that unused inputs still appear in the port list. *)

@@ -64,3 +64,14 @@ val size : t -> int
 val fanout : t -> (int * int) list array
 (** Per component: the (sink component, sink input port) pairs it
     drives. *)
+
+val digest : t -> string
+(** Stable content hash (hex) of the observable circuit: components are
+    renumbered canonically by a fanin-order traversal rooted at the
+    name-sorted output then input ports, so the digest is invariant
+    under component renumberings ({!Layout.rank_major}) and under
+    {!Serial} round-trips, while distinct circuits get distinct digests
+    (modulo hash collisions).  Components unreachable from any port
+    contribute per-kind counts only.  Used as the {!Hydra_engine.Cache}
+    key, which additionally verifies structural equality on hits — so a
+    collision can cost a duplicate cache entry, never a wrong program. *)

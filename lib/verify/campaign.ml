@@ -26,6 +26,8 @@ module Netlist = Hydra_netlist.Netlist
 module W = Hydra_engine.Compiled_wide
 module Slab = Hydra_engine.Slab
 module Sharded = Hydra_engine.Sharded
+module Scheduler = Hydra_engine.Scheduler
+module Cache = Hydra_engine.Cache
 
 type fault =
   | Stuck_at of { site : int; value : bool }
@@ -191,12 +193,12 @@ let slab_ops sim =
     o_clear = (fun () -> Slab.clear_forces sim);
   }
 
-(* Lane 0 is the golden run, so each chunk carries at most
-   [62 x words - 1] faults. *)
-let faults_per_chunk words = (W.lanes * words) - 1
-
-let run ?sharded ?domains ?(engine = `Wide) ?(gating = false)
-    ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
+let run ?scheduler ?cache ?sharded ?domains ?(engine = `Wide)
+    ?(gating = false) ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
+  (match (scheduler, domains) with
+  | Some _, Some _ ->
+    invalid_arg "Campaign.run: pass either ?scheduler or ?domains, not both"
+  | _ -> ());
   (match engine with
   | `Wide when gating ->
     invalid_arg "Campaign.run: ?gating requires ~engine:(`Slab k)"
@@ -403,13 +405,25 @@ let run ?sharded ?domains ?(engine = `Wide) ?(gating = false)
   (match engine with
   | `Slab k when k < 1 -> invalid_arg "Campaign.run: slab k must be >= 1"
   | _ -> ());
-  let per_chunk = faults_per_chunk engine_words in
-  let nchunks =
-    if nfaults = 0 then 0 else (nfaults + per_chunk - 1) / per_chunk
+  (* lane 0 of every chunk is the golden run, hence [~reserved:1] *)
+  let ch =
+    Scheduler.chunking ~reserved:1 ~lanes:(W.lanes * engine_words) nfaults
   in
-  let chunk_bounds c =
-    let lo = c * per_chunk in
-    (lo, min nfaults (lo + per_chunk))
+  let nchunks = ch.Scheduler.count in
+  let chunk_bounds = ch.Scheduler.bounds in
+  (* engines always compile with the identity passes (force sites are
+     caller-netlist component indices); [?cache] serves warm replicas *)
+  let wide_base () =
+    match cache with
+    | Some c -> Cache.wide c ~optimize:false ~relayout:false ~fuse:false nl
+    | None -> W.create ~optimize:false ~relayout:false ~fuse:false nl
+  in
+  let slab_base k =
+    match cache with
+    | Some c ->
+      Cache.slab c ~k ~gating ~optimize:false ~relayout:false ~fuse:false nl
+    | None ->
+      Slab.create ~k ~gating ~optimize:false ~relayout:false ~fuse:false nl
   in
   let run_sharded sh =
     if Sharded.netlist sh <> nl then
@@ -417,43 +431,62 @@ let run ?sharded ?domains ?(engine = `Wide) ?(gating = false)
         "Campaign.run: sharded engine compiled from a different netlist \
          (build it with ~optimize:false ~relayout:false ~fuse:false on the \
          campaign netlist)";
-    Sharded.run_tasks sh nchunks (fun ~member c ->
-        let lo, hi = chunk_bounds c in
-        run_chunk (wide_ops (Sharded.replica sh member)) lo hi)
+    let body ~member c =
+      let lo, hi = chunk_bounds c in
+      run_chunk (wide_ops (Sharded.replica sh member)) lo hi
+    in
+    match scheduler with
+    | Some sch ->
+      if Scheduler.pool sch != Sharded.pool sh then
+        invalid_arg
+          "Campaign.run: ?scheduler and ?sharded must share one pool \
+           (Sharded.of_base ~pool:(Scheduler.pool sch))";
+      Scheduler.run_tasks sch ~name:"campaign" nchunks body
+    | None -> Sharded.run_tasks sh nchunks body
   in
-  (match (engine, sharded, domains) with
-  | `Slab _, Some _, _ ->
+  (match (engine, sharded) with
+  | `Slab _, Some _ ->
     invalid_arg
       "Campaign.run: ?sharded reuses a wide engine; pass ?domains with \
        ~engine:(`Slab k) instead"
-  | `Slab k, None, _ ->
+  | `Slab k, None ->
     if nchunks > 0 then begin
-      let base =
-        Slab.create ~k ~gating ~optimize:false ~relayout:false ~fuse:false nl
-      in
+      let base = slab_base k in
       let module SSh = Sharded.Slab_sharded in
-      let ssh = SSh.of_base ?domains base in
-      Fun.protect
-        ~finally:(fun () -> SSh.shutdown ssh)
-        (fun () ->
-          SSh.run_tasks ssh nchunks (fun ~member c ->
-              let lo, hi = chunk_bounds c in
-              run_chunk (slab_ops (SSh.replica ssh member)) lo hi))
+      let body ssh ~member c =
+        let lo, hi = chunk_bounds c in
+        run_chunk (slab_ops (SSh.replica ssh member)) lo hi
+      in
+      match scheduler with
+      | Some sch ->
+        let ssh = SSh.of_base ~pool:(Scheduler.pool sch) base in
+        Scheduler.run_tasks sch ~name:"campaign" nchunks (body ssh)
+      | None ->
+        let ssh = SSh.of_base ?domains base in
+        Fun.protect
+          ~finally:(fun () -> SSh.shutdown ssh)
+          (fun () -> SSh.run_tasks ssh nchunks (body ssh))
     end
-  | `Wide, Some sh, _ -> run_sharded sh
-  | `Wide, None, None when nchunks <= 1 ->
-    if nchunks = 1 then begin
-      let sim = W.create ~optimize:false ~relayout:false ~fuse:false nl in
-      let lo, hi = chunk_bounds 0 in
-      run_chunk (wide_ops sim) lo hi
+  | `Wide, Some sh -> run_sharded sh
+  | `Wide, None ->
+    if Option.is_none scheduler && Option.is_none domains && nchunks <= 1
+    then begin
+      if nchunks = 1 then begin
+        let sim = wide_base () in
+        let lo, hi = chunk_bounds 0 in
+        run_chunk (wide_ops sim) lo hi
+      end
     end
-  | `Wide, None, _ ->
-    let sh =
-      Sharded.create ~optimize:false ~relayout:false ~fuse:false ?domains nl
-    in
-    Fun.protect
-      ~finally:(fun () -> Sharded.shutdown sh)
-      (fun () -> run_sharded sh));
+    else if nchunks > 0 then begin
+      match scheduler with
+      | Some sch ->
+        run_sharded (Sharded.of_base ~pool:(Scheduler.pool sch) (wide_base ()))
+      | None ->
+        let sh = Sharded.of_base ?domains (wide_base ()) in
+        Fun.protect
+          ~finally:(fun () -> Sharded.shutdown sh)
+          (fun () -> run_sharded sh)
+    end);
   let verdicts =
     List.init nfaults (fun i ->
         match results.(i) with

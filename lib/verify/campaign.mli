@@ -77,6 +77,8 @@ val random_stimulus :
   seed:int -> cycles:int -> Hydra_netlist.Netlist.t -> (string * bool list) list
 
 val run :
+  ?scheduler:Hydra_engine.Scheduler.t ->
+  ?cache:Hydra_engine.Cache.t ->
   ?sharded:Hydra_engine.Sharded.t ->
   ?domains:int ->
   ?engine:[ `Wide | `Slab of int ] ->
@@ -106,7 +108,16 @@ val run :
     With [~engine:(`Slab k)] the campaign runs on a K-word
     {!Hydra_engine.Slab}: [62*k - 1] faults per engine pass (so a whole
     [all_stuck_at] list often fits in one), chunked over a slab-sharded
-    driver built with [?domains].  [?sharded] is wide-only and rejected
+    driver built with [?domains].
+
+    With [?scheduler] (mutually exclusive with [?domains]) the chunks
+    run as tasks of one job on the scheduler's shared team instead of a
+    private pool; combined with [?sharded] the two must share one pool
+    ([Sharded.of_base ~pool:(Scheduler.pool sch)]) so member indices
+    line up.  With [?cache] the campaign engines come from the
+    compiled-circuit cache (identity-pass flavors), so repeated
+    campaigns on the same netlist skip recompilation.  Verdicts are
+    bit-identical in every mode.  [?sharded] is wide-only and rejected
     in combination with [`Slab].  [~gating:true] (slab-only; rejected
     with [`Wide]) runs the campaign engines with cluster-granular
     activity gating — force installs mark the affected blocks, so

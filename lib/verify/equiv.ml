@@ -158,10 +158,12 @@ type seq_result =
   | Seq_equivalent
   | Seq_mismatch of { output : string; cycle : int; inputs : (string * bool list) list }
 
-let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed)
-    ?(domains = 1) nl1 nl2 =
+let wide_random_netlists ?scheduler ?cache ?(passes = 8) ?(cycles = 32)
+    ?(seed = 0x5eed) ?(domains = 1) nl1 nl2 =
   let module W = Hydra_engine.Compiled_wide in
   let module Sh = Hydra_engine.Sharded in
+  let module Scheduler = Hydra_engine.Scheduler in
+  let module Cache = Hydra_engine.Cache in
   let module P = Hydra_core.Packed in
   (* Certify the inputs before simulating them, so a falsified run means
      "the engines disagree" and never "the generator emitted a malformed
@@ -183,14 +185,14 @@ let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed)
     List.sort compare out_names
     <> List.sort compare (List.map fst nl2.Netlist.outputs)
   then invalid_arg "Equiv.wide_random_netlists: output ports differ";
-  (* nl1 rides the sharded engine; nl2's replicas are kept member-aligned
-     by hand through run_tasks's ~member index *)
-  let sh = Sh.create ~domains nl1 in
-  let base2 = W.create nl2 in
-  let sims2 =
-    Array.init (Sh.domains sh) (fun i ->
-        if i = 0 then base2 else W.replicate base2)
+  (* both sides' replicas are kept member-aligned by hand through the
+     fan-out's ~member index; [?cache] serves warm default-flavor wide
+     engines (same compile flags as W.create's defaults) *)
+  let mk nl =
+    match cache with Some c -> Cache.wide c nl | None -> W.create nl
   in
+  let base1 = mk nl1 in
+  let base2 = mk nl2 in
   let results = Array.make passes Seq_equivalent in
   (* lowest pass index with a recorded mismatch; later passes that have
      not started yet are skipped once a lower one is recorded, so the
@@ -250,10 +252,23 @@ let wide_random_netlists ?(passes = 8) ?(cycles = 32) ?(seed = 0x5eed)
       done
     with Exit -> ()
   in
-  Sh.run_tasks sh passes (fun ~member pass ->
-      if pass < Atomic.get best then
-        run_pass (Sh.replica sh member) sims2.(member) pass);
-  Sh.shutdown sh;
+  let replicas base n =
+    Array.init n (fun i -> if i = 0 then base else W.replicate base)
+  in
+  (match scheduler with
+  | Some sch ->
+    let n = Scheduler.domains sch in
+    let sims1 = replicas base1 n and sims2 = replicas base2 n in
+    Scheduler.run_tasks sch ~name:"equiv" passes (fun ~member pass ->
+        if pass < Atomic.get best then
+          run_pass sims1.(member) sims2.(member) pass)
+  | None ->
+    let sh = Sh.of_base ~domains base1 in
+    let sims2 = replicas base2 (Sh.domains sh) in
+    Sh.run_tasks sh passes (fun ~member pass ->
+        if pass < Atomic.get best then
+          run_pass (Sh.replica sh member) sims2.(member) pass);
+    Sh.shutdown sh);
   match Atomic.get best with
   | p when p < max_int -> results.(p)
   | _ -> Seq_equivalent
@@ -383,6 +398,65 @@ let slab_vs_wide ?passes ?cycles ?seed ?(k = 8) ?gating ?simd ?tuning nl =
     Hydra_engine.Engine_intf.wide nl nl
 
 let seq_equivalent = function Seq_equivalent -> true | Seq_mismatch _ -> false
+
+(* Translation validation for {!Hydra_engine.Kernel.patch}: run the
+   patched program (wide at k = 1, slab otherwise) against an
+   independent fresh full compile of its own netlist and wrap the
+   verdict as a {!Hydra_analyze.Certify.outcome} — the same contract as
+   the compile-time pass certificates, applied to an incremental
+   recompile. *)
+let certify_patch ?(passes = 4) ?(cycles = 32) ?(seed = 0x5eed)
+    (prog : Hydra_engine.Kernel.program) =
+  let module K = Hydra_engine.Kernel in
+  let module C = Hydra_analyze.Certify in
+  let nl = prog.K.netlist in
+  let transform = "kernel-patch" in
+  match C.validate nl with
+  | Error reason ->
+    C.Refuted
+      { transform; failure = C.Invalid { which = "patched"; reason } }
+  | Ok () -> (
+    let patched : (module Hydra_engine.Engine_intf.S) =
+      if prog.K.k = 1 then
+        (module struct
+          include Hydra_engine.Compiled_wide
+
+          let name = "patched"
+
+          let create ?optimize:_ ?relayout:_ ?fuse:_ ?certify:_ _ =
+            Hydra_engine.Compiled_wide.of_program prog
+        end)
+      else
+        (module struct
+          include Hydra_engine.Slab
+
+          let name = "patched"
+
+          let create ?optimize:_ ?relayout:_ ?fuse:_ ?certify:_ _ =
+            Hydra_engine.Slab.of_program prog
+        end)
+    in
+    match
+      engine_random_netlists ~passes ~cycles ~seed patched
+        Hydra_engine.Engine_intf.wide nl nl
+    with
+    | Seq_equivalent ->
+      C.Certified
+        {
+          transform;
+          checks =
+            [
+              "validate";
+              Printf.sprintf "io-equiv-vs-full-compile(passes=%d,cycles=%d)"
+                passes cycles;
+            ];
+        }
+    | Seq_mismatch { output; cycle; inputs } ->
+      C.Refuted
+        {
+          transform;
+          failure = C.Behaviour_differs { C.output; cycle; inputs };
+        })
 
 let random ?(trials = 1000) ~inputs c1 c2 =
   let f = c1.apply (module Bit) and g = c2.apply (module Bit) in

@@ -64,6 +64,8 @@ type seq_result =
     }
 
 val wide_random_netlists :
+  ?scheduler:Hydra_engine.Scheduler.t ->
+  ?cache:Hydra_engine.Cache.t ->
   ?passes:int ->
   ?cycles:int ->
   ?seed:int ->
@@ -82,7 +84,11 @@ val wide_random_netlists :
     pair of engine replicas; every pass seeds its own RNG from
     ([seed], pass index), so the stimulus — and the reported mismatch,
     always the lowest-index failing pass — is the same at any domain
-    count.
+    count.  With [?scheduler] (which overrides [?domains]) the passes
+    run as tasks of one job on the scheduler's shared team, with both
+    sides' replicas member-aligned; with [?cache] the two base engines
+    come from the compiled-circuit cache (default wide flavor).  The
+    result is identical in every mode.
 
     Both netlists are validated ({!Hydra_analyze.Certify.validate})
     before any engine touches them; a malformed one raises
@@ -131,5 +137,20 @@ val slab_vs_wide :
     word of every flavor simulates exactly the wide semantics. *)
 
 val seq_equivalent : seq_result -> bool
+
+val certify_patch :
+  ?passes:int ->
+  ?cycles:int ->
+  ?seed:int ->
+  Hydra_engine.Kernel.program ->
+  Hydra_analyze.Certify.outcome
+(** Translation-validate an incrementally patched program (the output of
+    {!Hydra_engine.Kernel.patch}): validate its netlist, then run the
+    patched kernel — wide at [k = 1], slab otherwise — against an
+    independent fresh full compile of the same netlist with
+    {!engine_random_netlists} ([?passes] default 4, [?cycles] default
+    32).  [Certified] names the checks performed; a behavioural
+    divergence is [Refuted] with a replayable counterexample, exactly
+    like the compile-time pass certificates. *)
 
 val is_equivalent : result -> bool

@@ -64,4 +64,7 @@ val generate_tests :
     same observation window as {!coverage}; each batch re-simulates only
     the still-undetected faults over the full grown vector list, which
     is bit-identical to grading from scratch (detection is monotone
-    under vector-list extension). *)
+    under vector-list extension).  Batches grade on one persistent
+    {!Hydra_engine.Scheduler} team with campaign engines served by the
+    process-wide {!Hydra_engine.Cache}, so repeated generations on the
+    same netlist skip recompilation entirely. *)

@@ -33,4 +33,5 @@ let () =
       ("dataflow", Test_dataflow.suite);
       ("campaign", Test_campaign.suite);
       ("cache", Test_cache.suite);
+      ("scheduler", Test_scheduler.suite);
     ]
