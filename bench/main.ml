@@ -1665,6 +1665,93 @@ let e27 ?(min_time = 0.2) () =
     ~name:"mixed fault+equiv one shared team" ~value:(nwork /. t_sch)
     ~unit_:"jobs/s" ~wall_s:t_sch ~warmup:0 ()
 
+(* E28: resilience — throughput under chaos storms.  The acceptance
+   experiment for the resilience layer: a wallace64 all-stuck-at slab
+   campaign on a shared scheduler team, fault-free vs under a seeded
+   chaos storm (~10% of chunk executions stall, 5% raise transient
+   exceptions), with a retry policy recovering, an admission controller
+   degrading the slab request, and a hard deadline at 2x the fault-free
+   wall time.  Acceptance: the stormy campaign completes inside the
+   deadline by shedding/degrading — with bit-identical verdicts.  The
+   gate is real: a deadline expiry or verdict divergence fails the
+   bench run, and the faults/s rows are pinned by [--baseline]. *)
+let e28 () =
+  let module C = Hydra_verify.Campaign in
+  let module Chaos = Hydra_verify.Chaos in
+  let module R = Hydra_engine.Resilience in
+  let module Scheduler = Hydra_engine.Scheduler in
+  section "E28" "resilience: campaign throughput under chaos storms";
+  let nl = wallace_netlist 64 in
+  let faults = C.all_stuck_at nl in
+  let nf = List.length faults in
+  let cycles = 6 in
+  let stimulus = C.random_stimulus ~seed:11 ~cycles nl in
+  let k = 4 in
+  let chunks = Scheduler.chunking ~reserved:1 ~lanes:(62 * k) nf in
+  row "  wallace64: %d stuck-at faults, slab k=%d, %d chunks, 2 domains\n" nf
+    k chunks.Scheduler.count;
+  let sch = Scheduler.create ~domains:2 () in
+  (* fault-free reference on the same team *)
+  let t0 = Unix.gettimeofday () in
+  let clean =
+    C.run ~scheduler:sch ~engine:(`Slab k) nl ~faults ~stimulus ~cycles
+  in
+  let t_clean = Unix.gettimeofday () -. t0 in
+  let clean_rate = float_of_int nf /. t_clean in
+  row "  %-40s %8.3f s  %10.1f faults/s\n" "fault-free" t_clean clean_rate;
+  record ~section:"E28" ~domains:2 ~lanes:(62 * k)
+    ~name:"wallace64 slab campaign fault-free" ~value:clean_rate
+    ~unit_:"faults/s" ~wall_s:t_clean ~warmup:0 ();
+  (* the storm: each chunk execution stalls with p=0.10 (up to roughly
+     one chunk's worth of work) or raises with p=0.05; retries recover
+     the raises, the admission budget degrades the slab request to
+     k=2, and the whole campaign must still land inside 2x fault-free *)
+  let stall = t_clean /. float_of_int (max 1 chunks.Scheduler.count) in
+  let plan =
+    Chaos.plan ~seed:0xe28 ~delay_rate:0.10 ~exn_rate:0.05 ~max_delay:stall ()
+  in
+  let retry = R.retry ~max_attempts:6 ~base_delay:0.001 ~max_delay:0.01 () in
+  let admission = R.admission ~max_lanes:(62 * k / 2) () in
+  let deadline = 2.0 *. t_clean in
+  let t0 = Unix.gettimeofday () in
+  let stormy =
+    match
+      C.run ~scheduler:sch ~engine:(`Slab k) ~deadline ~retry ~admission
+        ~chaos:plan nl ~faults ~stimulus ~cycles
+    with
+    | r -> r
+    | exception R.Deadline_exceeded { elapsed; _ } ->
+      failwith
+        (Printf.sprintf
+           "E28: stormy campaign blew the 2x deadline (%.3f s vs %.3f s \
+            fault-free)"
+           elapsed t_clean)
+  in
+  let t_storm = Unix.gettimeofday () -. t0 in
+  Scheduler.shutdown sch;
+  if clean.C.verdicts <> stormy.C.verdicts then
+    failwith "E28: verdicts diverged under the chaos storm";
+  let c = Chaos.injected plan in
+  let storm_rate = float_of_int nf /. t_storm in
+  let ratio = t_storm /. t_clean in
+  row "  %-40s %8.3f s  %10.1f faults/s\n"
+    (Printf.sprintf "chaos storm (%d stalls, %d raises)" c.Chaos.delays
+       c.Chaos.exns)
+    t_storm storm_rate;
+  let ast = R.admission_stats admission in
+  row "  verdicts bit-identical; slab degraded %d time(s); wall ratio \
+       %.2fx (acceptance: <= 2x, enforced by the deadline)\n"
+    ast.R.degraded ratio;
+  record ~section:"E28" ~domains:2 ~lanes:(62 * k / 2)
+    ~name:"wallace64 slab campaign under chaos" ~value:storm_rate
+    ~unit_:"faults/s" ~wall_s:t_storm ~warmup:0 ();
+  record ~section:"E28" ~name:"chaos wall ratio vs fault-free" ~value:ratio
+    ~unit_:"x" ~wall_s:(t_clean +. t_storm) ~warmup:0 ();
+  record ~section:"E28"
+    ~name:"chaos injections survived"
+    ~value:(float_of_int (c.Chaos.delays + c.Chaos.exns))
+    ~unit_:"injections" ~wall_s:t_storm ~warmup:0 ()
+
 (* Smoke mode ----------------------------------------------------------- *)
 
 (* A ~2 s subset run from `dune runtest` (alias bench-smoke): asserts the
@@ -1830,11 +1917,12 @@ let sections : (string * (unit -> unit)) list =
     ("E25", (fun () -> e25 ()));
     ("E26", e26);
     ("E27", (fun () -> e27 ()));
+    ("E28", e28);
   ]
 
 (* Baseline comparison: re-read a previous [--json] file (our own
    format, one row per line) and fail on a >10% regression of any
-   pinned throughput row — sections E20/E24, unit ending in "/s" —
+   pinned throughput row — sections E20/E24/E28, unit ending in "/s" —
    that this run also produced with the same domain count. *)
 let scan_baseline path =
   let ic =
@@ -1888,7 +1976,7 @@ let scan_baseline path =
   !rows
 
 let pinned_row (sec, _, _, unit_, _, _, _, _, _) =
-  (sec = "E20" || sec = "E24")
+  (sec = "E20" || sec = "E24" || sec = "E28")
   && String.length unit_ >= 2
   && String.sub unit_ (String.length unit_ - 2) 2 = "/s"
 
@@ -1914,12 +2002,12 @@ let compare_baseline path =
                 (100. *. (1. -. (value /. bvalue)))
               :: !regressions)
     (List.rev !results);
-  Printf.printf "\nbaseline %s: %d pinned E20/E24 row(s) compared\n" path
+  Printf.printf "\nbaseline %s: %d pinned E20/E24/E28 row(s) compared\n" path
     !compared;
   if !compared = 0 then
     print_endline
-      "  warning: no comparable rows (run E20/E24 in both runs on the same \
-       host)";
+      "  warning: no comparable rows (run E20/E24/E28 in both runs on the \
+       same host)";
   match !regressions with
   | [] -> print_endline "  no >10% regression"
   | rs ->

@@ -373,8 +373,49 @@ let faults_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print every verdict")
   in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "wall-clock budget per campaign in seconds; past it the \
+             campaign fails with a deadline-exceeded error instead of \
+             running on")
+  in
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "retry transiently-failed campaign chunks up to N extra \
+             times with exponential backoff")
+  in
+  let max_lanes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-lanes" ] ~docv:"LANES"
+          ~doc:
+            "admission budget in engine lanes: over-budget campaigns \
+             degrade to fewer slab words before being shed")
+  in
   let run targets all smoke json model cycles seed rate at max_faults domains
-      status verbose =
+      status verbose deadline retries max_lanes =
+    let module R = Hydra_engine.Resilience in
+    let retry =
+      Option.map (fun n -> R.retry ~max_attempts:(max 1 (n + 1)) ()) retries
+    in
+    let admission =
+      Option.map
+        (fun n ->
+          try R.admission ~max_lanes:n ()
+          with Invalid_argument _ ->
+            Printf.eprintf
+              "faults: --max-lanes %d: budget must be at least one 62-lane \
+               word\n"
+              n;
+            exit 2)
+        max_lanes
+    in
     let targets = (if all || smoke then lint_catalogue else []) @ targets in
     if targets = [] then begin
       prerr_endline
@@ -412,7 +453,23 @@ let faults_cmd =
           let truncated = List.length faults < total in
           let stimulus = C.random_stimulus ~seed ~cycles nl in
           let report =
-            C.run ?domains ~status_outputs:status nl ~faults ~stimulus ~cycles
+            match
+              C.run ?domains ~status_outputs:status ?deadline ?retry
+                ?admission nl ~faults ~stimulus ~cycles
+            with
+            | r -> r
+            | exception R.Deadline_exceeded { elapsed; _ } ->
+              Printf.eprintf
+                "faults: %s: deadline of %.3g s exceeded after %.3f s\n"
+                target (Option.value deadline ~default:0.0) elapsed;
+              exit 1
+            | exception R.Shed _ ->
+              Printf.eprintf
+                "faults: %s: shed by the admission controller (budget %d \
+                 lanes is less than one 62-lane word free)\n"
+                target
+                (Option.value max_lanes ~default:0);
+              exit 1
           in
           if json then
             Printf.sprintf "{\"target\":%s,\"components\":%d,\"report\":%s}"
@@ -448,7 +505,8 @@ let faults_cmd =
           detected/latent/masked against a golden lane")
     Term.(
       const run $ targets $ all $ smoke $ json $ model $ cycles $ seed $ rate
-      $ at $ max_faults $ domains $ status $ verbose)
+      $ at $ max_faults $ domains $ status $ verbose $ deadline $ retries
+      $ max_lanes)
 
 (* ---- lint ---- *)
 

@@ -57,6 +57,10 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable fault_hook : (string -> unit) option;
+      (* chaos-injection point, called OUTSIDE the lock at the lookup
+         and insert sites; an exception it raises propagates to the
+         caller like a build failure would *)
 }
 
 let create ?(capacity = 64) () =
@@ -70,7 +74,13 @@ let create ?(capacity = 64) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    fault_hook = None;
   }
+
+let set_fault_hook t hook = t.fault_hook <- hook
+
+let fire_hook t site =
+  match t.fault_hook with None -> () | Some h -> h site
 
 let stats t =
   Mutex.lock t.lock;
@@ -92,6 +102,22 @@ let find_locked t key nl =
   | None -> None
   | Some l -> List.find_opt (fun e -> e.e_netlist = nl) !l
 
+(* The one entry-removal critical section (lock held): unlink, count
+   down and count the eviction as a single indivisible unit, so the
+   [entries]/[evictions] counters can never diverge from the table —
+   previously the decrement and the eviction increment sat on separate
+   paths (with a "reset count to 0" fallback), and a replica-on-hit
+   racing an LRU sweep could under-count evictions. *)
+let remove_entry t key e =
+  let l = Hashtbl.find t.table key in
+  l := List.filter (fun e' -> e' != e) !l;
+  if !l = [] then Hashtbl.remove t.table key;
+  t.count <- t.count - 1;
+  t.evictions <- t.evictions + 1
+
+(* Evict the least-recently-stamped entry; false iff the table is empty
+   (never silently zero the count — an inconsistency would be a bug to
+   surface, not paper over). *)
 let evict_lru t =
   let victim = ref None in
   Hashtbl.iter
@@ -104,13 +130,10 @@ let evict_lru t =
         !l)
     t.table;
   match !victim with
-  | None -> t.count <- 0
+  | None -> false
   | Some (key, e, _) ->
-    let l = Hashtbl.find t.table key in
-    l := List.filter (fun e' -> e' != e) !l;
-    if !l = [] then Hashtbl.remove t.table key;
-    t.count <- t.count - 1;
-    t.evictions <- t.evictions + 1
+    remove_entry t key e;
+    true
 
 let insert_locked t key nl payload =
   match find_locked t key nl with
@@ -122,12 +145,13 @@ let insert_locked t key nl payload =
     | Some l -> l := e :: !l
     | None -> Hashtbl.replace t.table key (ref [ e ]));
     t.count <- t.count + 1;
-    while t.count > t.capacity do
-      evict_lru t
+    while t.count > t.capacity && evict_lru t do
+      ()
     done;
     e
 
 let get t key nl build =
+  fire_hook t "lookup";
   Mutex.lock t.lock;
   match find_locked t key nl with
   | Some e ->
@@ -141,6 +165,7 @@ let get t key nl build =
     t.misses <- t.misses + 1;
     Mutex.unlock t.lock;
     let payload = build () in
+    fire_hook t "insert";
     Mutex.lock t.lock;
     let e = insert_locked t key nl payload in
     let p = e.payload in

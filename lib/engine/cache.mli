@@ -85,3 +85,11 @@ val stats : t -> stats
 
 val clear : t -> unit
 (** Drop every entry (counters keep accumulating; [entries] resets). *)
+
+val set_fault_hook : t -> (string -> unit) option -> unit
+(** Install (or remove, with [None]) a chaos-injection hook, called
+    outside the cache lock at the lookup and insert sites with a site
+    label ("lookup" / "insert").  An exception it raises propagates to
+    the caller exactly like a build failure; the cache's tables and
+    counters stay consistent regardless.  For the chaos harness —
+    production code leaves it unset. *)

@@ -18,9 +18,24 @@
     per member over {!pool} (e.g. [Sharded.of_base ~pool]) and index
     replicas by it — the member indices line up by construction.
 
+    Resilience: jobs may carry a [?deadline] (wall-clock budget from
+    submission; expiry at a chunk boundary moves the job to the terminal
+    {!Timed_out} state, which cancels dependents exactly like a
+    failure), a [?retry] policy (transient task failures are re-claimed
+    after an exponential backoff with deterministic jitter, every
+    attempt journaled in the job's {!trail}), and a [?lanes] demand
+    (with an [?admission] controller on the scheduler, excess demand
+    sheds the lowest-priority pending jobs).  A [?watchdog] horizon arms
+    a monitor that fails the owning job of any pool member whose
+    {!Hydra_parallel.Pool.heartbeat} goes stale — carrying a
+    {!Resilience.Stuck_member} site witness — instead of hanging the
+    team.
+
     Submission and [run] are intended to be driven from one thread (the
-    one that owns the scheduler); task bodies run on the team and may
-    safely call {!submit} and {!cancel}. *)
+    one that owns the scheduler); task bodies and progress callbacks run
+    on the team, strictly outside the scheduler's internal lock, so they
+    may safely re-enter it: {!submit}, {!cancel}, {!status},
+    {!checkpoint}. *)
 
 type t
 
@@ -31,20 +46,54 @@ exception Dependency_cycle of string list
     the payload is a witness: job names along the cycle, each depending
     on the next (and the last on the first). *)
 
+exception Interrupted
+(** Raised by {!checkpoint} inside a task body whose job has been
+    doomed (cancelled, timed out, failed by the watchdog) — the
+    cooperative-cancellation signal.  The scheduler absorbs it: the
+    job's terminal state is already set and siblings are unaffected. *)
+
 type status =
   | Pending  (** submitted, no task claimed yet *)
   | Running  (** at least one task claimed *)
   | Done  (** every task completed *)
   | Failed of exn  (** a task body (or progress callback) raised *)
   | Cancelled
-      (** cancelled explicitly, or transitively via a failed/cancelled
-          dependency *)
+      (** cancelled explicitly, transitively via a doomed dependency, or
+          shed by the admission controller *)
+  | Timed_out
+      (** the job's [?deadline] expired before every task completed.
+          Terminal, observed at chunk boundaries: in-flight task bodies
+          finish (or bail at their next {!checkpoint}) but no further
+          tasks are claimed, and dependents are cancelled exactly as if
+          the job had failed.  {!run_tasks} surfaces it as
+          {!Resilience.Deadline_exceeded}. *)
 
-val create : ?domains:int -> unit -> t
+val create :
+  ?domains:int ->
+  ?watchdog:float ->
+  ?admission:Resilience.admission ->
+  unit ->
+  t
 (** A scheduler owning a fresh pool of [?domains] total parallelism
-    (default {!Hydra_parallel.Pool.create}'s).  {!shutdown} joins it. *)
+    (default {!Hydra_parallel.Pool.create}'s).  {!shutdown} joins it.
 
-val of_pool : Hydra_parallel.Pool.t -> t
+    [?watchdog] arms the stuck-member monitor: a pool member whose last
+    heartbeat (stamped at every claim boundary, or manually via {!beat})
+    is older than the horizon has its current job failed with
+    {!Resilience.Stuck_member}.  Pick a horizon comfortably above the
+    longest honest task body.
+
+    [?admission] attaches an overload controller: when the declared
+    [?lanes] demand of live jobs exceeds its budget, the lowest-priority
+    pending not-yet-started jobs are shed (state {!Cancelled}, counted
+    in the controller's stats, surfaced by {!run_tasks} as
+    {!Resilience.Shed}). *)
+
+val of_pool :
+  ?watchdog:float ->
+  ?admission:Resilience.admission ->
+  Hydra_parallel.Pool.t ->
+  t
 (** A scheduler borrowing an existing pool: {!shutdown} leaves the pool
     alive (the lender owns it). *)
 
@@ -60,6 +109,9 @@ val submit :
   ?priority:int ->
   ?progress:(done_:int -> total:int -> unit) ->
   ?deps:job list ->
+  ?deadline:float ->
+  ?retry:Resilience.retry ->
+  ?lanes:int ->
   t ->
   tasks:int ->
   (member:int -> int -> unit) ->
@@ -68,12 +120,20 @@ val submit :
     claiming team member and the task index (0 .. tasks-1).  Higher
     [?priority] (default 0) is claimed first; ties go to the earlier
     submission.  [?deps] must all be [Done] before any task is claimed;
-    a failed or cancelled dependency cancels this job.  A job with
-    [tasks = 0] is a pure join point: it completes as soon as its
-    dependencies do.  [?progress] is called after each completed task
-    with an (approximate, racy under concurrency) completion count; an
-    exception from it fails the job like a body exception.  Jobs may be
-    submitted while {!run} is executing (from task bodies). *)
+    a doomed dependency cancels this job.  A job with [tasks = 0] is a
+    pure join point: it completes as soon as its dependencies do.
+    [?progress] is called after each completed task, outside the
+    scheduler lock, with the exact completion count at that moment; an
+    exception from it fails the job like a body exception.
+
+    [?deadline] is a wall-clock budget in seconds from this submission;
+    see {!Timed_out}.  [?retry] re-claims tasks whose body raised a
+    transient exception, after {!Resilience.backoff}; each failed
+    attempt is journaled in the job's {!trail}, and attempts per task
+    are capped by the policy.  [?lanes] declares the job's engine-lane
+    demand to the scheduler's admission controller (no effect without
+    one).  Jobs may be submitted while {!run} is executing (from task
+    bodies). *)
 
 val depend : t -> job:job -> on:job list -> unit
 (** Add dependencies to a submitted job (before its first task is
@@ -81,29 +141,62 @@ val depend : t -> job:job -> on:job list -> unit
 
 val cancel : t -> job -> unit
 (** Cancel a pending or running job: unclaimed tasks are never claimed,
-    in-flight task bodies finish undisturbed, and dependent jobs are
-    cancelled transitively.  Terminal jobs are left alone.  Safe to call
-    from task bodies; the scheduler and its pool stay fully reusable. *)
+    in-flight task bodies finish undisturbed (or bail at their next
+    {!checkpoint}), and dependent jobs are cancelled transitively.
+    Terminal jobs are left alone.  Safe to call from task bodies and
+    progress callbacks (both run outside the scheduler lock); the
+    scheduler and its pool stay fully reusable. *)
+
+val checkpoint : t -> job -> unit
+(** Cooperative cancellation point for long task bodies: raises
+    {!Interrupted} iff the job is doomed (cancelled, timed out, or
+    failed).  The scheduler treats the escape as the chunk bailing, not
+    as a new failure. *)
+
+val beat : t -> member:int -> unit
+(** Re-stamp [member]'s heartbeat (keeping its current site label) from
+    inside a long task body, so an honest slow chunk is not mistaken for
+    a stuck one by the [?watchdog]. *)
 
 val run : t -> unit
 (** Execute every submitted job on the team until all are settled
-    (Done, Failed or Cancelled).  Job failures do {e not} raise here —
-    an exception in one job must not poison its siblings; inspect
-    {!status} (and see {!run_tasks} for the one-job convenience that
-    does re-raise).  Raises {!Dependency_cycle} with a witness if the
-    dependency graph is cyclic; the submitted jobs are all cancelled, so
-    the scheduler (and its pool) stay reusable.  After [run] returns the
-    scheduler is empty and reusable. *)
+    (Done, Failed, Cancelled or Timed_out).  Job failures do {e not}
+    raise here — an exception in one job must not poison its siblings;
+    inspect {!status} (and see {!run_tasks} for the one-job convenience
+    that does re-raise).  Raises {!Dependency_cycle} with a witness if
+    the dependency graph is cyclic; the submitted jobs are all
+    cancelled, so the scheduler (and its pool) stay reusable.  While
+    running, a lightweight ticker domain (spawned only when some job
+    carries a deadline or retry policy, or a watchdog is armed) fires
+    deadline expiries, backoff due-times and watchdog verdicts even
+    when every member is parked.  After [run] returns the scheduler is
+    empty and reusable. *)
 
 val status : t -> job -> status
 
 val job_name : job -> string
 
+val trail : t -> job -> string list
+(** The job's journal, oldest first: retry attempts with their backoff,
+    deadline expiry, watchdog verdicts, shed/cancellation events — each
+    stamped [+elapsed] relative to submission.  Empty for a job that
+    settled without incident. *)
+
 val run_tasks :
-  t -> ?name:string -> ?priority:int -> int -> (member:int -> int -> unit) -> unit
+  t ->
+  ?name:string ->
+  ?priority:int ->
+  ?deadline:float ->
+  ?retry:Resilience.retry ->
+  ?lanes:int ->
+  int ->
+  (member:int -> int -> unit) ->
+  unit
 (** [run_tasks t n body] = submit one job of [n] tasks, {!run}, and
     re-raise the job's failure (if any) in the caller — the drop-in
-    replacement for [Sharded.run_tasks]-style fan-out.  Note that {!run}
+    replacement for [Sharded.run_tasks]-style fan-out.  A {!Timed_out}
+    job raises {!Resilience.Deadline_exceeded}; a job shed by the
+    admission controller raises {!Resilience.Shed}.  Note that {!run}
     drains {e all} pending jobs, so other submissions ride along on the
     same team. *)
 

@@ -160,8 +160,20 @@ let run ?(engine = `Compiled) ~cycles ~stimuli ~expectations netlist =
    on the wide engine's persistent per-domain replicas; with
    [?scheduler], they become tasks of one job on the scheduler's team
    (per-member replicas aligned by member index). *)
-let run_batched ?scheduler ?sharded ?engine ~cycles ~cases netlist =
+let run_batched ?scheduler ?sharded ?engine ?deadline ~cycles ~cases netlist =
   let ncases = Array.length cases in
+  (* deadline enforcement at chunk boundaries: scheduler paths delegate
+     to the job deadline (same semantics), direct paths check between
+     chunks and raise the same exception *)
+  let t0 = Resilience.now () in
+  let check_deadline () =
+    match deadline with
+    | Some d when Resilience.now () -. t0 > d ->
+      raise
+        (Resilience.Deadline_exceeded
+           { job = "testbench"; elapsed = Resilience.now () -. t0 })
+    | _ -> ()
+  in
   let out_names = List.map fst netlist.Netlist.outputs in
   let reports = Array.make ncases { cycles_run = 0; failures = []; observed = [] } in
   let module Run (E : Engine_intf.S) = struct
@@ -283,9 +295,12 @@ let run_batched ?scheduler ?sharded ?engine ~cycles ~cases netlist =
     let ch = Scheduler.chunking ~lanes:Sharded.lanes ncases in
     (match scheduler with
     | Some sch ->
-      Scheduler.run_tasks sch ~name:"testbench" ch.Scheduler.count
+      Scheduler.run_tasks sch ~name:"testbench" ?deadline ch.Scheduler.count
         (fun ~member c -> C.chunk (Sharded.replica sh member) c)
-    | None -> Sharded.dispatch sh ch.Scheduler.count C.chunk)
+    | None ->
+      Sharded.dispatch sh ch.Scheduler.count (fun sim c ->
+          check_deadline ();
+          C.chunk sim c))
   | None, eng ->
     let (module E) = Option.value eng ~default:Engine_intf.wide in
     let module C = Run (E) in
@@ -298,10 +313,11 @@ let run_batched ?scheduler ?sharded ?engine ~cycles ~cases netlist =
         Array.init (Scheduler.domains sch) (fun i ->
             if i = 0 then sim else E.replicate sim)
       in
-      Scheduler.run_tasks sch ~name:"testbench" ch.Scheduler.count
+      Scheduler.run_tasks sch ~name:"testbench" ?deadline ch.Scheduler.count
         (fun ~member c -> C.chunk sims.(member) c)
     | _ ->
       for c = 0 to ch.Scheduler.count - 1 do
+        check_deadline ();
         C.chunk sim c
       done));
   reports

@@ -43,6 +43,7 @@ val run_batched :
   ?scheduler:Scheduler.t ->
   ?sharded:Sharded.t ->
   ?engine:(module Engine_intf.S) ->
+  ?deadline:float ->
   cycles:int ->
   cases:(stimulus list * expectation list) array ->
   Hydra_netlist.Netlist.t ->
@@ -63,7 +64,12 @@ val run_batched :
     equal to [Sharded.pool], e.g. [Sharded.of_base ~pool:(Scheduler.pool
     sch)]) so member indices line up — otherwise [Invalid_argument].
     Results are bit-identical in every mode.  Report [k] matches what
-    {!run} would return for case [k] on the compiled engine. *)
+    {!run} would return for case [k] on the compiled engine.
+
+    [?deadline] bounds the whole batch in wall-clock seconds, enforced
+    at chunk boundaries: past it, {!Resilience.Deadline_exceeded} is
+    raised (scheduler modes time out the underlying job, which is the
+    same exception to the caller). *)
 
 val report_string : report -> string
 (** "PASS (...)" or the failure list plus ASCII waveforms. *)

@@ -41,6 +41,13 @@ type t = {
   mutable job : job option;
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
+  (* Heartbeat slots, one per member: [beat_time.(m)] is the wall-clock
+     of member [m]'s last {!heartbeat}, [beat_site.(m)] a short label of
+     where it was (typically the job it is working).  Single writer per
+     slot (the member itself), racy lock-free readers (the watchdog): a
+     torn read can only mis-age a beat by one update, never corrupt. *)
+  beat_time : float array;
+  beat_site : string array;
 }
 
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
@@ -98,12 +105,28 @@ let create ?domains () =
       job = None;
       shutdown = false;
       domains = [];
+      beat_time = Array.make size (Unix.gettimeofday ());
+      beat_site = Array.make size "idle";
     }
   in
   t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
 let size t = t.size
+
+(* Heartbeats: members stamp "I am alive, working on [site]" at task
+   boundaries; a watchdog compares the stamps against a horizon.  The
+   slot is owned by its member, so no lock is taken. *)
+let heartbeat t ~member ~site =
+  if member >= 0 && member < t.size then begin
+    t.beat_site.(member) <- site;
+    t.beat_time.(member) <- Unix.gettimeofday ()
+  end
+
+let last_beat t member =
+  if member < 0 || member >= t.size then
+    invalid_arg "Pool.last_beat: member out of range";
+  (t.beat_time.(member), t.beat_site.(member))
 
 let shutdown t =
   Mutex.lock t.mutex;

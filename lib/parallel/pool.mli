@@ -36,6 +36,18 @@ val parallel_sum : t -> int -> int -> (int -> int) -> int
 (** Parallel sum of [f i] over the range, accumulated with per-chunk
     partial sums (O(chunks) auxiliary space). *)
 
+val heartbeat : t -> member:int -> site:string -> unit
+(** Stamp member [member]'s heartbeat slot with the current wall clock
+    and [site] (a short label of what it is working on — typically the
+    claimed job's name).  Lock-free: the slot is owned by its member.
+    Out-of-range members are ignored (a body running on a replica index
+    beyond the team is harmless). *)
+
+val last_beat : t -> int -> float * string
+(** [(time, site)] of the member's last {!heartbeat} ([create] stamps
+    every slot, so this never reads uninitialized).  Reads race member
+    writes by design; a watchdog tolerates one-update staleness. *)
+
 val shutdown : t -> unit
 (** Join all workers.  The pool must not be used afterwards. *)
 

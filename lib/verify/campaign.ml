@@ -28,6 +28,7 @@ module Slab = Hydra_engine.Slab
 module Sharded = Hydra_engine.Sharded
 module Scheduler = Hydra_engine.Scheduler
 module Cache = Hydra_engine.Cache
+module Resilience = Hydra_engine.Resilience
 
 type fault =
   | Stuck_at of { site : int; value : bool }
@@ -194,7 +195,8 @@ let slab_ops sim =
   }
 
 let run ?scheduler ?cache ?sharded ?domains ?(engine = `Wide)
-    ?(gating = false) ?(status_outputs = []) nl ~faults ~stimulus ~cycles =
+    ?(gating = false) ?(status_outputs = []) ?deadline ?retry ?admission ?chaos
+    nl ~faults ~stimulus ~cycles =
   (match (scheduler, domains) with
   | Some _, Some _ ->
     invalid_arg "Campaign.run: pass either ?scheduler or ?domains, not both"
@@ -401,92 +403,169 @@ let run ?scheduler ?cache ?sharded ?domains ?(engine = `Wide)
     done;
     ops.o_clear ()
   in
-  let engine_words = match engine with `Wide -> 1 | `Slab k -> k in
   (match engine with
   | `Slab k when k < 1 -> invalid_arg "Campaign.run: slab k must be >= 1"
   | _ -> ());
-  (* lane 0 of every chunk is the golden run, hence [~reserved:1] *)
-  let ch =
-    Scheduler.chunking ~reserved:1 ~lanes:(W.lanes * engine_words) nfaults
+  (* Resilience knobs.  The deadline is a wall budget over the whole
+     campaign; scheduler runs carry it (and the retry policy) on the
+     job, direct runs enforce it at chunk boundaries with a local
+     retry loop.  The admission controller may degrade a slab request
+     to fewer words (fewer faults per pass, same results) before it
+     would shed the campaign outright. *)
+  let t0 = Resilience.now () in
+  let check_deadline () =
+    match deadline with
+    | Some d when Resilience.now () -. t0 > d ->
+      raise
+        (Resilience.Deadline_exceeded
+           { job = "campaign"; elapsed = Resilience.now () -. t0 })
+    | _ -> ()
   in
-  let nchunks = ch.Scheduler.count in
-  let chunk_bounds = ch.Scheduler.bounds in
-  (* engines always compile with the identity passes (force sites are
-     caller-netlist component indices); [?cache] serves warm replicas *)
-  let wide_base () =
-    match cache with
-    | Some c -> Cache.wide c ~optimize:false ~relayout:false ~fuse:false nl
-    | None -> W.create ~optimize:false ~relayout:false ~fuse:false nl
+  let sched_deadline () =
+    Option.map (fun d -> Float.max 0.001 (d -. (Resilience.now () -. t0))) deadline
   in
-  let slab_base k =
-    match cache with
-    | Some c ->
-      Cache.slab c ~k ~gating ~optimize:false ~relayout:false ~fuse:false nl
-    | None ->
-      Slab.create ~k ~gating ~optimize:false ~relayout:false ~fuse:false nl
-  in
-  let run_sharded sh =
-    if Sharded.netlist sh <> nl then
-      invalid_arg
-        "Campaign.run: sharded engine compiled from a different netlist \
-         (build it with ~optimize:false ~relayout:false ~fuse:false on the \
-         campaign netlist)";
-    let body ~member c =
-      let lo, hi = chunk_bounds c in
-      run_chunk (wide_ops (Sharded.replica sh member)) lo hi
-    in
-    match scheduler with
-    | Some sch ->
-      if Scheduler.pool sch != Sharded.pool sh then
-        invalid_arg
-          "Campaign.run: ?scheduler and ?sharded must share one pool \
-           (Sharded.of_base ~pool:(Scheduler.pool sch))";
-      Scheduler.run_tasks sch ~name:"campaign" nchunks body
-    | None -> Sharded.run_tasks sh nchunks body
-  in
-  (match (engine, sharded) with
-  | `Slab _, Some _ ->
-    invalid_arg
-      "Campaign.run: ?sharded reuses a wide engine; pass ?domains with \
-       ~engine:(`Slab k) instead"
-  | `Slab k, None ->
-    if nchunks > 0 then begin
-      let base = slab_base k in
-      let module SSh = Sharded.Slab_sharded in
-      let body ssh ~member c =
-        let lo, hi = chunk_bounds c in
-        run_chunk (slab_ops (SSh.replica ssh member)) lo hi
+  let acquired =
+    match admission with
+    | None -> None
+    | Some a -> (
+      let want =
+        W.lanes * (match engine with `Wide -> 1 | `Slab k -> k)
       in
-      match scheduler with
-      | Some sch ->
-        let ssh = SSh.of_base ~pool:(Scheduler.pool sch) base in
-        Scheduler.run_tasks sch ~name:"campaign" nchunks (body ssh)
-      | None ->
-        let ssh = SSh.of_base ?domains base in
-        Fun.protect
-          ~finally:(fun () -> SSh.shutdown ssh)
-          (fun () -> SSh.run_tasks ssh nchunks (body ssh))
-    end
-  | `Wide, Some sh -> run_sharded sh
-  | `Wide, None ->
-    if Option.is_none scheduler && Option.is_none domains && nchunks <= 1
-    then begin
-      if nchunks = 1 then begin
-        let sim = wide_base () in
-        let lo, hi = chunk_bounds 0 in
-        run_chunk (wide_ops sim) lo hi
-      end
-    end
-    else if nchunks > 0 then begin
-      match scheduler with
-      | Some sch ->
-        run_sharded (Sharded.of_base ~pool:(Scheduler.pool sch) (wide_base ()))
-      | None ->
-        let sh = Sharded.of_base ?domains (wide_base ()) in
-        Fun.protect
-          ~finally:(fun () -> Sharded.shutdown sh)
-          (fun () -> run_sharded sh)
-    end);
+      match Resilience.acquire a ~lanes:want with
+      | `Granted g -> Some (a, g)
+      | `Shed -> raise (Resilience.Shed { job = "campaign"; priority = 0 }))
+  in
+  let engine =
+    match (acquired, engine) with
+    | Some (_, g), `Slab k when g < W.lanes * k ->
+      `Slab (max 1 (g / W.lanes))  (* degraded, not rejected *)
+    | _ -> engine
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match acquired with
+      | Some (a, g) -> Resilience.release a ~lanes:g
+      | None -> ())
+    (fun () ->
+      let engine_words = match engine with `Wide -> 1 | `Slab k -> k in
+      (* lane 0 of every chunk is the golden run, hence [~reserved:1] *)
+      let ch =
+        Scheduler.chunking ~reserved:1 ~lanes:(W.lanes * engine_words) nfaults
+      in
+      let nchunks = ch.Scheduler.count in
+      let chunk_bounds = ch.Scheduler.bounds in
+      (* dress a chunk body with the resilience wrappers: a chaos
+         injection point at entry (each retry re-rolls its fate), a
+         chunk-boundary deadline check, and — when no scheduler carries
+         the retry policy natively — a local backoff-and-rerun loop
+         (chunks recompute their result slice from reset, so a rerun is
+         bit-identical) *)
+      let dress body ~member c =
+        check_deadline ();
+        let attempt_body () =
+          (match chaos with
+          | Some p -> Chaos.inject p ~label:"campaign" ~task:c ()
+          | None -> ());
+          body ~member c
+        in
+        match (scheduler, retry) with
+        | Some _, _ | None, None -> attempt_body ()
+        | None, Some pol ->
+          let rec go attempt =
+            try attempt_body ()
+            with e
+              when attempt < pol.Resilience.max_attempts
+                   && pol.Resilience.transient e ->
+              Unix.sleepf (Resilience.backoff pol ~attempt ~seed:(0xca3 + c));
+              check_deadline ();
+              go (attempt + 1)
+          in
+          go 1
+      in
+      (* engines always compile with the identity passes (force sites
+         are caller-netlist component indices); [?cache] serves warm
+         replicas *)
+      let wide_base () =
+        match cache with
+        | Some c -> Cache.wide c ~optimize:false ~relayout:false ~fuse:false nl
+        | None -> W.create ~optimize:false ~relayout:false ~fuse:false nl
+      in
+      let slab_base k =
+        match cache with
+        | Some c ->
+          Cache.slab c ~k ~gating ~optimize:false ~relayout:false ~fuse:false
+            nl
+        | None ->
+          Slab.create ~k ~gating ~optimize:false ~relayout:false ~fuse:false nl
+      in
+      let run_sharded sh =
+        if Sharded.netlist sh <> nl then
+          invalid_arg
+            "Campaign.run: sharded engine compiled from a different netlist \
+             (build it with ~optimize:false ~relayout:false ~fuse:false on \
+             the campaign netlist)";
+        let body ~member c =
+          let lo, hi = chunk_bounds c in
+          run_chunk (wide_ops (Sharded.replica sh member)) lo hi
+        in
+        match scheduler with
+        | Some sch ->
+          if Scheduler.pool sch != Sharded.pool sh then
+            invalid_arg
+              "Campaign.run: ?scheduler and ?sharded must share one pool \
+               (Sharded.of_base ~pool:(Scheduler.pool sch))";
+          Scheduler.run_tasks sch ~name:"campaign" ?deadline:(sched_deadline ())
+            ?retry nchunks (dress body)
+        | None -> Sharded.run_tasks sh nchunks (dress body)
+      in
+      match (engine, sharded) with
+      | `Slab _, Some _ ->
+        invalid_arg
+          "Campaign.run: ?sharded reuses a wide engine; pass ?domains with \
+           ~engine:(`Slab k) instead"
+      | `Slab k, None ->
+        if nchunks > 0 then begin
+          let base = slab_base k in
+          let module SSh = Sharded.Slab_sharded in
+          let body ssh ~member c =
+            let lo, hi = chunk_bounds c in
+            run_chunk (slab_ops (SSh.replica ssh member)) lo hi
+          in
+          match scheduler with
+          | Some sch ->
+            let ssh = SSh.of_base ~pool:(Scheduler.pool sch) base in
+            Scheduler.run_tasks sch ~name:"campaign"
+              ?deadline:(sched_deadline ()) ?retry nchunks (dress (body ssh))
+          | None ->
+            let ssh = SSh.of_base ?domains base in
+            Fun.protect
+              ~finally:(fun () -> SSh.shutdown ssh)
+              (fun () -> SSh.run_tasks ssh nchunks (dress (body ssh)))
+        end
+      | `Wide, Some sh -> run_sharded sh
+      | `Wide, None ->
+        if Option.is_none scheduler && Option.is_none domains && nchunks <= 1
+        then begin
+          if nchunks = 1 then begin
+            let sim = wide_base () in
+            let body ~member:_ c =
+              let lo, hi = chunk_bounds c in
+              run_chunk (wide_ops sim) lo hi
+            in
+            dress body ~member:0 0
+          end
+        end
+        else if nchunks > 0 then begin
+          match scheduler with
+          | Some sch ->
+            run_sharded
+              (Sharded.of_base ~pool:(Scheduler.pool sch) (wide_base ()))
+          | None ->
+            let sh = Sharded.of_base ?domains (wide_base ()) in
+            Fun.protect
+              ~finally:(fun () -> Sharded.shutdown sh)
+              (fun () -> run_sharded sh)
+        end);
   let verdicts =
     List.init nfaults (fun i ->
         match results.(i) with

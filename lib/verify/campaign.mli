@@ -84,6 +84,10 @@ val run :
   ?engine:[ `Wide | `Slab of int ] ->
   ?gating:bool ->
   ?status_outputs:string list ->
+  ?deadline:float ->
+  ?retry:Hydra_engine.Resilience.retry ->
+  ?admission:Hydra_engine.Resilience.admission ->
+  ?chaos:Chaos.plan ->
   Hydra_netlist.Netlist.t ->
   faults:fault list ->
   stimulus:(string * bool list) list ->
@@ -124,6 +128,22 @@ val run :
     verdicts stay bit-identical while a mostly-quiescent circuit under
     a local fault simulates much faster.  Verdicts are identical to the
     wide engine's — only the packing changes.
+
+    Resilience knobs: [?deadline] bounds the whole campaign in
+    wall-clock seconds, enforced at chunk boundaries
+    ({!Hydra_engine.Resilience.Deadline_exceeded} past it — with
+    [?scheduler] the job itself carries the remaining budget and times
+    out identically).  [?retry] re-runs chunks whose body raised a
+    transient exception after a deterministic backoff (chunks recompute
+    their verdict slice from reset, so retried runs stay bit-identical);
+    with [?scheduler] the policy rides on the job and attempts are
+    journaled in its trail.  [?admission] reserves the engine's lane
+    demand against a shared budget: an over-budget [`Slab k] request is
+    {e degraded} to fewer slab words (same verdicts, smaller passes)
+    rather than rejected, and only a budget with less than one word
+    free sheds the campaign ({!Hydra_engine.Resilience.Shed}).
+    [?chaos] dresses every chunk with a seeded {!Chaos} injection point
+    — the soak-test harness.
 
     Raises [Invalid_argument] on an invalid netlist, an out-of-range or
     outport fault site, an SEU site that is not a dff, an intermittent

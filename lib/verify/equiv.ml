@@ -159,12 +159,23 @@ type seq_result =
   | Seq_mismatch of { output : string; cycle : int; inputs : (string * bool list) list }
 
 let wide_random_netlists ?scheduler ?cache ?(passes = 8) ?(cycles = 32)
-    ?(seed = 0x5eed) ?(domains = 1) nl1 nl2 =
+    ?(seed = 0x5eed) ?(domains = 1) ?deadline nl1 nl2 =
   let module W = Hydra_engine.Compiled_wide in
   let module Sh = Hydra_engine.Sharded in
   let module Scheduler = Hydra_engine.Scheduler in
   let module Cache = Hydra_engine.Cache in
+  let module R = Hydra_engine.Resilience in
   let module P = Hydra_core.Packed in
+  (* the deadline bounds the whole sweep, enforced between passes (a
+     pass is the natural chunk); scheduler runs put it on the job *)
+  let t0 = R.now () in
+  let check_deadline () =
+    match deadline with
+    | Some d when R.now () -. t0 > d ->
+      raise
+        (R.Deadline_exceeded { job = "equiv"; elapsed = R.now () -. t0 })
+    | _ -> ()
+  in
   (* Certify the inputs before simulating them, so a falsified run means
      "the engines disagree" and never "the generator emitted a malformed
      netlist that the engines mis-indexed". *)
@@ -259,13 +270,15 @@ let wide_random_netlists ?scheduler ?cache ?(passes = 8) ?(cycles = 32)
   | Some sch ->
     let n = Scheduler.domains sch in
     let sims1 = replicas base1 n and sims2 = replicas base2 n in
-    Scheduler.run_tasks sch ~name:"equiv" passes (fun ~member pass ->
+    Scheduler.run_tasks sch ~name:"equiv" ?deadline passes
+      (fun ~member pass ->
         if pass < Atomic.get best then
           run_pass sims1.(member) sims2.(member) pass)
   | None ->
     let sh = Sh.of_base ~domains base1 in
     let sims2 = replicas base2 (Sh.domains sh) in
     Sh.run_tasks sh passes (fun ~member pass ->
+        check_deadline ();
         if pass < Atomic.get best then
           run_pass (Sh.replica sh member) sims2.(member) pass);
     Sh.shutdown sh);

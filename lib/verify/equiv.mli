@@ -70,6 +70,7 @@ val wide_random_netlists :
   ?cycles:int ->
   ?seed:int ->
   ?domains:int ->
+  ?deadline:float ->
   Hydra_netlist.Netlist.t ->
   Hydra_netlist.Netlist.t ->
   seq_result
@@ -88,7 +89,10 @@ val wide_random_netlists :
     run as tasks of one job on the scheduler's shared team, with both
     sides' replicas member-aligned; with [?cache] the two base engines
     come from the compiled-circuit cache (default wide flavor).  The
-    result is identical in every mode.
+    result is identical in every mode.  [?deadline] bounds the whole
+    sweep in wall-clock seconds, enforced between passes:
+    {!Hydra_engine.Resilience.Deadline_exceeded} past it (with
+    [?scheduler], the job times out to the same exception).
 
     Both netlists are validated ({!Hydra_analyze.Certify.validate})
     before any engine touches them; a malformed one raises

@@ -34,4 +34,5 @@ let () =
       ("campaign", Test_campaign.suite);
       ("cache", Test_cache.suite);
       ("scheduler", Test_scheduler.suite);
+      ("resilience", Test_resilience.suite);
     ]
